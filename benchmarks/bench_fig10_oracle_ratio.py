@@ -1,0 +1,36 @@
+"""Fig. 10 — cumulative oracle-call ratio HISTAPPROX / Greedy over time.
+
+Paper shape asserted: the cumulative ratio stays below 1 on every dataset
+and decreases as eps grows (at eps=0.2 the paper reports 5-15x fewer
+calls; the exact band depends on the greedy candidate-pool size, which
+scales with the stream — see EXPERIMENTS.md).
+"""
+
+from conftest import run_once
+
+from repro.datasets.registry import dataset_names
+from repro.experiments.figures import fig10
+
+
+def test_fig10_cumulative_call_ratio(benchmark):
+    result = run_once(
+        benchmark,
+        fig10,
+        datasets=dataset_names(),
+        num_events=250,
+        k=10,
+        epsilons=(0.1, 0.2),
+        L=150,
+        p=0.01,
+        seed=0,
+    )
+    for dataset in dataset_names():
+        rows = {
+            r["algorithm"]: r["final_calls_ratio"]
+            for r in result.rows
+            if r["dataset"] == dataset
+        }
+        assert rows["hist(eps=0.1)"] < 1.0, dataset
+        assert rows["hist(eps=0.2)"] < 1.0, dataset
+        # Larger eps => fewer thresholds and instances => fewer calls.
+        assert rows["hist(eps=0.2)"] <= rows["hist(eps=0.1)"] * 1.1, dataset

@@ -1,0 +1,30 @@
+"""Fig. 11 — HISTAPPROX vs Greedy across budgets ``k``.
+
+Paper shapes asserted: the value ratio stays high for every k, and the
+call ratio *improves* (drops) as k grows — HISTAPPROX scales
+logarithmically with k while greedy scales linearly.
+"""
+
+from conftest import run_once
+
+from repro.experiments.figures import fig11
+
+
+def test_fig11_budget_sweep(benchmark):
+    k_values = (5, 10, 20, 40)
+    result = run_once(
+        benchmark,
+        fig11,
+        datasets=("brightkite", "gowalla"),
+        num_events=250,
+        k_values=k_values,
+        epsilon=0.2,
+        L=150,
+        p=0.01,
+        seed=0,
+    )
+    for dataset in ("brightkite", "gowalla"):
+        rows = [r for r in result.rows if r["dataset"] == dataset]
+        assert all(r["value_ratio"] >= 0.7 for r in rows), dataset
+        # Calls ratio at the largest k must beat the smallest k.
+        assert rows[-1]["calls_ratio"] < rows[0]["calls_ratio"], dataset

@@ -1,0 +1,45 @@
+"""Fig. 13 — solution quality of HISTAPPROX / IMM / TIM+ / DIM vs Greedy.
+
+Paper shapes asserted: HISTAPPROX, IMM and TIM+ produce high-quality
+solutions across the k and L sweeps; DIM is the weakest and least stable
+of the four, and is worse on the StackOverflow-style high-churn workload
+than on Twitter-Higgs.
+"""
+
+from statistics import mean
+
+from conftest import run_once
+
+from repro.experiments.figures_baselines import fig13
+
+
+def test_fig13_quality_comparison(benchmark):
+    result = run_once(
+        benchmark,
+        fig13,
+        datasets=("twitter-higgs", "stackoverflow-c2q"),
+        num_events=250,
+        k_values=(5, 10, 20),
+        L_values=(75, 150, 300),
+        k_fixed=10,
+        L_fixed=150,
+        epsilon=0.3,
+        p=0.01,
+        seed=0,
+        query_interval=25,
+    )
+    by_dataset = {}
+    for row in result.rows:
+        by_dataset.setdefault(row["dataset"], []).append(row)
+    for dataset, rows in by_dataset.items():
+        hist_mean = mean(r["ratio_hist"] for r in rows)
+        dim_mean = mean(r["ratio_dim"] for r in rows)
+        assert hist_mean >= 0.75, dataset
+        assert mean(r["ratio_imm"] for r in rows) >= 0.55, dataset
+        assert mean(r["ratio_tim+"] for r in rows) >= 0.55, dataset
+        # DIM is the weakest method on average.
+        assert dim_mean <= hist_mean, dataset
+    # DIM's instability shows on the high-churn QA workload.
+    dim_higgs = mean(r["ratio_dim"] for r in by_dataset["twitter-higgs"])
+    dim_qa = mean(r["ratio_dim"] for r in by_dataset["stackoverflow-c2q"])
+    assert dim_qa <= dim_higgs + 0.15

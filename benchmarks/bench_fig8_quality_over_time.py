@@ -1,0 +1,35 @@
+"""Fig. 8 — solution value over time: HISTAPPROX vs Greedy vs Random.
+
+Paper shape asserted: on every dataset, Greedy is the ceiling, HISTAPPROX
+(every eps) tracks it closely, and Random is far below.
+"""
+
+from conftest import run_once
+
+from repro.datasets.registry import dataset_names
+from repro.experiments.figures import fig8
+
+
+def test_fig8_quality_over_time_all_datasets(benchmark):
+    result = run_once(
+        benchmark,
+        fig8,
+        datasets=dataset_names(),
+        num_events=250,
+        k=10,
+        epsilons=(0.1, 0.15, 0.2),
+        L=150,
+        p=0.01,
+        seed=0,
+    )
+    for dataset in dataset_names():
+        rows = {
+            r["algorithm"]: r["mean_value"]
+            for r in result.rows
+            if r["dataset"] == dataset
+        }
+        for eps in (0.1, 0.15, 0.2):
+            hist = rows[f"hist(eps={eps})"]
+            assert hist <= rows["greedy"] + 1e-9, dataset
+            assert hist >= 0.7 * rows["greedy"], dataset
+            assert hist > rows["random"], dataset

@@ -1,0 +1,29 @@
+"""Fig. 9 — time-averaged value ratio of HISTAPPROX w.r.t. Greedy.
+
+Paper shape asserted: every ratio sits in a high band (paper: ~0.85-1.0)
+and does not *improve* when eps grows (quality/efficiency trade-off).
+"""
+
+from conftest import run_once
+
+from repro.datasets.registry import dataset_names
+from repro.experiments.figures import fig9
+
+
+def test_fig9_value_ratio_bars(benchmark):
+    epsilons = (0.1, 0.2)
+    result = run_once(
+        benchmark,
+        fig9,
+        datasets=dataset_names(),
+        num_events=250,
+        k=10,
+        epsilons=epsilons,
+        L=150,
+        p=0.01,
+        seed=0,
+    )
+    for row in result.rows:
+        for eps in epsilons:
+            assert row[f"ratio(eps={eps})"] >= 0.75, row["dataset"]
+            assert row[f"ratio(eps={eps})"] <= 1.0 + 1e-9, row["dataset"]

@@ -1,0 +1,39 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one paper artifact (table or figure) at reduced
+scale through the same runners the CLI uses, records the produced rows in
+``benchmark.extra_info`` (so ``--benchmark-json`` exports carry the data),
+prints the rows (visible with ``-s``), and asserts the *shape* the paper
+reports.  Absolute numbers are not compared — the substrate is a pure-Python
+simulator on synthetic stand-in streams — but orderings, trends and ratio
+bands must hold (see EXPERIMENTS.md).
+
+Scales here are smaller than the CLI defaults so the whole suite finishes
+in a few minutes; use ``python -m repro.experiments <fig>`` for the
+larger-scale runs recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+
+def run_once(benchmark, runner, **kwargs):
+    """Run a figure runner exactly once under pytest-benchmark timing.
+
+    The runners are full experiments (minutes at CLI scale, seconds here);
+    statistical repetition is meaningless, so a single round is measured.
+    """
+    result = benchmark.pedantic(lambda: runner(**kwargs), rounds=1, iterations=1)
+    benchmark.extra_info["figure_id"] = result.figure_id
+    benchmark.extra_info["rows"] = [
+        {key: _jsonable(value) for key, value in row.items()}
+        for row in result.rows
+    ]
+    print()
+    print(result.format_table())
+    return result
+
+
+def _jsonable(value):
+    if isinstance(value, (int, float, str, bool)) or value is None:
+        return value
+    return str(value)

@@ -1,0 +1,81 @@
+"""Twitter scenario: tracking influencers through a viral burst.
+
+Reproduces the dynamic-influence motivation of the paper's introduction
+(and the Twitter-Higgs dataset's defining event): most of the time a stable
+set of celebrity accounts dominates retweets, but when a viral event occurs
+a previously unremarkable set of accounts suddenly drives the conversation
+— and the influential set must pivot *during* the burst, then recover.
+
+The example compares the streaming tracker against a static one-shot
+index (IMM computed once, before the burst) to show why static influence
+maximization goes stale on dynamic streams.
+
+Run:
+    python examples/twitter_viral_burst.py
+"""
+
+from repro.baselines.imm import IMM
+from repro.core.hist_approx import HistApprox
+from repro.datasets import retweet_stream
+from repro.influence.oracle import InfluenceOracle
+from repro.tdn.graph import TDNGraph
+from repro.tdn.lifetimes import GeometricLifetime
+from repro.tdn.stream import MemoryStream
+
+K = 5
+BURST_START, BURST_END = 300, 420
+
+
+def main() -> None:
+    events = retweet_stream(
+        num_users=400,
+        num_events=700,
+        burst_interval=BURST_START,
+        burst_length=BURST_END - BURST_START,
+        burst_boost=40.0,
+        seed=21,
+    )
+    policy = GeometricLifetime(0.02, 150, seed=22)
+    graph = TDNGraph()
+    tracker = HistApprox(K, 0.2, graph)
+    static_seeds = None
+
+    print(f"{'time':>5}  {'tracked value':>13}  {'static value':>12}  tracked influencers")
+    for t, batch in MemoryStream(events):
+        graph.advance_to(t)
+        lifed = [policy.assign(i) for i in batch]
+        graph.add_batch(lifed)
+        tracker.on_batch(t, lifed)
+
+        if t == BURST_START - 50 and static_seeds is None:
+            # A marketer runs a one-shot static IM analysis shortly before
+            # the burst and sticks with its answer.
+            imm = IMM(K, graph, seed=23, max_rr_sets=2_000)
+            static_seeds = imm.query().nodes
+
+        if t % 60 == 0 and static_seeds is not None:
+            oracle = InfluenceOracle(graph)
+            tracked = tracker.query()
+            static_value = oracle.spread(static_seeds)
+            marker = " <-- burst" if BURST_START <= t <= BURST_END else ""
+            nodes = ", ".join(str(n) for n in tracked.nodes[:3])
+            print(
+                f"{t:>5}  {tracked.value:>13.0f}  {static_value:>12.0f}  "
+                f"{nodes}...{marker}"
+            )
+
+    oracle = InfluenceOracle(graph)
+    tracked = tracker.query()
+    static_value = oracle.spread(static_seeds)
+    print("\nafter the stream:")
+    print(f"  streaming tracker value: {tracked.value:.0f}")
+    print(f"  stale static-IM value:   {static_value:.0f}")
+    print(
+        "  the static seed set was computed before the burst and never "
+        "updated;\n  the streaming tracker followed the burst and the "
+        "post-burst recovery."
+    )
+
+
+if __name__ == "__main__":
+    main()

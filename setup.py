@@ -1,0 +1,10 @@
+"""Setup shim for environments whose pip/setuptools lack PEP 660 support.
+
+Metadata lives in pyproject.toml; this file only enables
+``pip install -e . --no-use-pep517`` on older toolchains (the reproduction
+container has no network to upgrade pip/setuptools/wheel).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,70 @@
+"""repro: tracking influential nodes in time-decaying interaction networks.
+
+A from-scratch reproduction of Zhao, Shang, Wang, Lui and Zhang,
+"Tracking Influential Nodes in Time-Decaying Dynamic Interaction Networks"
+(ICDE 2019 / arXiv:1810.07917).
+
+Quickstart::
+
+    from repro import InfluenceTracker, GeometricLifetime
+
+    tracker = InfluenceTracker(
+        "hist-approx", k=10, epsilon=0.2,
+        lifetime_policy=GeometricLifetime(p=0.01, max_lifetime=1000, seed=42),
+    )
+    for t, batch in my_interaction_stream:          # batches of (u, v) pairs
+        solution = tracker.step(t, batch)
+    print(solution.nodes, solution.value)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-versus-measured record of every table and figure.
+"""
+
+from repro.analysis import SolutionHistory
+from repro.core import (
+    BasicReduction,
+    HistApprox,
+    InfluenceTracker,
+    SieveADN,
+    SieveStreaming,
+    Solution,
+)
+from repro.influence import InfluenceOracle, top_spreaders
+from repro.influence.weighted import WeightedInfluenceOracle
+from repro.persistence import load_checkpoint, save_checkpoint
+from repro.tdn import (
+    ConstantLifetime,
+    GeometricLifetime,
+    InfiniteLifetime,
+    Interaction,
+    MemoryStream,
+    PowerLawLifetime,
+    TDNGraph,
+    UniformLifetime,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "InfluenceTracker",
+    "Solution",
+    "SieveADN",
+    "BasicReduction",
+    "HistApprox",
+    "SieveStreaming",
+    "InfluenceOracle",
+    "WeightedInfluenceOracle",
+    "top_spreaders",
+    "SolutionHistory",
+    "save_checkpoint",
+    "load_checkpoint",
+    "TDNGraph",
+    "Interaction",
+    "MemoryStream",
+    "ConstantLifetime",
+    "InfiniteLifetime",
+    "GeometricLifetime",
+    "UniformLifetime",
+    "PowerLawLifetime",
+    "__version__",
+]

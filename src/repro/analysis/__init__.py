@@ -1,0 +1,35 @@
+"""Analysis utilities for tracked solutions and TDN streams.
+
+The paper's motivation (Fig. 1) is that the influential set *evolves*; this
+package quantifies that evolution and the stream properties driving it:
+
+* :mod:`repro.analysis.stability` — solution churn over time: Jaccard
+  stability, turnover rate, node tenure.  Used to compare the smooth TDN
+  decay against hard sliding windows (the paper's Example 1 argument).
+* :mod:`repro.analysis.graph_stats` — TDN snapshots over time: alive
+  edges/nodes, degree concentration, effective lifetime empirics.
+"""
+
+from repro.analysis.stability import (
+    SolutionHistory,
+    jaccard,
+    mean_jaccard_stability,
+    node_tenures,
+    turnover_rate,
+)
+from repro.analysis.graph_stats import (
+    GraphSnapshotStats,
+    degree_concentration,
+    snapshot_stats,
+)
+
+__all__ = [
+    "SolutionHistory",
+    "jaccard",
+    "mean_jaccard_stability",
+    "turnover_rate",
+    "node_tenures",
+    "GraphSnapshotStats",
+    "snapshot_stats",
+    "degree_concentration",
+]

@@ -1,0 +1,88 @@
+"""TDN snapshot statistics: what does the alive graph look like over time?
+
+The decay regime (lifetime policy) controls how much history the TDN
+retains; these statistics make the regime observable — alive edge and node
+counts, mean remaining lifetime, and how concentrated influence potential
+is across out-degrees (the Zipf-ness the synthetic generators are
+calibrated for).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.tdn.graph import INFINITE_EXPIRY, TDNGraph
+
+
+@dataclass(frozen=True)
+class GraphSnapshotStats:
+    """One snapshot's summary numbers.
+
+    Attributes:
+        time: the snapshot time step.
+        num_nodes: alive nodes.
+        num_edges: alive edge instances (parallel edges counted).
+        num_pairs: distinct alive directed pairs.
+        mean_remaining_lifetime: average remaining lifetime over finite-
+            lifetime pairs (their max-expiry edge), ``inf`` if only
+            infinite-lifetime edges exist, 0.0 on an empty graph.
+        max_out_degree: largest out-degree.
+        degree_concentration: fraction of all out-edges owned by the top
+            10% of source nodes (see :func:`degree_concentration`).
+    """
+
+    time: int
+    num_nodes: int
+    num_edges: int
+    num_pairs: int
+    mean_remaining_lifetime: float
+    max_out_degree: int
+    degree_concentration: float
+
+
+def snapshot_stats(graph: TDNGraph) -> GraphSnapshotStats:
+    """Summarize the current alive graph."""
+    out_degrees: Dict = {}
+    remaining: List[float] = []
+    infinite_only = True
+    for u, v, _count in graph.alive_pairs_with_counts():
+        out_degrees[u] = out_degrees.get(u, 0) + 1
+        expiry = graph.max_expiry(u, v)
+        if expiry != INFINITE_EXPIRY:
+            remaining.append(expiry - graph.time)
+            infinite_only = False
+    if remaining:
+        mean_lifetime = sum(remaining) / len(remaining)
+    elif out_degrees and infinite_only:
+        mean_lifetime = math.inf
+    else:
+        mean_lifetime = 0.0
+    return GraphSnapshotStats(
+        time=graph.time,
+        num_nodes=graph.num_nodes,
+        num_edges=graph.num_edges,
+        num_pairs=graph.num_pairs,
+        mean_remaining_lifetime=mean_lifetime,
+        max_out_degree=max(out_degrees.values(), default=0),
+        degree_concentration=degree_concentration(list(out_degrees.values())),
+    )
+
+
+def degree_concentration(degrees: List[int], top_fraction: float = 0.1) -> float:
+    """Share of total degree owned by the top ``top_fraction`` of nodes.
+
+    1.0 means a single dominant hub regime; ``top_fraction`` itself means a
+    perfectly uniform degree distribution.  Returns 0.0 for no degrees.
+    """
+    if not 0.0 < top_fraction <= 1.0:
+        raise ValueError(f"top_fraction must be in (0, 1], got {top_fraction}")
+    if not degrees:
+        return 0.0
+    total = sum(degrees)
+    if total == 0:
+        return 0.0
+    ordered = sorted(degrees, reverse=True)
+    top_count = max(1, int(len(ordered) * top_fraction))
+    return sum(ordered[:top_count]) / total

@@ -1,0 +1,107 @@
+"""Solution-stability metrics: how fast does the influential set churn?
+
+The paper's Example 1 argues that a hard sliding window produces *unstable*
+solutions (a briefly absent influencer vanishes), while the TDN's smooth
+decay retains them.  These metrics make that claim measurable: record the
+tracked node set over time with :class:`SolutionHistory`, then summarize
+with Jaccard stability (average similarity between consecutive solutions),
+turnover rate (fraction of the set replaced per step), and per-node tenure
+(how long each node stayed in the solution).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Iterable, List, Sequence, Set, Tuple
+
+Node = Hashable
+
+
+def jaccard(a: Iterable[Node], b: Iterable[Node]) -> float:
+    """Jaccard similarity of two node collections (1.0 for two empties)."""
+    set_a, set_b = set(a), set(b)
+    if not set_a and not set_b:
+        return 1.0
+    return len(set_a & set_b) / len(set_a | set_b)
+
+
+@dataclass
+class SolutionHistory:
+    """Chronological record of tracked solutions.
+
+    Example:
+        >>> history = SolutionHistory()
+        >>> history.record(0, ["a", "b"])
+        >>> history.record(1, ["a", "c"])
+        >>> round(history.mean_stability(), 3)
+        0.333
+    """
+
+    times: List[int] = field(default_factory=list)
+    solutions: List[Tuple[Node, ...]] = field(default_factory=list)
+
+    def record(self, t: int, nodes: Iterable[Node]) -> None:
+        """Append the solution observed at time ``t``."""
+        if self.times and t <= self.times[-1]:
+            raise ValueError(
+                f"solutions must be recorded in increasing time order; "
+                f"got {t} after {self.times[-1]}"
+            )
+        self.times.append(t)
+        self.solutions.append(tuple(nodes))
+
+    def __len__(self) -> int:
+        return len(self.solutions)
+
+    # ------------------------------------------------------------------
+    def mean_stability(self) -> float:
+        """Average Jaccard similarity between consecutive solutions."""
+        return mean_jaccard_stability(self.solutions)
+
+    def mean_turnover(self) -> float:
+        """Average fraction of the solution replaced per step."""
+        return turnover_rate(self.solutions)
+
+    def tenures(self) -> Dict[Node, int]:
+        """Total number of recorded steps each node spent in the solution."""
+        return node_tenures(self.solutions)
+
+    def ever_selected(self) -> Set[Node]:
+        """All nodes that appeared in any recorded solution."""
+        return {node for solution in self.solutions for node in solution}
+
+
+def mean_jaccard_stability(solutions: Sequence[Sequence[Node]]) -> float:
+    """Mean Jaccard similarity of consecutive solutions (1.0 if < 2)."""
+    if len(solutions) < 2:
+        return 1.0
+    total = sum(
+        jaccard(a, b) for a, b in zip(solutions, solutions[1:])
+    )
+    return total / (len(solutions) - 1)
+
+
+def turnover_rate(solutions: Sequence[Sequence[Node]]) -> float:
+    """Mean fraction of the previous solution absent from the next one.
+
+    0.0 means the set never changes; 1.0 means it is fully replaced at
+    every step.  Empty previous solutions contribute zero turnover.
+    """
+    if len(solutions) < 2:
+        return 0.0
+    total = 0.0
+    for prev, nxt in zip(solutions, solutions[1:]):
+        prev_set = set(prev)
+        if not prev_set:
+            continue
+        total += len(prev_set - set(nxt)) / len(prev_set)
+    return total / (len(solutions) - 1)
+
+
+def node_tenures(solutions: Sequence[Sequence[Node]]) -> Dict[Node, int]:
+    """Number of recorded solutions each node appears in."""
+    tenures: Dict[Node, int] = {}
+    for solution in solutions:
+        for node in set(solution):
+            tenures[node] = tenures.get(node, 0) + 1
+    return tenures

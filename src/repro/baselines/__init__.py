@@ -1,0 +1,38 @@
+"""Baseline algorithms the paper compares against (Section V-C).
+
+* :class:`GreedyRecompute` — the lazy-evaluation greedy [27, 32] re-run on
+  ``G_t`` at every query; the paper's quality reference.
+* :class:`RandomBaseline` — ``k`` uniformly random alive nodes.
+* :class:`IMM` — martingale-based RR-set influence maximization
+  (Tang et al., 2015), designed for static graphs.
+* :class:`TIMPlus` — two-phase RR-set influence maximization
+  (Tang et al., 2014), designed for static graphs.
+* :class:`DIMIndex` — DIM-style dynamically maintained RR-set index
+  (Ohsaka et al., 2016) with conservative sketch regeneration.
+* :class:`SlidingWindowSSO` — suffix-based smooth-histogram streaming
+  submodular maximization over sliding windows (Epasto et al., 2017);
+  an extension used by the ablation benches.
+* :class:`InterchangeGreedy` — interchange (swap-based) greedy
+  (Song et al., 2017); an extension used by the ablation benches.
+"""
+
+from repro.baselines.random_baseline import RandomBaseline
+from repro.baselines.greedy_recompute import GreedyRecompute
+from repro.baselines.rr_sets import RRCollection, sample_rr_set
+from repro.baselines.imm import IMM
+from repro.baselines.tim_plus import TIMPlus
+from repro.baselines.dim import DIMIndex
+from repro.baselines.sliding_window import SlidingWindowSSO
+from repro.baselines.interchange import InterchangeGreedy
+
+__all__ = [
+    "RandomBaseline",
+    "GreedyRecompute",
+    "RRCollection",
+    "sample_rr_set",
+    "IMM",
+    "TIMPlus",
+    "DIMIndex",
+    "SlidingWindowSSO",
+    "InterchangeGreedy",
+]

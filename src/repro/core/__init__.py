@@ -1,0 +1,33 @@
+"""The paper's core streaming algorithms.
+
+* :class:`SieveADN` — influential-node tracking on addition-only dynamic
+  interaction networks (paper Alg. 1), a SieveStreaming adaptation with a
+  time-varying objective; ``(1/2 - eps)``-approximate.
+* :class:`BasicReduction` — ``L`` staggered SIEVEADN instances solving the
+  general TDN problem (paper Alg. 2); ``(1/2 - eps)``-approximate.
+* :class:`HistApprox` — the smooth-histogram compression of BASICREDUCTION
+  (paper Alg. 3); ``(1/3 - eps)``-approximate, with an optional head
+  refinement recovering ``(1/2 - eps)``.
+* :class:`InfluenceTracker` — a facade that owns the TDN graph, assigns
+  lifetimes, and drives any of the algorithms (or baselines) from a raw
+  interaction feed.
+"""
+
+from repro.core.thresholds import SieveSet, ThresholdSet
+from repro.core.sieve_streaming import SieveStreaming
+from repro.core.sieve_adn import SieveADN
+from repro.core.basic_reduction import BasicReduction
+from repro.core.hist_approx import HistApprox
+from repro.core.tracker import InfluenceTracker, Solution, TrackingAlgorithm
+
+__all__ = [
+    "ThresholdSet",
+    "SieveSet",
+    "SieveStreaming",
+    "SieveADN",
+    "BasicReduction",
+    "HistApprox",
+    "InfluenceTracker",
+    "Solution",
+    "TrackingAlgorithm",
+]

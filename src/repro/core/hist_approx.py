@@ -1,0 +1,247 @@
+"""HISTAPPROX: smooth-histogram compression of BASICREDUCTION (Alg. 3).
+
+BASICREDUCTION's weakness is that edges with long lifetimes fan out to up to
+``L`` SIEVEADN instances.  HISTAPPROX keeps only a *histogram* of instances
+— the index set ``x_t`` — and discards any instance whose output value is
+eps-close to a maintained neighbour (Definition 4).  The smooth-histogram
+property (Theorem 6) then bounds the loss: the head of the histogram is a
+``(1/3 - eps)``-approximate solution at every time (Theorem 7), while the
+number of live instances drops from ``L`` to ``O(log(k)/eps)`` (Theorem 8).
+
+As everywhere in this reproduction, instances are keyed by their absolute
+horizon ``h = t + l`` (DESIGN.md Section 2), so:
+
+* Alg. 3's index shift (line 7) is a no-op;
+* an instance terminates when ``t`` reaches its horizon (line 5);
+* "feed the new instance the edges of ``G_t`` with lifetime in ``[l, l*)``"
+  (line 15) is a range scan of the shared graph's expiry buckets over
+  ``[t + l, t + l*)``;
+* unbounded maximum lifetime ``L`` — the headline capability HISTAPPROX adds
+  over BASICREDUCTION — is natural: an infinite-lifetime edge simply owns
+  the ``math.inf`` horizon.
+
+The optional *head refinement* (the paper's Section IV closing remark)
+re-feeds the head instance copy with the alive edges below its horizon at
+query time, upgrading the guarantee back to ``(1/2 - eps)`` at extra oracle
+cost; the ablation benchmark measures the trade.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.sieve_adn import SieveADN
+from repro.core.tracker import Solution
+from repro.influence.oracle import InfluenceOracle
+from repro.tdn.graph import TDNGraph
+from repro.tdn.interaction import Interaction
+from repro.tdn.stream import group_by_lifetime
+from repro.utils.validation import check_fraction, check_positive_int
+
+Horizon = float  # int horizons plus math.inf for infinite lifetimes
+
+
+class HistApprox:
+    """The paper's Alg. 3, horizon-keyed, with optional head refinement.
+
+    Args:
+        k: cardinality budget.
+        epsilon: controls *both* the sieve grid resolution and the
+            histogram redundancy threshold, as in the paper.
+        graph: shared TDN.
+        oracle: counted oracle (private one created when omitted).
+        changed_mode: changed-node derivation for the instances.
+        refine_head: when True, :meth:`query` upgrades the head output to
+            the ``(1/2 - eps)`` guarantee by processing the alive edges the
+            head never saw (extra oracle calls per query).
+    """
+
+    label = "HistApprox"
+
+    def __init__(
+        self,
+        k: int,
+        epsilon: float,
+        graph: TDNGraph,
+        oracle: Optional[InfluenceOracle] = None,
+        *,
+        changed_mode: str = "ancestors",
+        refine_head: bool = False,
+    ) -> None:
+        self.k = check_positive_int(k, "k")
+        self.epsilon = check_fraction(epsilon, "epsilon")
+        self.graph = graph
+        self.oracle = oracle if oracle is not None else InfluenceOracle(graph)
+        self.changed_mode = changed_mode
+        self.refine_head = refine_head
+        self._horizons: List[Horizon] = []  # sorted ascending; mirrors x_t
+        self._instances: Dict[Horizon, SieveADN] = {}
+        self._last_time = 0
+
+    # ------------------------------------------------------------------
+    # Alg. 3 main loop
+    # ------------------------------------------------------------------
+    def on_batch(self, t: int, batch: Sequence[Interaction]) -> None:
+        """Process the arrivals of step ``t`` group-by-group (Alg. 3 line 3).
+
+        Lifetime groups are visited in increasing lifetime order (``None`` =
+        infinite last), matching the paper's ``l = 1..L`` loop; empty groups
+        are skipped — ProcessEdges on an empty group would only create
+        spurious instances.
+        """
+        self._last_time = t
+        self._expire(t)
+        if not batch:
+            return
+        groups = group_by_lifetime(batch)
+        for lifetime in sorted(groups, key=lambda l: math.inf if l is None else l):
+            self._process_group(t, lifetime, groups[lifetime])
+
+    def _process_group(
+        self, t: int, lifetime: Optional[int], edges: List[Interaction]
+    ) -> None:
+        """ProcessEdges (Alg. 3 lines 8-18) for one lifetime group."""
+        horizon: Horizon = math.inf if lifetime is None else t + lifetime
+        if horizon not in self._instances:
+            self._create_instance(t, horizon)
+        # Line 17: feed the group to every instance at or below its horizon.
+        position = bisect.bisect_right(self._horizons, horizon)
+        for existing in self._horizons[:position]:
+            self._instances[existing].on_batch(t, edges)
+        # Line 18.
+        self._reduce_redundancy()
+
+    def _create_instance(self, t: int, horizon: Horizon) -> None:
+        """Lines 9-16: instantiate the missing index ``l = horizon - t``.
+
+        Without a successor the instance starts empty — the largest live
+        horizon always tops every alive edge's expiry (the successor-less
+        case of Fig. 6(b)), so there is nothing to back-fill.  With a
+        successor, the instance is a copy of it plus the alive edges whose
+        expiry lies in ``[horizon, successor)`` (Fig. 6(c)).
+        """
+        position = bisect.bisect_left(self._horizons, horizon)
+        if position == len(self._horizons):
+            instance = SieveADN(
+                self.k,
+                self.epsilon,
+                self.graph,
+                self.oracle,
+                min_expiry=horizon,
+                changed_mode=self.changed_mode,
+            )
+        else:
+            successor = self._horizons[position]
+            instance = self._instances[successor].copy(min_expiry=horizon)
+            fill = [
+                Interaction(u, v, t, int(expiry) - t)
+                for u, v, expiry in self.graph.edges_with_expiry_in(horizon, successor)
+            ]
+            if fill:
+                instance.on_batch(t, fill)
+        bisect.insort(self._horizons, horizon)
+        self._instances[horizon] = instance
+
+    # ------------------------------------------------------------------
+    # Redundancy removal (Alg. 3 lines 19-22)
+    # ------------------------------------------------------------------
+    def _reduce_redundancy(self) -> None:
+        """Drop instances sandwiched between eps-close neighbours.
+
+        For each kept index ``i`` (ascending), find the *largest* ``j > i``
+        whose value still satisfies ``g(j) >= (1 - eps) * g(i)`` and delete
+        every index strictly between them.  Values are the instances'
+        cached readouts — maintained as a by-product of candidate
+        processing — so redundancy removal spends no oracle calls, matching
+        the paper's Theorem 8 accounting.
+        """
+        position = 0
+        while position < len(self._horizons) - 2:
+            anchor = self._instances[self._horizons[position]].query_value_cached()
+            cutoff = (1.0 - self.epsilon) * anchor
+            farthest = None
+            for j in range(len(self._horizons) - 1, position, -1):
+                if self._instances[self._horizons[j]].query_value_cached() >= cutoff:
+                    farthest = j
+                    break
+            if farthest is not None and farthest > position + 1:
+                for victim in self._horizons[position + 1 : farthest]:
+                    del self._instances[victim]
+                del self._horizons[position + 1 : farthest]
+            position += 1
+
+    # ------------------------------------------------------------------
+    def _expire(self, t: int) -> None:
+        """Line 5: terminate instances whose horizon the clock has reached."""
+        while self._horizons and self._horizons[0] <= t:
+            del self._instances[self._horizons[0]]
+            del self._horizons[0]
+
+    # ------------------------------------------------------------------
+    def query(self) -> Solution:
+        """Output of the head instance ``A_{x_1}`` (Alg. 3 line 4).
+
+        With ``refine_head`` the head is copied down to horizon ``t + 1``
+        and fed the alive edges it never processed, restoring the full
+        ``(1/2 - eps)`` guarantee of BASICREDUCTION at extra cost.
+        """
+        t = self.graph.time
+        self._expire(t)
+        if not self._horizons:
+            return Solution.empty(self._last_time)
+        head_horizon = self._horizons[0]
+        head = self._instances[head_horizon]
+        if self.refine_head and head_horizon > t + 1:
+            refined = head.copy(min_expiry=t + 1)
+            fill = [
+                Interaction(u, v, t, int(expiry) - t)
+                for u, v, expiry in self.graph.edges_with_expiry_in(t + 1, head_horizon)
+            ]
+            if fill:
+                refined.on_batch(t, fill)
+            head = refined
+        solution = head.query()
+        return Solution(nodes=solution.nodes, value=solution.value, time=self._last_time)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_instances(self) -> int:
+        """Live instances; O(log(k)/eps) after redundancy removal."""
+        return len(self._horizons)
+
+    def horizons(self) -> List[Horizon]:
+        """Current histogram indices as absolute horizons (ascending)."""
+        return list(self._horizons)
+
+    def indices(self) -> List[float]:
+        """Current histogram as the paper's relative indices ``x_t``."""
+        t = self.graph.time
+        return [h - t for h in self._horizons]
+
+    def histogram(self, *, exact: bool = False) -> List[tuple]:
+        """The maintained histogram ``{(x_i, g_t(x_i))}`` of paper Fig. 5.
+
+        Returns ``(relative_index, value)`` pairs in ascending index order.
+        With ``exact=False`` (default) values are the instances' cached
+        readouts (free); ``exact=True`` re-evaluates each instance's output
+        at the current time (costs oracle calls).  Useful for inspecting
+        how aggressively the redundancy removal has compressed the ``L``
+        potential instances.
+        """
+        t = self.graph.time
+        pairs = []
+        for horizon in self._horizons:
+            instance = self._instances[horizon]
+            value = (
+                instance.query_value() if exact else instance.query_value_cached()
+            )
+            pairs.append((horizon - t, value))
+        return pairs
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"HistApprox(k={self.k}, epsilon={self.epsilon}, "
+            f"instances={len(self._horizons)})"
+        )

@@ -1,0 +1,84 @@
+"""Generic SieveStreaming for insertion-only streams (Badanidiyuru et al.).
+
+This is the classic streaming submodular maximizer the paper builds on: each
+element of the stream is examined once, kept in a sieve set ``S_theta`` if
+its marginal gain clears the threshold ``theta`` and the set still has room,
+and discarded otherwise.  The best sieve set is a ``(1/2 - eps)``-approximate
+solution.
+
+The class is included both as a reference implementation (tests compare
+SIEVEADN against it on addition-only replays) and as a standalone utility for
+plain insertion-only submodular maximization over a *static* objective.
+SIEVEADN itself (``repro.core.sieve_adn``) re-implements the loop against the
+time-varying influence oracle rather than wrapping this class, because its
+correctness argument (paper Theorem 2) rests on evaluating marginal gains at
+the current time.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, List, Tuple
+
+from repro.core.thresholds import ThresholdSet
+from repro.submodular.functions import SetFunction
+
+Node = Hashable
+
+
+class SieveStreaming:
+    """One-pass ``(1/2 - eps)`` streaming maximizer for a static objective.
+
+    Args:
+        function: normalized monotone submodular objective.
+        k: cardinality budget.
+        epsilon: threshold-grid resolution.
+
+    Example:
+        >>> from repro.submodular.functions import CoverageFunction
+        >>> cover = CoverageFunction([{1, 2}, {2, 3}, {4}])
+        >>> sieve = SieveStreaming(cover, k=2, epsilon=0.1)
+        >>> for element in [1, 2, 3, 4]:
+        ...     sieve.process(element)
+        >>> nodes, value = sieve.query()
+        >>> value >= 0.5 * 3
+        True
+    """
+
+    def __init__(self, function: SetFunction, k: int, epsilon: float) -> None:
+        self.function = function
+        self.thresholds = ThresholdSet(k, epsilon)
+        self.k = self.thresholds.k
+        self.epsilon = self.thresholds.epsilon
+        self.elements_seen = 0
+
+    def process(self, element: Node) -> None:
+        """Examine one stream element."""
+        self.elements_seen += 1
+        singleton = self.function.value([element])
+        self.thresholds.update_delta(singleton)
+        for threshold, sieve in self.thresholds.items():
+            if len(sieve) >= self.k or element in sieve:
+                continue
+            gain = self.function.value(sieve.nodes + [element]) - self.function.value(
+                sieve.nodes
+            )
+            if gain >= threshold:
+                sieve.add(element)
+
+    def process_stream(self, elements: Iterable[Node]) -> None:
+        """Examine a whole stream of elements in order."""
+        for element in elements:
+            self.process(element)
+
+    def query(self) -> Tuple[List[Node], float]:
+        """Return the best sieve set and its objective value."""
+        best_nodes: List[Node] = []
+        best_value = 0.0
+        for sieve in self.thresholds.sets():
+            if not sieve.nodes:
+                continue
+            value = self.function.value(sieve.nodes)
+            if value > best_value:
+                best_value = value
+                best_nodes = list(sieve.nodes)
+        return best_nodes, best_value

@@ -1,0 +1,240 @@
+"""Common tracking protocol and the user-facing facade.
+
+Every algorithm in this library — the paper's three (SIEVEADN,
+BASICREDUCTION, HISTAPPROX) and every baseline — implements the same small
+protocol: it observes batches of interactions that have *already been
+inserted* into a shared :class:`~repro.tdn.graph.TDNGraph`, and answers
+queries with a :class:`Solution`.  The experiment harness replays one stream
+into one graph and forwards each batch to many algorithms, each with its own
+oracle counter, which is how the paper's head-to-head figures are produced.
+
+:class:`InfluenceTracker` is the convenience entry point for library users
+who just want to track influential nodes: it owns the graph, assigns
+lifetimes, and drives a single algorithm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Iterable, Iterator, List, Optional, Protocol, Tuple, Union
+
+from repro.influence.oracle import InfluenceOracle
+from repro.tdn.graph import TDNGraph
+from repro.tdn.interaction import Interaction
+from repro.tdn.lifetimes import LifetimePolicy
+from repro.tdn.stream import InteractionStream
+
+Node = Hashable
+
+
+@dataclass(frozen=True)
+class Solution:
+    """A query answer: the selected nodes and their influence spread.
+
+    Attributes:
+        nodes: the selected node set (at most ``k``), in selection order.
+        value: ``f_t`` of the selected set at query time.
+        time: the time step the answer refers to.
+    """
+
+    nodes: Tuple[Node, ...] = field(default_factory=tuple)
+    value: float = 0.0
+    time: int = 0
+
+    @staticmethod
+    def empty(time: int = 0) -> "Solution":
+        """The empty solution (value 0)."""
+        return Solution(nodes=(), value=0.0, time=time)
+
+
+class TrackingAlgorithm(Protocol):
+    """Protocol implemented by every tracker and baseline.
+
+    Contract: the caller advances the shared graph to ``t`` and inserts the
+    batch *before* calling :meth:`on_batch`; the algorithm may then evaluate
+    spreads through its oracle and update internal state.  :meth:`query` may
+    be called at any time after at least one batch.
+    """
+
+    #: Human-readable name used in experiment reports.
+    label: str
+
+    #: The oracle whose counter records this algorithm's cost.
+    oracle: InfluenceOracle
+
+    def on_batch(self, t: int, batch: List[Interaction]) -> None:
+        """Observe the batch that just arrived at time ``t``."""
+        ...
+
+    def query(self) -> Solution:
+        """Return the current influential-node solution."""
+        ...
+
+
+class InfluenceTracker:
+    """Facade: track influential nodes from a raw interaction feed.
+
+    Args:
+        algorithm: one of ``"hist-approx"`` (default; the paper's
+            recommendation), ``"basic-reduction"``, ``"sieve-adn"``,
+            ``"greedy"``, ``"random"``, or a callable
+            ``(graph, oracle) -> TrackingAlgorithm`` for custom setups.
+        k: number of influential nodes to maintain.
+        epsilon: approximation knob of the sieve algorithms.
+        lifetime_policy: default lifetime assignment for interactions that
+            do not carry one (``None`` keeps bare interactions infinite,
+            i.e. the addition-only regime).
+        L: maximum lifetime (required by ``"basic-reduction"``).
+        changed_mode: ``"ancestors"`` (paper-faithful) or ``"sources"``.
+        refine_head: enable HISTAPPROX's (1/2 - eps) head refinement.
+        seed: RNG seed (used by the ``"random"`` baseline).
+
+    Example:
+        >>> from repro.tdn.lifetimes import GeometricLifetime
+        >>> tracker = InfluenceTracker("hist-approx", k=2, epsilon=0.2,
+        ...                            lifetime_policy=GeometricLifetime(0.2, 50, seed=7))
+        >>> for t in range(3):
+        ...     _ = tracker.step(t, [("a", f"b{t}", None), ("a", "c", None)])
+        >>> sorted(tracker.query().nodes)[:1]
+        ['a']
+    """
+
+    def __init__(
+        self,
+        algorithm: Union[str, object] = "hist-approx",
+        *,
+        k: int = 10,
+        epsilon: float = 0.1,
+        lifetime_policy: Optional[LifetimePolicy] = None,
+        L: Optional[int] = None,
+        changed_mode: str = "ancestors",
+        refine_head: bool = False,
+        seed=None,
+        graph: Optional[TDNGraph] = None,
+    ) -> None:
+        self.graph = graph if graph is not None else TDNGraph()
+        self.oracle = InfluenceOracle(self.graph)
+        self.lifetime_policy = lifetime_policy
+        self._last_time: Optional[int] = None
+        if callable(algorithm):
+            self.algorithm: TrackingAlgorithm = algorithm(self.graph, self.oracle)
+        else:
+            self.algorithm = _build_algorithm(
+                str(algorithm),
+                graph=self.graph,
+                oracle=self.oracle,
+                k=k,
+                epsilon=epsilon,
+                L=L,
+                changed_mode=changed_mode,
+                refine_head=refine_head,
+                seed=seed,
+            )
+
+    # ------------------------------------------------------------------
+    def step(self, t: int, interactions: Iterable) -> Solution:
+        """Advance to time ``t``, ingest ``interactions``, return the solution.
+
+        Each item may be an :class:`Interaction` or a ``(source, target)`` /
+        ``(source, target, lifetime)`` tuple; tuples are stamped with time
+        ``t``.  Lifetimes missing after that are drawn from the tracker's
+        lifetime policy (or remain infinite without one).
+        """
+        if self._last_time is not None and t <= self._last_time:
+            raise ValueError(
+                f"steps must have strictly increasing times; got {t} after {self._last_time}"
+            )
+        self.graph.advance_to(t)
+        batch = [self._coerce(item, t) for item in interactions]
+        if self.lifetime_policy is not None:
+            batch = [
+                i if i.lifetime is not None else self.lifetime_policy.assign(i)
+                for i in batch
+            ]
+        for interaction in batch:
+            self.graph.add_interaction(interaction)
+        self.algorithm.on_batch(t, batch)
+        self._last_time = t
+        return self.algorithm.query()
+
+    def run(self, stream: InteractionStream) -> Iterator[Tuple[int, Solution]]:
+        """Replay a stream, yielding ``(t, solution)`` after every batch."""
+        for t, batch in stream:
+            yield t, self.step(t, batch)
+
+    def query(self) -> Solution:
+        """Return the current solution without ingesting anything."""
+        return self.algorithm.query()
+
+    @property
+    def oracle_calls(self) -> int:
+        """Total influence-oracle evaluations spent so far."""
+        return self.oracle.calls
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _coerce(item, t: int) -> Interaction:
+        if isinstance(item, Interaction):
+            return item
+        if isinstance(item, tuple):
+            if len(item) == 2:
+                return Interaction(item[0], item[1], t)
+            if len(item) == 3:
+                return Interaction(item[0], item[1], t, item[2])
+        raise TypeError(
+            f"cannot interpret {item!r} as an interaction; pass Interaction "
+            "objects or (source, target[, lifetime]) tuples"
+        )
+
+
+def _build_algorithm(
+    name: str,
+    *,
+    graph: TDNGraph,
+    oracle: InfluenceOracle,
+    k: int,
+    epsilon: float,
+    L: Optional[int],
+    changed_mode: str,
+    refine_head: bool,
+    seed,
+) -> TrackingAlgorithm:
+    """Instantiate a named algorithm (imports deferred to avoid cycles)."""
+    key = name.lower().replace("_", "-")
+    if key in ("hist-approx", "hist", "histapprox"):
+        from repro.core.hist_approx import HistApprox
+
+        return HistApprox(
+            k=k,
+            epsilon=epsilon,
+            graph=graph,
+            oracle=oracle,
+            changed_mode=changed_mode,
+            refine_head=refine_head,
+        )
+    if key in ("basic-reduction", "basic", "basicreduction"):
+        from repro.core.basic_reduction import BasicReduction
+
+        if L is None:
+            raise ValueError("basic-reduction requires the maximum lifetime L")
+        return BasicReduction(
+            k=k, epsilon=epsilon, L=L, graph=graph, oracle=oracle, changed_mode=changed_mode
+        )
+    if key in ("sieve-adn", "sieve", "sieveadn"):
+        from repro.core.sieve_adn import SieveADN
+
+        return SieveADN(
+            k=k, epsilon=epsilon, graph=graph, oracle=oracle, changed_mode=changed_mode
+        )
+    if key == "greedy":
+        from repro.baselines.greedy_recompute import GreedyRecompute
+
+        return GreedyRecompute(k=k, graph=graph, oracle=oracle)
+    if key == "random":
+        from repro.baselines.random_baseline import RandomBaseline
+
+        return RandomBaseline(k=k, graph=graph, oracle=oracle, seed=seed)
+    raise ValueError(
+        f"unknown algorithm {name!r}; expected one of hist-approx, "
+        "basic-reduction, sieve-adn, greedy, random, or a factory callable"
+    )

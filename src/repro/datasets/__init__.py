@@ -1,0 +1,44 @@
+"""Interaction datasets: synthetic generators, registry, loaders, projection.
+
+The paper evaluates on six real interaction traces (Table I): two LBSN
+check-in logs (Brightkite, Gowalla), two Twitter retweet/mention streams
+(Higgs, HK), and two Stack Overflow comment streams (c2q, c2a).  Those
+traces are not redistributable and the reproduction environment is offline,
+so this package provides *synthetic generators* whose outputs exercise the
+same algorithmic behaviour (heavy-tailed influencer popularity, recency
+churn, bursts), a *registry* that maps each paper dataset to a calibrated,
+scaled-down generator configuration, a *loader* for users who have the real
+SNAP-format traces on disk, and the one-mode projection of co-adoption
+events from the paper's Example 2.
+"""
+
+from repro.datasets.synthetic import (
+    lbsn_stream,
+    qa_stream,
+    retweet_stream,
+)
+from repro.datasets.registry import (
+    DATASETS,
+    DatasetSpec,
+    dataset_names,
+    make_interactions,
+    make_stream,
+    table1_rows,
+)
+from repro.datasets.loaders import load_snap_edges, save_snap_edges
+from repro.datasets.projection import one_mode_projection
+
+__all__ = [
+    "lbsn_stream",
+    "retweet_stream",
+    "qa_stream",
+    "DatasetSpec",
+    "DATASETS",
+    "dataset_names",
+    "make_interactions",
+    "make_stream",
+    "table1_rows",
+    "load_snap_edges",
+    "save_snap_edges",
+    "one_mode_projection",
+]

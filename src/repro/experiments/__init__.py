@@ -1,0 +1,14 @@
+"""Experiment harness reproducing every table and figure of the paper.
+
+``harness`` replays one interaction stream into one shared TDN and drives
+any number of algorithms side by side, recording solution values, oracle
+calls, and wall-clock per algorithm.  ``figures`` contains one runner per
+paper artifact (Table I, Figs. 7-14) at a configurable scale; the CLI
+(``python -m repro.experiments <figure>``) prints the same rows/series the
+paper reports.  EXPERIMENTS.md records paper-versus-measured shapes.
+"""
+
+from repro.experiments.harness import TrackingReport, run_tracking
+from repro.experiments.metrics import AlgorithmSeries
+
+__all__ = ["run_tracking", "TrackingReport", "AlgorithmSeries"]

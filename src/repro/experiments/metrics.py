@@ -1,0 +1,127 @@
+"""Per-algorithm measurement series and ratio helpers.
+
+The paper reports three families of measurements: solution value over time
+(Fig. 8), oracle calls — per-window averages (Fig. 7) and cumulative ratios
+(Fig. 10) — and wall-clock throughput in edges/second (Fig. 14).
+:class:`AlgorithmSeries` accumulates all three for one algorithm during a
+harness run; the module-level helpers compute the cross-algorithm ratios
+the figures plot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+
+@dataclass
+class AlgorithmSeries:
+    """Measurements for one algorithm across the query points of a run.
+
+    Attributes:
+        name: algorithm label.
+        times: query time steps.
+        values: solution value at each query point.
+        cumulative_calls: oracle-call total up to each query point.
+        wall_seconds: total wall-clock spent in the algorithm (updates and
+            queries) up to each query point.
+        edges_processed: interactions ingested up to each query point.
+    """
+
+    name: str
+    times: List[int] = field(default_factory=list)
+    values: List[float] = field(default_factory=list)
+    cumulative_calls: List[int] = field(default_factory=list)
+    wall_seconds: List[float] = field(default_factory=list)
+    edges_processed: List[int] = field(default_factory=list)
+
+    def record(
+        self,
+        t: int,
+        value: float,
+        calls: int,
+        wall: float,
+        edges: int,
+    ) -> None:
+        """Append one query-point measurement."""
+        self.times.append(t)
+        self.values.append(value)
+        self.cumulative_calls.append(calls)
+        self.wall_seconds.append(wall)
+        self.edges_processed.append(edges)
+
+    # ------------------------------------------------------------------
+    @property
+    def mean_value(self) -> float:
+        """Solution value averaged over query points (paper's Fig. 7a style)."""
+        return sum(self.values) / len(self.values) if self.values else 0.0
+
+    @property
+    def total_calls(self) -> int:
+        """Oracle calls over the whole run (paper's Fig. 7b style)."""
+        return self.cumulative_calls[-1] if self.cumulative_calls else 0
+
+    @property
+    def total_wall_seconds(self) -> float:
+        """Total wall-clock spent in the algorithm."""
+        return self.wall_seconds[-1] if self.wall_seconds else 0.0
+
+    @property
+    def throughput(self) -> float:
+        """Edges processed per second of algorithm time (Fig. 14's metric)."""
+        wall = self.total_wall_seconds
+        edges = self.edges_processed[-1] if self.edges_processed else 0
+        return edges / wall if wall > 0 else 0.0
+
+
+def value_ratio_series(
+    series: AlgorithmSeries, reference: AlgorithmSeries
+) -> List[float]:
+    """Pointwise ``value / reference value`` (Fig. 9's per-step ratios)."""
+    _check_aligned(series, reference)
+    return [
+        v / r if r > 0 else 1.0 for v, r in zip(series.values, reference.values)
+    ]
+
+
+def mean_value_ratio(series: AlgorithmSeries, reference: AlgorithmSeries) -> float:
+    """Time-averaged value ratio (the bars of Fig. 9)."""
+    ratios = value_ratio_series(series, reference)
+    return sum(ratios) / len(ratios) if ratios else 0.0
+
+
+def calls_ratio_series(
+    series: AlgorithmSeries, reference: AlgorithmSeries
+) -> List[float]:
+    """Pointwise cumulative-call ratio (the curves of Fig. 10)."""
+    _check_aligned(series, reference)
+    return [
+        c / r if r > 0 else 0.0
+        for c, r in zip(series.cumulative_calls, reference.cumulative_calls)
+    ]
+
+
+def final_calls_ratio(series: AlgorithmSeries, reference: AlgorithmSeries) -> float:
+    """Cumulative-call ratio at the end of the run (Figs. 11/12's metric)."""
+    if not series.cumulative_calls or not reference.cumulative_calls:
+        return 0.0
+    ref = reference.cumulative_calls[-1]
+    return series.cumulative_calls[-1] / ref if ref > 0 else 0.0
+
+
+def downsample(points: Sequence[float], max_points: int) -> List[float]:
+    """Evenly subsample a long series for compact textual reports."""
+    if max_points < 1:
+        raise ValueError(f"max_points must be >= 1, got {max_points}")
+    if len(points) <= max_points:
+        return list(points)
+    step = len(points) / max_points
+    return [points[min(int(i * step), len(points) - 1)] for i in range(max_points)]
+
+
+def _check_aligned(series: AlgorithmSeries, reference: AlgorithmSeries) -> None:
+    if series.times != reference.times:
+        raise ValueError(
+            f"series {series.name!r} and {reference.name!r} were recorded at "
+            "different query points; run them in the same harness call"
+        )

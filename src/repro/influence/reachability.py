@@ -1,0 +1,77 @@
+"""Horizon-filtered reachability on a :class:`~repro.tdn.graph.TDNGraph`.
+
+The influence spread of Definition 3 is plain directed reachability, so the
+oracle bottoms out in the two breadth-first traversals here.  Both accept a
+``min_expiry`` horizon: only edges with expiry at or above the horizon are
+traversed, which is how a single shared graph serves SIEVEADN instances with
+different lifetimes horizons (DESIGN.md Section 2).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Hashable, Iterable, Optional, Set
+
+from repro.tdn.graph import TDNGraph
+
+Node = Hashable
+
+
+def reachable_set(
+    graph: TDNGraph,
+    sources: Iterable[Node],
+    min_expiry: Optional[float] = None,
+) -> Set[Node]:
+    """Return all nodes reachable from ``sources`` (including the sources).
+
+    A node is reachable from itself via the empty path, so every source that
+    exists in the graph contributes itself to the result.  Sources that are
+    not present in the (filtered) graph still count as reached — a seed node
+    trivially "influences" itself — except that nodes entirely absent from
+    the alive graph contribute only themselves.
+
+    Args:
+        graph: the shared TDN.
+        sources: seed nodes ``S``.
+        min_expiry: traverse only edges with expiry >= this horizon
+            (``None`` = every alive edge).
+    """
+    visited: Set[Node] = set()
+    queue: deque = deque()
+    for s in sources:
+        if s not in visited:
+            visited.add(s)
+            queue.append(s)
+    while queue:
+        node = queue.popleft()
+        for nxt in graph.out_neighbors(node, min_expiry):
+            if nxt not in visited:
+                visited.add(nxt)
+                queue.append(nxt)
+    return visited
+
+
+def ancestors(
+    graph: TDNGraph,
+    targets: Iterable[Node],
+    min_expiry: Optional[float] = None,
+) -> Set[Node]:
+    """Return all nodes that can reach ``targets`` (including the targets).
+
+    This is the reverse-BFS used to compute the changed-node set
+    ``V_t-bar``: when an edge ``(u, v)`` is inserted, exactly the nodes that
+    can reach ``u`` may see their influence spread grow.
+    """
+    visited: Set[Node] = set()
+    queue: deque = deque()
+    for s in targets:
+        if s not in visited:
+            visited.add(s)
+            queue.append(s)
+    while queue:
+        node = queue.popleft()
+        for prev in graph.in_neighbors(node, min_expiry):
+            if prev not in visited:
+                visited.add(prev)
+                queue.append(prev)
+    return visited

@@ -1,0 +1,275 @@
+"""Checkpointing: serialize and restore tracker state.
+
+A production tracker runs for weeks; being able to snapshot it (graph +
+algorithm state) and resume after a restart is table stakes.  This module
+round-trips the TDN graph and each of the paper's algorithms through plain
+JSON-able dictionaries:
+
+* the graph serializes as ``(time, [source, target, expiry] rows)`` —
+  expiry (not arrival time) is the only temporal attribute the TDN needs;
+* a SIEVEADN instance serializes its threshold grid (delta + per-exponent
+  sieve sets with their cached values) and horizon;
+* BASICREDUCTION / HISTAPPROX serialize their horizon-keyed instances.
+
+Restoring reconnects everything to a freshly rebuilt graph and a fresh
+oracle; resumed runs produce *identical* results to uninterrupted ones
+(verified in ``tests/test_persistence.py``).
+
+Node labels must be JSON-compatible (strings, numbers); the loader refuses
+graphs whose serialized labels would not round-trip.
+
+Randomized components (lifetime policies, the Random baseline, RR-set
+samplers) are intentionally *not* serialized: RNG state is not portable
+across Python versions, and the caller re-supplies policies on restore.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import Dict, Union
+
+from repro.core.basic_reduction import BasicReduction
+from repro.core.hist_approx import HistApprox
+from repro.core.sieve_adn import SieveADN
+from repro.core.thresholds import SieveSet, ThresholdSet
+from repro.influence.oracle import InfluenceOracle
+from repro.tdn.graph import INFINITE_EXPIRY, TDNGraph
+from repro.tdn.interaction import Interaction
+
+_FORMAT_VERSION = 1
+_JSONABLE_LABEL_TYPES = (str, int, float)
+
+
+# ----------------------------------------------------------------------
+# Graph
+# ----------------------------------------------------------------------
+def graph_to_dict(graph: TDNGraph) -> Dict:
+    """Serialize the alive graph (labels must be JSON-compatible)."""
+    edges = []
+    for u, nbrs_pair in graph._out.items():  # noqa: SLF001 - own module
+        for v, pair in nbrs_pair.items():
+            _check_label(u)
+            _check_label(v)
+            for expiry, multiplicity in pair.expiries.items():
+                serialized_expiry = None if expiry == INFINITE_EXPIRY else int(expiry)
+                for _ in range(multiplicity):
+                    edges.append([u, v, serialized_expiry])
+    return {
+        "format_version": _FORMAT_VERSION,
+        "type": "TDNGraph",
+        "time": graph.time,
+        "edges": edges,
+    }
+
+
+def graph_from_dict(payload: Dict) -> TDNGraph:
+    """Rebuild a graph serialized by :func:`graph_to_dict`."""
+    _check_payload(payload, "TDNGraph")
+    graph = TDNGraph(start_time=payload["time"])
+    t = payload["time"]
+    for u, v, expiry in payload["edges"]:
+        lifetime = None if expiry is None else int(expiry) - t
+        graph.add_interaction(Interaction(u, v, t, lifetime))
+    return graph
+
+
+# ----------------------------------------------------------------------
+# Threshold grids and sieve instances
+# ----------------------------------------------------------------------
+def _thresholds_to_dict(grid: ThresholdSet) -> Dict:
+    return {
+        "k": grid.k,
+        "epsilon": grid.epsilon,
+        "delta": grid.delta,
+        "sieves": {
+            str(exponent): {
+                "nodes": list(sieve.nodes),
+                "cached_value": sieve.cached_value,
+            }
+            for exponent, sieve in grid._sieves.items()  # noqa: SLF001
+        },
+    }
+
+
+def _thresholds_from_dict(payload: Dict) -> ThresholdSet:
+    grid = ThresholdSet(payload["k"], payload["epsilon"])
+    grid.delta = payload["delta"]
+    for exponent_str, sieve_payload in payload["sieves"].items():
+        sieve = SieveSet()
+        for node in sieve_payload["nodes"]:
+            sieve.add(node)
+        sieve.cached_value = sieve_payload["cached_value"]
+        grid._sieves[int(exponent_str)] = sieve  # noqa: SLF001
+    return grid
+
+
+def sieve_adn_to_dict(sieve: SieveADN) -> Dict:
+    """Serialize one SIEVEADN instance (graph stored separately)."""
+    min_expiry = sieve.min_expiry
+    if min_expiry == math.inf:
+        min_expiry = "inf"
+    return {
+        "format_version": _FORMAT_VERSION,
+        "type": "SieveADN",
+        "k": sieve.k,
+        "epsilon": sieve.epsilon,
+        "min_expiry": min_expiry,
+        "changed_mode": sieve.changed_mode,
+        "last_time": sieve._last_time,  # noqa: SLF001
+        "thresholds": _thresholds_to_dict(sieve.thresholds),
+    }
+
+
+def sieve_adn_from_dict(
+    payload: Dict, graph: TDNGraph, oracle: InfluenceOracle
+) -> SieveADN:
+    """Rebuild a SIEVEADN instance against a restored graph."""
+    _check_payload(payload, "SieveADN")
+    min_expiry = payload["min_expiry"]
+    if min_expiry == "inf":
+        min_expiry = math.inf
+    sieve = SieveADN(
+        payload["k"],
+        payload["epsilon"],
+        graph,
+        oracle,
+        min_expiry=min_expiry,
+        changed_mode=payload["changed_mode"],
+    )
+    sieve.thresholds = _thresholds_from_dict(payload["thresholds"])
+    sieve._last_time = payload["last_time"]  # noqa: SLF001
+    return sieve
+
+
+# ----------------------------------------------------------------------
+# Full algorithms
+# ----------------------------------------------------------------------
+def algorithm_to_dict(algorithm) -> Dict:
+    """Serialize a SieveADN / BasicReduction / HistApprox instance."""
+    if isinstance(algorithm, SieveADN):
+        return sieve_adn_to_dict(algorithm)
+    if isinstance(algorithm, BasicReduction):
+        return {
+            "format_version": _FORMAT_VERSION,
+            "type": "BasicReduction",
+            "k": algorithm.k,
+            "epsilon": algorithm.epsilon,
+            "L": algorithm.L,
+            "changed_mode": algorithm.changed_mode,
+            "last_time": algorithm._last_time,  # noqa: SLF001
+            "instances": [
+                {"horizon": horizon, "state": sieve_adn_to_dict(instance)}
+                for horizon, instance in algorithm._instances  # noqa: SLF001
+            ],
+        }
+    if isinstance(algorithm, HistApprox):
+        return {
+            "format_version": _FORMAT_VERSION,
+            "type": "HistApprox",
+            "k": algorithm.k,
+            "epsilon": algorithm.epsilon,
+            "changed_mode": algorithm.changed_mode,
+            "refine_head": algorithm.refine_head,
+            "last_time": algorithm._last_time,  # noqa: SLF001
+            "instances": [
+                {
+                    "horizon": "inf" if horizon == math.inf else horizon,
+                    "state": sieve_adn_to_dict(algorithm._instances[horizon]),  # noqa: SLF001
+                }
+                for horizon in algorithm._horizons  # noqa: SLF001
+            ],
+        }
+    raise TypeError(
+        f"cannot serialize {type(algorithm).__name__}; supported: "
+        "SieveADN, BasicReduction, HistApprox"
+    )
+
+
+def algorithm_from_dict(payload: Dict, graph: TDNGraph, oracle=None):
+    """Rebuild an algorithm serialized by :func:`algorithm_to_dict`."""
+    oracle = oracle if oracle is not None else InfluenceOracle(graph)
+    kind = payload.get("type")
+    if kind == "SieveADN":
+        return sieve_adn_from_dict(payload, graph, oracle)
+    if kind == "BasicReduction":
+        _check_payload(payload, "BasicReduction")
+        algorithm = BasicReduction(
+            payload["k"],
+            payload["epsilon"],
+            payload["L"],
+            graph,
+            oracle,
+            changed_mode=payload["changed_mode"],
+        )
+        algorithm._last_time = payload["last_time"]  # noqa: SLF001
+        for row in payload["instances"]:
+            instance = sieve_adn_from_dict(row["state"], graph, oracle)
+            algorithm._instances.append((row["horizon"], instance))  # noqa: SLF001
+        return algorithm
+    if kind == "HistApprox":
+        _check_payload(payload, "HistApprox")
+        algorithm = HistApprox(
+            payload["k"],
+            payload["epsilon"],
+            graph,
+            oracle,
+            changed_mode=payload["changed_mode"],
+            refine_head=payload["refine_head"],
+        )
+        algorithm._last_time = payload["last_time"]  # noqa: SLF001
+        for row in payload["instances"]:
+            horizon = math.inf if row["horizon"] == "inf" else row["horizon"]
+            instance = sieve_adn_from_dict(row["state"], graph, oracle)
+            algorithm._horizons.append(horizon)  # noqa: SLF001
+            algorithm._instances[horizon] = instance  # noqa: SLF001
+        return algorithm
+    raise ValueError(f"unknown serialized algorithm type {kind!r}")
+
+
+# ----------------------------------------------------------------------
+# File-level checkpoints
+# ----------------------------------------------------------------------
+def save_checkpoint(path: Union[str, Path], graph: TDNGraph, algorithm) -> None:
+    """Write a JSON checkpoint of the graph plus one algorithm."""
+    payload = {
+        "format_version": _FORMAT_VERSION,
+        "graph": graph_to_dict(graph),
+        "algorithm": algorithm_to_dict(algorithm),
+    }
+    with open(path, "w") as handle:
+        json.dump(payload, handle)
+
+
+def load_checkpoint(path: Union[str, Path]):
+    """Load a checkpoint; returns ``(graph, algorithm)`` rewired together."""
+    with open(path) as handle:
+        payload = json.load(handle)
+    if payload.get("format_version") != _FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported checkpoint format {payload.get('format_version')!r}"
+        )
+    graph = graph_from_dict(payload["graph"])
+    algorithm = algorithm_from_dict(payload["algorithm"], graph)
+    return graph, algorithm
+
+
+# ----------------------------------------------------------------------
+def _check_label(label) -> None:
+    if not isinstance(label, _JSONABLE_LABEL_TYPES) or isinstance(label, bool):
+        raise TypeError(
+            f"node label {label!r} is not JSON-serializable; persistence "
+            "supports str/int/float labels"
+        )
+
+
+def _check_payload(payload: Dict, expected_type: str) -> None:
+    if payload.get("type") != expected_type:
+        raise ValueError(
+            f"expected serialized {expected_type}, got {payload.get('type')!r}"
+        )
+    if payload.get("format_version") != _FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported format version {payload.get('format_version')!r}"
+        )

@@ -1,0 +1,28 @@
+"""Generic submodular maximization toolkit.
+
+The paper's algorithms maximize a normalized monotone submodular function
+under a cardinality constraint.  This package holds the generic pieces that
+are independent of TDNs: the set-function protocol, the classic greedy of
+Nemhauser et al. (the paper's Greedy baseline), its lazy (CELF) variant
+(Minoux's accelerated greedy, used by the paper with the lazy-evaluation
+trick), a brute-force optimum for tests, and a coverage function used by the
+RR-set baselines.
+"""
+
+from repro.submodular.functions import CoverageFunction, SetFunction, SpreadFunction
+from repro.submodular.greedy import (
+    GreedyResult,
+    brute_force_optimum,
+    greedy_max,
+    lazy_greedy_max,
+)
+
+__all__ = [
+    "SetFunction",
+    "SpreadFunction",
+    "CoverageFunction",
+    "GreedyResult",
+    "greedy_max",
+    "lazy_greedy_max",
+    "brute_force_optimum",
+]

@@ -1,0 +1,43 @@
+"""Time-decaying dynamic interaction network (TDN) substrate.
+
+This package implements Section II of the paper: the interaction record
+(Definition 1), the interaction stream (Definition 2), the TDN model with its
+time-decaying edge-lifetime mechanism, and the lifetime-assignment policies
+that specialize the TDN into addition-only, sliding-window, and probabilistic
+time-decaying networks (Examples 3-5).
+"""
+
+from repro.tdn.interaction import Interaction
+from repro.tdn.lifetimes import (
+    ConstantLifetime,
+    FunctionLifetime,
+    GeometricLifetime,
+    InfiniteLifetime,
+    LifetimePolicy,
+    PowerLawLifetime,
+    UniformLifetime,
+)
+from repro.tdn.graph import INFINITE_EXPIRY, TDNGraph
+from repro.tdn.stream import (
+    BatchedStream,
+    InteractionStream,
+    MemoryStream,
+    group_by_lifetime,
+)
+
+__all__ = [
+    "Interaction",
+    "LifetimePolicy",
+    "ConstantLifetime",
+    "InfiniteLifetime",
+    "GeometricLifetime",
+    "UniformLifetime",
+    "PowerLawLifetime",
+    "FunctionLifetime",
+    "TDNGraph",
+    "INFINITE_EXPIRY",
+    "InteractionStream",
+    "MemoryStream",
+    "BatchedStream",
+    "group_by_lifetime",
+]

@@ -1,0 +1,356 @@
+"""The time-decaying dynamic interaction network ``G_t`` (paper Section II-B).
+
+``TDNGraph`` is the single shared substrate on which every algorithm in this
+library operates.  It is a directed multigraph whose edges carry an *expiry
+time*: an interaction arriving at ``tau`` with lifetime ``l`` is alive during
+``[tau, tau + l - 1]`` and is removed at time ``tau + l``.  Nodes are removed
+when their last alive edge expires, exactly as the paper specifies.
+
+Horizon filtering
+-----------------
+The reproduction's key implementation device (DESIGN.md Section 2) is that a
+SIEVEADN instance indexed ``i`` at time ``t`` — which, per BASICREDUCTION's
+construction, has processed exactly the edges still alive at ``t + i - 1`` —
+can be identified by the absolute *horizon* ``h = t + i``.  The edges that
+instance must see are exactly those with ``expiry >= h``.  ``TDNGraph``
+therefore exposes ``min_expiry``-filtered adjacency iterators: a single graph
+serves every instance, and the per-pair *maximum* expiry decides in O(1)
+whether a directed pair is traversable for a given horizon.
+
+Bookkeeping
+-----------
+* ``_out[u][v]`` and ``_in[v][u]`` share one :class:`_PairEdges` record per
+  directed pair, holding the multiset of expiries and a cached maximum.
+* ``_expiry_buckets[x]`` lists the pairs with an edge expiring at time ``x``;
+  :meth:`advance_to` drains the buckets as time moves forward, and
+  HISTAPPROX's instance-copy step range-scans them via
+  :meth:`edges_with_expiry_in`.
+* ``version`` increments on every structural change; the influence oracle
+  keys its memoization on it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Tuple
+
+from repro.tdn.interaction import Interaction
+
+Node = Hashable
+
+#: Sentinel expiry for infinite-lifetime edges (addition-only networks).
+INFINITE_EXPIRY = float("inf")
+
+
+class _PairEdges:
+    """Multiset of expiry times for one directed pair ``u -> v``.
+
+    Tracks total multiplicity (parallel interactions are allowed and
+    meaningful: the IC baselines convert the count into a diffusion
+    probability) and caches the maximum alive expiry so that horizon-filtered
+    traversal costs O(1) per neighbor.
+    """
+
+    __slots__ = ("expiries", "count", "max_expiry")
+
+    def __init__(self) -> None:
+        self.expiries: Dict[float, int] = {}
+        self.count = 0
+        self.max_expiry: float = 0.0
+
+    def add(self, expiry: float) -> None:
+        self.expiries[expiry] = self.expiries.get(expiry, 0) + 1
+        self.count += 1
+        if expiry > self.max_expiry:
+            self.max_expiry = expiry
+
+    def remove(self, expiry: float) -> None:
+        remaining = self.expiries.get(expiry)
+        if not remaining:
+            raise KeyError(f"no edge with expiry {expiry} to remove")
+        if remaining == 1:
+            del self.expiries[expiry]
+        else:
+            self.expiries[expiry] = remaining - 1
+        self.count -= 1
+        if expiry == self.max_expiry and expiry not in self.expiries:
+            self.max_expiry = max(self.expiries) if self.expiries else 0.0
+
+
+class TDNGraph:
+    """A time-decaying dynamic interaction network.
+
+    Args:
+        start_time: the initial clock value (default 0).
+
+    Typical usage mirrors the paper's processing loop::
+
+        graph = TDNGraph()
+        for t, batch in stream:
+            graph.advance_to(t)         # expire outdated edges
+            for interaction in batch:   # add the new arrivals
+                graph.add_interaction(interaction)
+            ...                         # query / update algorithms
+
+    All mutating operations bump :attr:`version` so downstream caches can
+    invalidate precisely.
+    """
+
+    def __init__(self, start_time: int = 0) -> None:
+        self._time = start_time
+        self._out: Dict[Node, Dict[Node, _PairEdges]] = {}
+        self._in: Dict[Node, Dict[Node, _PairEdges]] = {}
+        self._expiry_buckets: Dict[int, List[Tuple[Node, Node]]] = {}
+        self._num_edges = 0
+        self._removal_listeners: List = []
+        self.version = 0
+
+    def add_removal_listener(self, callback) -> None:
+        """Register ``callback(u, v, remaining_count)`` fired on edge expiry.
+
+        Incremental baselines (the DIM-style dynamic RR index) need to know
+        which directed pairs lost edges as the clock advanced; the listener
+        fires once per removed edge instance with the pair's remaining alive
+        multiplicity.
+        """
+        self._removal_listeners.append(callback)
+
+    # ------------------------------------------------------------------
+    # Clock
+    # ------------------------------------------------------------------
+    @property
+    def time(self) -> int:
+        """The current time step ``t``."""
+        return self._time
+
+    def advance_to(self, t: int) -> int:
+        """Move the clock to ``t``, expiring edges along the way.
+
+        Returns the number of edge instances removed.  Advancing backwards is
+        an error: the TDN model is forward-only.
+        """
+        if t < self._time:
+            raise ValueError(f"cannot rewind time from {self._time} to {t}")
+        removed = 0
+        for step in range(self._time + 1, t + 1):
+            bucket = self._expiry_buckets.pop(step, None)
+            if bucket is None:
+                continue
+            for u, v in bucket:
+                self._remove_one_edge(u, v, float(step))
+                removed += 1
+        self._time = t
+        if removed:
+            self.version += 1
+        return removed
+
+    def tick(self) -> int:
+        """Advance the clock by one step; returns the number of expiries."""
+        return self.advance_to(self._time + 1)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add_interaction(self, interaction: Interaction) -> None:
+        """Insert one interaction as a (possibly parallel) directed edge.
+
+        The interaction must be alive at the current time; in particular the
+        stream must be replayed in chronological order (advance the clock
+        before adding a batch).
+        """
+        if not interaction.alive_at(self._time):
+            raise ValueError(
+                f"interaction {interaction} is not alive at current time {self._time}; "
+                "advance_to() the batch time before adding"
+            )
+        u, v = interaction.source, interaction.target
+        expiry = interaction.expiry
+        pair = self._out.setdefault(u, {}).get(v)
+        if pair is None:
+            pair = _PairEdges()
+            self._out[u][v] = pair
+            self._in.setdefault(v, {})[u] = pair
+        else:
+            self._in.setdefault(v, {}).setdefault(u, pair)
+        pair.add(expiry)
+        if expiry != INFINITE_EXPIRY:
+            self._expiry_buckets.setdefault(int(expiry), []).append((u, v))
+        self._num_edges += 1
+        self.version += 1
+
+    def add_batch(self, interactions: Iterable[Interaction]) -> int:
+        """Insert several interactions; returns how many were added."""
+        count = 0
+        for interaction in interactions:
+            self.add_interaction(interaction)
+            count += 1
+        return count
+
+    def _remove_one_edge(self, u: Node, v: Node, expiry: float) -> None:
+        pair = self._out[u][v]
+        pair.remove(expiry)
+        self._num_edges -= 1
+        for callback in self._removal_listeners:
+            callback(u, v, pair.count)
+        if pair.count == 0:
+            del self._out[u][v]
+            del self._in[v][u]
+            if not self._out[u] and not self._in.get(u):
+                self._out.pop(u, None)
+                self._in.pop(u, None)
+            if not self._in.get(v) and not self._out.get(v):
+                self._in.pop(v, None)
+                self._out.pop(v, None)
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    @property
+    def num_edges(self) -> int:
+        """Number of alive edge instances (parallel edges counted)."""
+        return self._num_edges
+
+    @property
+    def num_pairs(self) -> int:
+        """Number of distinct alive directed pairs ``(u, v)``."""
+        return sum(len(nbrs) for nbrs in self._out.values())
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes with at least one alive edge."""
+        return len(self.node_set())
+
+    def node_set(self) -> set:
+        """Return the alive node set ``V_t``."""
+        nodes = set()
+        for u, nbrs in self._out.items():
+            if nbrs:
+                nodes.add(u)
+                nodes.update(nbrs)
+        for v, nbrs in self._in.items():
+            if nbrs:
+                nodes.add(v)
+        return nodes
+
+    def nodes(self) -> Iterator[Node]:
+        """Iterate over the alive node set."""
+        return iter(self.node_set())
+
+    def has_node(self, node: Node) -> bool:
+        """Return whether ``node`` has any alive edge."""
+        return bool(self._out.get(node)) or bool(self._in.get(node))
+
+    def out_neighbors(self, node: Node, min_expiry: Optional[float] = None) -> Iterator[Node]:
+        """Iterate successors of ``node`` traversable at the given horizon.
+
+        With ``min_expiry=None`` every alive pair qualifies; otherwise only
+        pairs with at least one edge expiring at or after ``min_expiry``
+        (i.e. still alive at time ``min_expiry - 1``) are yielded.
+        """
+        nbrs = self._out.get(node)
+        if not nbrs:
+            return
+        if min_expiry is None:
+            yield from nbrs
+        else:
+            for v, pair in nbrs.items():
+                if pair.max_expiry >= min_expiry:
+                    yield v
+
+    def in_neighbors(self, node: Node, min_expiry: Optional[float] = None) -> Iterator[Node]:
+        """Iterate predecessors of ``node`` traversable at the given horizon."""
+        nbrs = self._in.get(node)
+        if not nbrs:
+            return
+        if min_expiry is None:
+            yield from nbrs
+        else:
+            for u, pair in nbrs.items():
+                if pair.max_expiry >= min_expiry:
+                    yield u
+
+    def out_degree(self, node: Node) -> int:
+        """Number of distinct alive successors of ``node``."""
+        return len(self._out.get(node, ()))
+
+    def in_degree(self, node: Node) -> int:
+        """Number of distinct alive predecessors of ``node``."""
+        return len(self._in.get(node, ()))
+
+    def interaction_count(self, u: Node, v: Node) -> int:
+        """Multiplicity of alive parallel edges ``u -> v``.
+
+        The IC-model baselines map this count ``x`` to a diffusion
+        probability ``p_uv = 2 / (1 + exp(-0.2 x)) - 1`` (paper Section V-C).
+        """
+        pair = self._out.get(u, {}).get(v)
+        return pair.count if pair is not None else 0
+
+    def max_expiry(self, u: Node, v: Node) -> float:
+        """Largest expiry among alive ``u -> v`` edges (0.0 if none)."""
+        pair = self._out.get(u, {}).get(v)
+        return pair.max_expiry if pair is not None else 0.0
+
+    def remaining_lifetime(self, u: Node, v: Node) -> float:
+        """Largest remaining lifetime over parallel ``u -> v`` edges."""
+        pair = self._out.get(u, {}).get(v)
+        if pair is None:
+            return 0.0
+        return pair.max_expiry - self._time
+
+    def alive_pairs(self) -> Iterator[Tuple[Node, Node]]:
+        """Iterate distinct alive directed pairs."""
+        for u, nbrs in self._out.items():
+            for v in nbrs:
+                yield (u, v)
+
+    def alive_pairs_with_counts(self) -> Iterator[Tuple[Node, Node, int]]:
+        """Iterate ``(u, v, multiplicity)`` for distinct alive pairs."""
+        for u, nbrs in self._out.items():
+            for v, pair in nbrs.items():
+                yield (u, v, pair.count)
+
+    def edges_with_expiry_in(self, lo: float, hi: float) -> Iterator[Tuple[Node, Node, int]]:
+        """Iterate edge instances with expiry in ``[lo, hi)``.
+
+        Used by HISTAPPROX when a newly created instance is copied from its
+        successor: the copy must additionally process the alive edges whose
+        remaining lifetime lies in ``[l, l*)``, i.e. expiry in
+        ``[t + l, t + l*)``.  Entries are per edge instance (a pair appears
+        once per parallel edge in range).  Expired buckets below the current
+        clock are skipped.  ``hi`` may be ``math.inf`` (successor instance
+        with an infinite horizon); infinite-expiry edges themselves are never
+        yielded because ``hi`` is exclusive.
+
+        The scan walks the sorted bucket keys in range, so its cost is
+        proportional to the number of distinct expiry times plus the matching
+        edges, never the width of a sparse range.
+        """
+        lo = max(lo, self._time + 1)
+        for step in sorted(key for key in self._expiry_buckets if lo <= key < hi):
+            for u, v in self._expiry_buckets[step]:
+                yield (u, v, step)
+
+    def alive_interactions(self) -> List[Interaction]:
+        """Materialize the alive edge instances as :class:`Interaction` rows.
+
+        Expiries are converted back to lifetimes relative to the current
+        clock (arrival times are not retained — the TDN only needs expiry).
+        Intended for tests and debugging; cost is O(edges).
+        """
+        rows: List[Interaction] = []
+        for u, nbrs in self._out.items():
+            for v, pair in nbrs.items():
+                for expiry, multiplicity in pair.expiries.items():
+                    if expiry == INFINITE_EXPIRY:
+                        lifetime = None
+                    else:
+                        lifetime = int(expiry) - self._time
+                    for _ in range(multiplicity):
+                        rows.append(Interaction(u, v, self._time, lifetime))
+        return rows
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TDNGraph(time={self._time}, nodes={self.num_nodes}, "
+            f"edges={self._num_edges}, version={self.version})"
+        )

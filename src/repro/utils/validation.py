@@ -1,0 +1,56 @@
+"""Argument validation helpers shared across the library.
+
+Every public constructor validates its numeric parameters through these
+helpers so that misconfiguration (for example a negative budget ``k`` or an
+epsilon outside ``(0, 1)``) fails fast with a uniform error message instead of
+surfacing later as a silently wrong experiment.
+"""
+
+from __future__ import annotations
+
+from numbers import Real
+
+
+def check_positive_int(value: int, name: str) -> int:
+    """Require ``value`` to be an integer >= 1 and return it."""
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise TypeError(f"{name} must be an int, got {type(value).__name__}")
+    if value < 1:
+        raise ValueError(f"{name} must be >= 1, got {value}")
+    return value
+
+
+def check_positive(value: float, name: str) -> float:
+    """Require ``value`` to be a real number > 0 and return it as float."""
+    if isinstance(value, bool) or not isinstance(value, Real):
+        raise TypeError(f"{name} must be a number, got {type(value).__name__}")
+    if value <= 0:
+        raise ValueError(f"{name} must be > 0, got {value}")
+    return float(value)
+
+
+def check_non_negative(value: float, name: str) -> float:
+    """Require ``value`` to be a real number >= 0 and return it as float."""
+    if isinstance(value, bool) or not isinstance(value, Real):
+        raise TypeError(f"{name} must be a number, got {type(value).__name__}")
+    if value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value}")
+    return float(value)
+
+
+def check_fraction(value: float, name: str, *, inclusive: bool = False) -> float:
+    """Require ``value`` to lie in ``(0, 1)`` (or ``[0, 1]``) and return it.
+
+    The open interval is the default because the paper's epsilon parameters
+    are meaningless at exactly 0 or 1.
+    """
+    if isinstance(value, bool) or not isinstance(value, Real):
+        raise TypeError(f"{name} must be a number, got {type(value).__name__}")
+    value = float(value)
+    if inclusive:
+        if not 0.0 <= value <= 1.0:
+            raise ValueError(f"{name} must be in [0, 1], got {value}")
+    else:
+        if not 0.0 < value < 1.0:
+            raise ValueError(f"{name} must be in (0, 1), got {value}")
+    return value

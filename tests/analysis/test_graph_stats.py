@@ -1,0 +1,78 @@
+"""Unit tests for TDN snapshot statistics."""
+
+import math
+
+import pytest
+
+from repro.analysis.graph_stats import degree_concentration, snapshot_stats
+from repro.tdn.graph import TDNGraph
+from repro.tdn.interaction import Interaction
+
+
+class TestSnapshotStats:
+    def test_empty_graph(self):
+        stats = snapshot_stats(TDNGraph())
+        assert stats.num_nodes == 0
+        assert stats.num_edges == 0
+        assert stats.mean_remaining_lifetime == 0.0
+        assert stats.max_out_degree == 0
+
+    def test_basic_counts(self):
+        graph = TDNGraph()
+        graph.add_interaction(Interaction("a", "b", 0, 4))
+        graph.add_interaction(Interaction("a", "c", 0, 2))
+        graph.add_interaction(Interaction("a", "b", 0, 6))
+        stats = snapshot_stats(graph)
+        assert stats.num_nodes == 3
+        assert stats.num_edges == 3
+        assert stats.num_pairs == 2
+        assert stats.max_out_degree == 2
+        # Per-pair max expiries: a->b 6, a->c 2 -> remaining (6, 2), mean 4.
+        assert stats.mean_remaining_lifetime == pytest.approx(4.0)
+
+    def test_remaining_lifetime_tracks_clock(self):
+        graph = TDNGraph()
+        graph.add_interaction(Interaction("a", "b", 0, 10))
+        graph.advance_to(4)
+        assert snapshot_stats(graph).mean_remaining_lifetime == pytest.approx(6.0)
+
+    def test_infinite_only_graph(self):
+        graph = TDNGraph()
+        graph.add_interaction(Interaction("a", "b", 0))
+        assert snapshot_stats(graph).mean_remaining_lifetime == math.inf
+
+    def test_mixed_lifetimes_ignore_infinite_in_mean(self):
+        graph = TDNGraph()
+        graph.add_interaction(Interaction("a", "b", 0))
+        graph.add_interaction(Interaction("c", "d", 0, 8))
+        assert snapshot_stats(graph).mean_remaining_lifetime == pytest.approx(8.0)
+
+
+class TestDegreeConcentration:
+    def test_uniform(self):
+        # 10 nodes, equal degree: top 10% (1 node) owns 10%.
+        assert degree_concentration([5] * 10) == pytest.approx(0.1)
+
+    def test_single_hub(self):
+        assert degree_concentration([100, 1, 1, 1, 1, 1, 1, 1, 1, 1]) > 0.9
+
+    def test_empty(self):
+        assert degree_concentration([]) == 0.0
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            degree_concentration([1], top_fraction=0.0)
+
+    def test_zipf_generator_is_concentrated(self):
+        """The synthetic LBSN generator must produce heavy-tailed degrees
+        (the property the paper's datasets share)."""
+        from repro.datasets.synthetic import lbsn_stream
+        from repro.tdn.graph import TDNGraph
+
+        graph = TDNGraph()
+        for event in lbsn_stream(300, 200, 2_000, seed=3):
+            graph.add_interaction(
+                Interaction(event.source, event.target, 0)
+            )
+        stats = snapshot_stats(graph)
+        assert stats.degree_concentration > 0.3

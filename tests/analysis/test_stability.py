@@ -1,0 +1,114 @@
+"""Unit tests for solution-stability metrics."""
+
+import pytest
+
+from repro.analysis.stability import (
+    SolutionHistory,
+    jaccard,
+    mean_jaccard_stability,
+    node_tenures,
+    turnover_rate,
+)
+
+
+class TestJaccard:
+    def test_identical(self):
+        assert jaccard(["a", "b"], ["b", "a"]) == 1.0
+
+    def test_disjoint(self):
+        assert jaccard(["a"], ["b"]) == 0.0
+
+    def test_partial(self):
+        assert jaccard(["a", "b"], ["b", "c"]) == pytest.approx(1 / 3)
+
+    def test_both_empty(self):
+        assert jaccard([], []) == 1.0
+
+    def test_one_empty(self):
+        assert jaccard(["a"], []) == 0.0
+
+
+class TestSolutionHistory:
+    def test_record_and_len(self):
+        history = SolutionHistory()
+        history.record(0, ["a"])
+        history.record(5, ["b"])
+        assert len(history) == 2
+        assert history.times == [0, 5]
+
+    def test_non_increasing_time_rejected(self):
+        history = SolutionHistory()
+        history.record(3, ["a"])
+        with pytest.raises(ValueError, match="increasing"):
+            history.record(3, ["b"])
+
+    def test_mean_stability(self):
+        history = SolutionHistory()
+        history.record(0, ["a", "b"])
+        history.record(1, ["a", "b"])
+        history.record(2, ["c", "d"])
+        assert history.mean_stability() == pytest.approx(0.5)
+
+    def test_single_solution_is_stable(self):
+        history = SolutionHistory()
+        history.record(0, ["a"])
+        assert history.mean_stability() == 1.0
+        assert history.mean_turnover() == 0.0
+
+    def test_tenures_and_ever_selected(self):
+        history = SolutionHistory()
+        history.record(0, ["a", "b"])
+        history.record(1, ["a", "c"])
+        assert history.tenures() == {"a": 2, "b": 1, "c": 1}
+        assert history.ever_selected() == {"a", "b", "c"}
+
+
+class TestTurnover:
+    def test_no_turnover(self):
+        assert turnover_rate([["a", "b"], ["a", "b"]]) == 0.0
+
+    def test_full_turnover(self):
+        assert turnover_rate([["a"], ["b"], ["c"]]) == 1.0
+
+    def test_half_turnover(self):
+        assert turnover_rate([["a", "b"], ["a", "c"]]) == pytest.approx(0.5)
+
+    def test_empty_previous_contributes_zero(self):
+        assert turnover_rate([[], ["a"]]) == 0.0
+
+
+class TestModuleFunctions:
+    def test_mean_jaccard_stability_short(self):
+        assert mean_jaccard_stability([["a"]]) == 1.0
+        assert mean_jaccard_stability([]) == 1.0
+
+    def test_node_tenures_dedupes_within_step(self):
+        assert node_tenures([["a", "a"], ["a"]]) == {"a": 2}
+
+
+class TestWithTracker:
+    def test_smooth_decay_is_more_stable_than_hard_window(self):
+        """Example 1 quantified: with evidence that decays smoothly (long
+        geometric lifetimes) the tracked set churns less than with a short
+        hard window, on the same interaction sequence."""
+        from repro.core.tracker import InfluenceTracker
+        from repro.tdn.lifetimes import ConstantLifetime
+
+        def run(policy):
+            tracker = InfluenceTracker(
+                "hist-approx", k=2, epsilon=0.2, lifetime_policy=policy
+            )
+            history = SolutionHistory()
+            # A stable influencer with bursty activity plus noise.
+            for t in range(30):
+                batch = [("noise%d" % t, "x%d" % t)]
+                if t % 6 == 0:
+                    batch += [("star", f"f{t}"), ("star", f"g{t}")]
+                solution = tracker.step(t, batch)
+                history.record(t, solution.nodes)
+            return history
+
+        smooth = run(ConstantLifetime(18))  # long-lived evidence
+        hard = run(ConstantLifetime(3))     # short hard window
+        assert smooth.mean_stability() >= hard.mean_stability()
+        assert smooth.tenures().get("star", 0) >= hard.tenures().get("star", 0)

@@ -1,0 +1,128 @@
+"""Behavioural tests for IMM, TIM+ and the DIM-style index."""
+
+import pytest
+
+from repro.baselines.dim import DIMIndex
+from repro.baselines.imm import IMM, log_binomial
+from repro.baselines.tim_plus import TIMPlus
+from repro.tdn.graph import TDNGraph
+from repro.tdn.interaction import Interaction
+
+
+def hub_graph(repeats=30):
+    """One dominant hub (near-1 probabilities) plus background noise."""
+    graph = TDNGraph()
+    for i in range(5):
+        for _ in range(repeats):
+            graph.add_interaction(Interaction("hub", f"leaf{i}", 0, 9))
+    graph.add_interaction(Interaction("x", "y", 0, 9))
+    return graph
+
+
+class TestLogBinomial:
+    def test_known_values(self):
+        import math
+
+        assert log_binomial(5, 2) == pytest.approx(math.log(10))
+        assert log_binomial(10, 0) == pytest.approx(0.0)
+
+    def test_degenerate(self):
+        assert log_binomial(3, 5) == 0.0
+        assert log_binomial(0, 0) == 0.0
+
+
+@pytest.mark.parametrize("cls", [IMM, TIMPlus])
+class TestStaticIndexMethods:
+    def test_finds_dominant_hub(self, cls):
+        graph = hub_graph()
+        algo = cls(1, graph, seed=1, max_rr_sets=2_000)
+        algo.on_batch(0, [])
+        solution = algo.query()
+        assert solution.nodes == ("hub",)
+        assert solution.value == 6.0  # true reachability value reported
+
+    def test_empty_graph(self, cls):
+        algo = cls(2, TDNGraph(), seed=1)
+        assert algo.query().value == 0.0
+
+    def test_respects_budget(self, cls):
+        graph = hub_graph()
+        algo = cls(3, graph, seed=2, max_rr_sets=1_000)
+        assert len(algo.query().nodes) <= 3
+
+    def test_adapts_to_decay(self, cls):
+        graph = TDNGraph()
+        for _ in range(30):
+            graph.add_interaction(Interaction("early", "e1", 0, 1))
+            graph.add_interaction(Interaction("late", "l1", 0, 9))
+            graph.add_interaction(Interaction("late", "l2", 0, 9))
+        algo = cls(1, graph, seed=3, max_rr_sets=1_000)
+        graph.advance_to(1)
+        algo.on_batch(1, [])
+        assert algo.query().nodes == ("late",)
+
+
+class TestDIMIndex:
+    def test_finds_dominant_hub(self):
+        graph = TDNGraph()
+        dim = DIMIndex(1, graph, seed=1, beta=8.0, max_sketches=500)
+        batch = []
+        for i in range(5):
+            for _ in range(30):
+                batch.append(Interaction("hub", f"leaf{i}", 0, 9))
+        batch.append(Interaction("x", "y", 0, 9))
+        graph.add_batch(batch)
+        dim.on_batch(0, batch)
+        assert dim.query().nodes == ("hub",)
+
+    def test_index_tracks_expiry(self):
+        # A generous beta keeps the pool large enough that estimation noise
+        # (DIM's documented instability) cannot flip this tiny instance.
+        graph = TDNGraph()
+        dim = DIMIndex(1, graph, seed=2, beta=60.0, max_sketches=1_000)
+        batch = []
+        for _ in range(30):
+            batch.append(Interaction("early", "e1", 0, 1))
+            batch.append(Interaction("early", "e2", 0, 1))
+            batch.append(Interaction("late", "l1", 0, 5))
+        graph.add_batch(batch)
+        dim.on_batch(0, batch)
+        assert dim.query().nodes == ("early",)
+        graph.advance_to(1)
+        dim.on_batch(1, [])
+        assert dim.query().nodes == ("late",)
+
+    def test_sketch_pool_bounded(self):
+        graph = TDNGraph()
+        dim = DIMIndex(1, graph, seed=3, beta=100.0, max_sketches=40)
+        batch = [Interaction(f"a{i}", f"b{i}", 0, 9) for i in range(20)]
+        graph.add_batch(batch)
+        dim.on_batch(0, batch)
+        assert dim.num_sketches <= 40
+
+    def test_empty_graph_query(self):
+        dim = DIMIndex(2, TDNGraph(), seed=1)
+        assert dim.query().value == 0.0
+
+    def test_pool_cleared_when_graph_empties(self):
+        graph = TDNGraph()
+        dim = DIMIndex(1, graph, seed=4, beta=4.0)
+        batch = [Interaction("a", "b", 0, 1)]
+        graph.add_batch(batch)
+        dim.on_batch(0, batch)
+        assert dim.num_sketches > 0
+        graph.advance_to(1)
+        dim.on_batch(1, [])
+        assert dim.num_sketches == 0
+
+    def test_estimated_spread_consistent(self):
+        graph = TDNGraph()
+        dim = DIMIndex(1, graph, seed=5, beta=16.0, max_sketches=2_000)
+        batch = []
+        for _ in range(40):
+            batch.append(Interaction("hub", "a", 0, 9))
+            batch.append(Interaction("hub", "b", 0, 9))
+        graph.add_batch(batch)
+        dim.on_batch(0, batch)
+        # hub activates a and b with probability ~1: spread ~3 of 3 nodes.
+        assert dim.estimated_spread(["hub"]) == pytest.approx(3.0, abs=0.3)

@@ -1,0 +1,98 @@
+"""Unit and statistical tests for the RR-set machinery."""
+
+import random
+
+import pytest
+
+from repro.baselines.rr_sets import RRCollection, sample_rr_set
+from repro.influence.ic_model import estimate_spread_mc
+from repro.influence.probabilities import WeightedGraphSnapshot
+from repro.tdn.graph import TDNGraph
+from repro.tdn.interaction import Interaction
+
+
+def snapshot_chain(repeats=60):
+    """a -> b -> c with near-1 probabilities."""
+    graph = TDNGraph()
+    for _ in range(repeats):
+        graph.add_interaction(Interaction("a", "b", 0, 9))
+        graph.add_interaction(Interaction("b", "c", 0, 9))
+    return WeightedGraphSnapshot(graph)
+
+
+def snapshot_sparse():
+    graph = TDNGraph()
+    graph.add_interaction(Interaction("a", "b", 0, 9))
+    graph.add_interaction(Interaction("c", "b", 0, 9))
+    return WeightedGraphSnapshot(graph)
+
+
+class TestSampleRRSet:
+    def test_contains_root(self):
+        snapshot = snapshot_sparse()
+        rng = random.Random(0)
+        for root in range(snapshot.num_nodes):
+            assert root in sample_rr_set(snapshot, rng, root=root)
+
+    def test_near_deterministic_chain(self):
+        snapshot = snapshot_chain()
+        rng = random.Random(1)
+        root = snapshot.index["c"]
+        rr = sample_rr_set(snapshot, rng, root=root)
+        assert rr == {snapshot.index["a"], snapshot.index["b"], root}
+
+    def test_source_only_root(self):
+        snapshot = snapshot_chain()
+        rng = random.Random(2)
+        root = snapshot.index["a"]
+        assert sample_rr_set(snapshot, rng, root=root) == {root}
+
+    def test_empty_snapshot(self):
+        assert sample_rr_set(WeightedGraphSnapshot(TDNGraph()), random.Random(0)) == set()
+
+
+class TestRRCollection:
+    def test_sample_count(self):
+        collection = RRCollection(snapshot_sparse())
+        collection.sample(50, rng=3)
+        assert len(collection) == 50
+        assert collection.total_size >= 50
+
+    def test_unbiased_spread_estimate(self):
+        """n * coverage must agree with the MC forward estimate."""
+        graph = TDNGraph()
+        rng = random.Random(5)
+        nodes = [f"n{i}" for i in range(8)]
+        for _ in range(20):
+            u, v = rng.sample(range(8), 2)
+            graph.add_interaction(Interaction(nodes[u], nodes[v], 0, 9))
+        snapshot = WeightedGraphSnapshot(graph)
+        collection = RRCollection(snapshot)
+        collection.sample(30_000, rng=7)
+        seeds = [nodes[0], nodes[3]]
+        rr_estimate = collection.estimate_spread(seeds)
+        mc_estimate = estimate_spread_mc(snapshot, seeds, num_simulations=30_000, rng=9)
+        assert rr_estimate == pytest.approx(mc_estimate, rel=0.1)
+
+    def test_select_seeds_prefers_influencer(self):
+        snapshot = snapshot_chain()
+        collection = RRCollection(snapshot)
+        collection.sample(300, rng=11)
+        seeds, estimate = collection.select_seeds(1)
+        assert seeds == ["a"]
+        assert estimate > 2.0
+
+    def test_select_seeds_empty_collection(self):
+        collection = RRCollection(snapshot_sparse())
+        assert collection.select_seeds(2) == ([], 0.0)
+
+    def test_estimate_with_unknown_seed(self):
+        collection = RRCollection(snapshot_sparse())
+        collection.sample(10, rng=1)
+        assert collection.estimate_spread(["ghost"]) == 0.0
+
+    def test_coverage_fraction_bounds(self):
+        collection = RRCollection(snapshot_chain())
+        collection.sample(100, rng=2)
+        fraction = collection.coverage_fraction(["a"])
+        assert 0.0 <= fraction <= 1.0

@@ -1,0 +1,97 @@
+"""Unit tests for the Random and Greedy baselines."""
+
+import pytest
+
+from repro.baselines.greedy_recompute import GreedyRecompute
+from repro.baselines.random_baseline import RandomBaseline
+from repro.tdn.graph import TDNGraph
+from repro.tdn.interaction import Interaction
+
+
+def populated_graph():
+    graph = TDNGraph()
+    for i in range(5):
+        graph.add_interaction(Interaction("hub", f"leaf{i}", 0, 9))
+    graph.add_interaction(Interaction("solo", "other", 0, 9))
+    return graph
+
+
+class TestRandomBaseline:
+    def test_respects_budget(self):
+        graph = populated_graph()
+        random_algo = RandomBaseline(3, graph, seed=1)
+        random_algo.on_batch(0, [])
+        assert len(random_algo.query().nodes) == 3
+
+    def test_k_larger_than_population(self):
+        graph = populated_graph()
+        random_algo = RandomBaseline(100, graph, seed=1)
+        assert len(random_algo.query().nodes) == graph.num_nodes
+
+    def test_empty_graph(self):
+        random_algo = RandomBaseline(3, TDNGraph(), seed=1)
+        assert random_algo.query().value == 0.0
+
+    def test_deterministic_with_seed(self):
+        graph = populated_graph()
+        a = RandomBaseline(3, graph, seed=42).query().nodes
+        b = RandomBaseline(3, graph, seed=42).query().nodes
+        assert a == b
+
+    def test_redraws_each_query(self):
+        graph = populated_graph()
+        random_algo = RandomBaseline(2, graph, seed=7)
+        draws = {random_algo.query().nodes for _ in range(10)}
+        assert len(draws) > 1
+
+    def test_value_is_true_spread(self):
+        graph = populated_graph()
+        random_algo = RandomBaseline(1, graph, seed=3)
+        solution = random_algo.query()
+        from repro.influence.oracle import InfluenceOracle
+
+        assert solution.value == InfluenceOracle(graph).spread(solution.nodes)
+
+
+class TestGreedyRecompute:
+    def test_finds_the_hub(self):
+        graph = populated_graph()
+        greedy = GreedyRecompute(1, graph)
+        assert greedy.query().nodes == ("hub",)
+
+    def test_two_seeds_cover_both_stars(self):
+        graph = populated_graph()
+        greedy = GreedyRecompute(2, graph)
+        assert set(greedy.query().nodes) == {"hub", "solo"}
+        assert greedy.query().value == 8.0
+
+    def test_empty_graph(self):
+        greedy = GreedyRecompute(2, TDNGraph())
+        assert greedy.query().value == 0.0
+
+    def test_recomputes_after_decay(self):
+        graph = TDNGraph()
+        graph.add_interaction(Interaction("a", "b", 0, 1))
+        graph.add_interaction(Interaction("c", "d", 0, 5))
+        graph.add_interaction(Interaction("c", "e", 0, 5))
+        greedy = GreedyRecompute(1, graph)
+        greedy.on_batch(0, [])
+        assert greedy.query().nodes == ("c",)
+        graph.advance_to(1)
+        greedy.on_batch(1, [])
+        assert greedy.query().nodes == ("c",)
+
+    def test_matches_quality_reference(self):
+        """Greedy on reachability achieves (1 - 1/e) OPT; on this small
+        instance it is exactly optimal."""
+        from repro.influence.oracle import InfluenceOracle
+        from repro.submodular.functions import SpreadFunction
+        from repro.submodular.greedy import brute_force_optimum
+
+        graph = populated_graph()
+        greedy = GreedyRecompute(2, graph)
+        oracle = InfluenceOracle(graph)
+        optimum = brute_force_optimum(
+            SpreadFunction(oracle), sorted(graph.node_set(), key=repr), 2
+        )
+        assert greedy.query().value == optimum.value

@@ -1,0 +1,50 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+import pytest
+
+from repro.tdn.graph import TDNGraph
+from repro.tdn.interaction import Interaction
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    """A deterministic RNG for tests that need randomness."""
+    return random.Random(12345)
+
+
+def random_tdn_events(
+    rng: random.Random,
+    *,
+    num_nodes: int = 8,
+    num_steps: int = 12,
+    max_lifetime: int = 6,
+    edges_per_step: int = 3,
+) -> List[Interaction]:
+    """Random small TDN event trace used across property-style tests."""
+    events: List[Interaction] = []
+    for t in range(num_steps):
+        for _ in range(rng.randint(1, edges_per_step)):
+            u = rng.randrange(num_nodes)
+            v = rng.randrange(num_nodes)
+            if u == v:
+                continue
+            events.append(
+                Interaction(f"n{u}", f"n{v}", t, rng.randint(1, max_lifetime))
+            )
+    return events
+
+
+def replay_into(graph: TDNGraph, events: List[Interaction], upto_time: int) -> None:
+    """Advance ``graph`` step by step inserting events in time order."""
+    by_time: dict = {}
+    for event in events:
+        by_time.setdefault(event.time, []).append(event)
+    for t in range(upto_time + 1):
+        graph.advance_to(t)
+        for event in by_time.get(t, []):
+            graph.add_interaction(event)

@@ -1,0 +1,88 @@
+"""Tests for the g_t(l) histogram/profile readouts (paper Fig. 5)."""
+
+import random
+
+from repro.core.basic_reduction import BasicReduction
+from repro.core.hist_approx import HistApprox
+from repro.tdn.graph import TDNGraph
+from repro.tdn.interaction import Interaction
+from repro.tdn.stream import MemoryStream
+
+
+def drive(events, algo_factory, L=None):
+    graph = TDNGraph()
+    algorithm = algo_factory(graph)
+    for t, batch in MemoryStream(events, fill_gaps=True):
+        graph.advance_to(t)
+        graph.add_batch(batch)
+        algorithm.on_batch(t, batch)
+    return graph, algorithm
+
+
+class TestHistApproxHistogram:
+    def test_pairs_sorted_by_index(self):
+        events = [Interaction("hub", f"x{l}", 0, l) for l in (2, 5, 9)]
+        _, hist = drive(events, lambda g: HistApprox(1, 0.2, g))
+        histogram = hist.histogram()
+        indices = [i for i, _ in histogram]
+        assert indices == sorted(indices)
+        assert len(histogram) == hist.num_instances
+
+    def test_exact_matches_query_values(self):
+        events = [Interaction("hub", f"x{l}", 0, l) for l in (2, 5, 9)]
+        _, hist = drive(events, lambda g: HistApprox(1, 0.2, g))
+        for (index, value) in hist.histogram(exact=True):
+            horizon = index + hist.graph.time
+            assert value == hist._instances[horizon].query_value()
+
+    def test_cached_lower_bounds_exact(self):
+        rng = random.Random(3)
+        events = []
+        for t in range(8):
+            u, v = rng.sample(range(6), 2)
+            events.append(Interaction(f"n{u}", f"n{v}", t, rng.randint(1, 6)))
+        _, hist = drive(events, lambda g: HistApprox(2, 0.2, g))
+        cached = dict(hist.histogram(exact=False))
+        exact = dict(hist.histogram(exact=True))
+        for index, value in cached.items():
+            assert value <= exact[index] + 1e-9
+
+    def test_head_value_equals_query(self):
+        events = [Interaction("a", "b", 0, 4), Interaction("c", "d", 0, 8)]
+        _, hist = drive(events, lambda g: HistApprox(2, 0.2, g))
+        histogram = hist.histogram(exact=True)
+        assert histogram[0][1] == hist.query().value
+
+
+class TestBasicReductionProfile:
+    def test_profile_covers_all_L_indices(self):
+        events = [Interaction("hub", f"x{l}", 0, l) for l in (1, 3, 5)]
+        _, basic = drive(events, lambda g: BasicReduction(1, 0.2, 5, g))
+        profile = basic.profile()
+        assert [i for i, _ in profile] == list(range(1, 6))
+
+    def test_profile_non_increasing_for_nested_views(self):
+        """g_t(l) is non-increasing in l when every instance has settled:
+        instance l sees a subset of instance l' < l's edges."""
+        events = [Interaction("hub", f"x{l}", 0, l) for l in range(1, 6)]
+        _, basic = drive(events, lambda g: BasicReduction(1, 0.2, 5, g))
+        values = [v for _, v in basic.profile(exact=True)]
+        assert all(b <= a + 1e-9 for a, b in zip(values, values[1:]))
+
+    def test_hist_histogram_approximates_basic_profile(self):
+        """Every HISTAPPROX histogram point must equal the exact profile
+        value of BASICREDUCTION at that index (the instances at kept
+        indices are the same computation)."""
+        rng = random.Random(9)
+        events = []
+        for t in range(10):
+            u, v = rng.sample(range(7), 2)
+            events.append(Interaction(f"n{u}", f"n{v}", t, rng.randint(1, 6)))
+        graph_b, basic = drive(events, lambda g: BasicReduction(2, 0.1, 6, g))
+        graph_h, hist = drive(events, lambda g: HistApprox(2, 0.1, g))
+        basic_profile = dict(basic.profile(exact=True))
+        for index, value in hist.histogram(exact=True):
+            assert index in basic_profile
+            # Same-index instances processed identical edge sets, so their
+            # sieve values agree exactly.
+            assert value == basic_profile[index]

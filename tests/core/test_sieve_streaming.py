@@ -1,0 +1,62 @@
+"""Unit tests for generic insertion-only SieveStreaming."""
+
+import random
+
+from repro.core.sieve_streaming import SieveStreaming
+from repro.submodular.functions import CoverageFunction
+from repro.submodular.greedy import brute_force_optimum
+
+
+class TestSieveStreaming:
+    def test_approximation_guarantee_random_instances(self):
+        """(1/2 - eps) guarantee against brute force on random coverage."""
+        rng = random.Random(0)
+        for _ in range(25):
+            num_sets = rng.randint(3, 8)
+            sets = [
+                {rng.randrange(10) for _ in range(rng.randint(1, 4))}
+                for _ in range(num_sets)
+            ]
+            cover = CoverageFunction(sets)
+            universe = sorted({x for s in sets for x in s})
+            k, eps = 2, 0.1
+            sieve = SieveStreaming(cover, k=k, epsilon=eps)
+            sieve.process_stream(universe)
+            _, value = sieve.query()
+            optimum = brute_force_optimum(cover, universe, k).value
+            assert value >= (0.5 - eps) * optimum - 1e-9
+
+    def test_single_element(self):
+        cover = CoverageFunction([{1, 2, 3}])
+        sieve = SieveStreaming(cover, k=1, epsilon=0.2)
+        sieve.process(1)
+        nodes, value = sieve.query()
+        assert nodes == [1]
+        assert value == 1.0
+
+    def test_empty_query(self):
+        cover = CoverageFunction([{1}])
+        sieve = SieveStreaming(cover, k=1, epsilon=0.2)
+        assert sieve.query() == ([], 0.0)
+
+    def test_respects_budget(self):
+        sets = [{i} for i in range(10)]
+        cover = CoverageFunction(sets)
+        sieve = SieveStreaming(cover, k=3, epsilon=0.1)
+        sieve.process_stream(range(10))
+        nodes, _ = sieve.query()
+        assert len(nodes) <= 3
+
+    def test_duplicate_elements_tolerated(self):
+        cover = CoverageFunction([{1, 2}, {3}])
+        sieve = SieveStreaming(cover, k=2, epsilon=0.1)
+        sieve.process_stream([1, 1, 3, 3, 1])
+        nodes, value = sieve.query()
+        assert value == 2.0
+        assert len(nodes) == len(set(nodes))
+
+    def test_elements_seen_counter(self):
+        cover = CoverageFunction([{1}])
+        sieve = SieveStreaming(cover, k=1, epsilon=0.1)
+        sieve.process_stream([1, 2, 3])
+        assert sieve.elements_seen == 3

@@ -1,0 +1,122 @@
+"""Unit tests for the InfluenceTracker facade and Solution type."""
+
+import pytest
+
+from repro.core.tracker import InfluenceTracker, Solution
+from repro.tdn.interaction import Interaction
+from repro.tdn.lifetimes import ConstantLifetime, GeometricLifetime
+from repro.tdn.stream import MemoryStream
+
+
+class TestSolution:
+    def test_empty(self):
+        solution = Solution.empty(7)
+        assert solution.nodes == ()
+        assert solution.value == 0.0
+        assert solution.time == 7
+
+    def test_frozen(self):
+        solution = Solution(nodes=("a",), value=1.0, time=0)
+        with pytest.raises(AttributeError):
+            solution.value = 2.0
+
+
+class TestStep:
+    def test_tuples_coerced(self):
+        tracker = InfluenceTracker("sieve-adn", k=2, epsilon=0.2)
+        solution = tracker.step(0, [("a", "b"), ("a", "c", 5)])
+        assert "a" in solution.nodes
+        assert solution.value == 3.0
+
+    def test_interactions_accepted(self):
+        tracker = InfluenceTracker("sieve-adn", k=1, epsilon=0.2)
+        solution = tracker.step(0, [Interaction("a", "b", 0)])
+        assert solution.nodes == ("a",)
+
+    def test_bad_item_rejected(self):
+        tracker = InfluenceTracker("sieve-adn", k=1, epsilon=0.2)
+        with pytest.raises(TypeError, match="interaction"):
+            tracker.step(0, ["nonsense"])
+
+    def test_non_increasing_time_rejected(self):
+        tracker = InfluenceTracker("sieve-adn", k=1, epsilon=0.2)
+        tracker.step(1, [("a", "b")])
+        with pytest.raises(ValueError, match="strictly increasing"):
+            tracker.step(1, [("a", "c")])
+
+    def test_lifetime_policy_applied(self):
+        tracker = InfluenceTracker(
+            "hist-approx", k=1, epsilon=0.2, lifetime_policy=ConstantLifetime(2)
+        )
+        tracker.step(0, [("a", "b")])
+        tracker.step(1, [])
+        assert tracker.query().value == 2.0
+        tracker.step(2, [])  # the edge expires at t=2
+        assert tracker.query().value == 0.0
+
+    def test_explicit_lifetime_overrides_policy(self):
+        tracker = InfluenceTracker(
+            "hist-approx", k=1, epsilon=0.2, lifetime_policy=ConstantLifetime(1)
+        )
+        tracker.step(0, [("a", "b", 10)])
+        tracker.step(5, [])
+        assert tracker.query().value == 2.0
+
+
+class TestAlgorithmSelection:
+    @pytest.mark.parametrize(
+        "name",
+        ["hist-approx", "sieve-adn", "greedy", "random", "HIST_APPROX", "SieveADN"],
+    )
+    def test_known_names(self, name):
+        tracker = InfluenceTracker(name, k=1, epsilon=0.2)
+        tracker.step(0, [("a", "b")])
+        assert tracker.query().value >= 1.0
+
+    def test_basic_reduction_requires_L(self):
+        with pytest.raises(ValueError, match="L"):
+            InfluenceTracker("basic-reduction", k=1, epsilon=0.2)
+
+    def test_basic_reduction_with_L(self):
+        tracker = InfluenceTracker(
+            "basic-reduction", k=1, epsilon=0.2, L=5,
+            lifetime_policy=ConstantLifetime(3),
+        )
+        solution = tracker.step(0, [("a", "b")])
+        assert solution.nodes == ("a",)
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown algorithm"):
+            InfluenceTracker("quantum-sieve")
+
+    def test_factory_callable(self):
+        from repro.core.sieve_adn import SieveADN
+
+        tracker = InfluenceTracker(
+            lambda graph, oracle: SieveADN(1, 0.2, graph, oracle)
+        )
+        solution = tracker.step(0, [("a", "b")])
+        assert solution.nodes == ("a",)
+
+
+class TestRun:
+    def test_run_over_stream(self):
+        events = [Interaction("a", "b", 0), Interaction("a", "c", 1)]
+        tracker = InfluenceTracker("hist-approx", k=1, epsilon=0.2)
+        results = list(tracker.run(MemoryStream(events)))
+        assert [t for t, _ in results] == [0, 1]
+        assert results[-1][1].value == 3.0
+
+    def test_oracle_calls_exposed(self):
+        tracker = InfluenceTracker("hist-approx", k=1, epsilon=0.2)
+        tracker.step(0, [("a", "b")])
+        assert tracker.oracle_calls > 0
+
+    def test_geometric_policy_end_to_end(self):
+        tracker = InfluenceTracker(
+            "hist-approx", k=2, epsilon=0.2,
+            lifetime_policy=GeometricLifetime(0.2, 20, seed=3),
+        )
+        for t in range(10):
+            tracker.step(t, [(f"s{t % 3}", f"t{t}")])
+        assert len(tracker.query().nodes) <= 2

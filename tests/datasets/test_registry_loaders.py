@@ -1,0 +1,153 @@
+"""Tests for the dataset registry, loaders, and one-mode projection."""
+
+import pytest
+
+from repro.datasets.loaders import load_snap_edges, save_snap_edges
+from repro.datasets.projection import one_mode_projection
+from repro.datasets.registry import (
+    DATASETS,
+    dataset_names,
+    make_interactions,
+    make_stream,
+    table1_rows,
+)
+from repro.tdn.interaction import Interaction
+
+
+class TestRegistry:
+    def test_six_paper_datasets(self):
+        assert dataset_names() == [
+            "brightkite",
+            "gowalla",
+            "twitter-higgs",
+            "twitter-hk",
+            "stackoverflow-c2q",
+            "stackoverflow-c2a",
+        ]
+
+    def test_paper_metadata_matches_table1(self):
+        assert DATASETS["brightkite"].paper_interactions == 4_747_281
+        assert DATASETS["stackoverflow-c2a"].paper_interactions == 17_535_031
+        assert "304,198" == DATASETS["twitter-higgs"].paper_nodes
+
+    @pytest.mark.parametrize("name", dataset_names())
+    def test_every_generator_runs(self, name):
+        events = make_interactions(name, 200, seed=0)
+        assert len(events) == 200
+        assert all(e.source != e.target for e in events)
+
+    def test_unknown_dataset(self):
+        with pytest.raises(KeyError, match="unknown dataset"):
+            make_interactions("friendster", 10)
+
+    def test_make_stream_is_replayable(self):
+        stream = make_stream("twitter-hk", 50, seed=1)
+        assert list(stream) == list(stream)
+
+    def test_table1_rows_with_generation(self):
+        rows = table1_rows(num_events=100, seed=0)
+        assert len(rows) == 6
+        for row in rows:
+            assert row["generated_interactions"] == 100
+            assert row["generated_nodes"] > 0
+
+    def test_table1_rows_metadata_only(self):
+        rows = table1_rows()
+        assert "generated_nodes" not in rows[0]
+
+
+class TestSnapLoaders:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        events = [Interaction("a", "b", 0), Interaction("b", "c", 1)]
+        assert save_snap_edges(path, events) == 2
+        loaded = load_snap_edges(path)
+        assert [(e.source, e.target, e.time) for e in loaded] == [
+            ("a", "b", 0),
+            ("b", "c", 1),
+        ]
+
+    def test_compress_time(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        path.write_text("a b 1000\nb c 5000\nc d 5000\n")
+        loaded = load_snap_edges(path, compress_time=True)
+        assert [e.time for e in loaded] == [0, 1, 1]
+
+    def test_raw_time(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        path.write_text("a b 10\nb c 20\n")
+        loaded = load_snap_edges(path, compress_time=False)
+        assert [e.time for e in loaded] == [10, 20]
+
+    def test_sorts_by_timestamp(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        path.write_text("a b 50\nb c 10\n")
+        loaded = load_snap_edges(path)
+        assert [(e.source, e.target) for e in loaded] == [("b", "c"), ("a", "b")]
+
+    def test_comments_and_self_loops_skipped(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        path.write_text("# header\na a 1\na b 2\n")
+        loaded = load_snap_edges(path)
+        assert len(loaded) == 1
+
+    def test_max_rows(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        path.write_text("a b 1\nb c 2\nc d 3\n")
+        assert len(load_snap_edges(path, max_rows=2)) == 2
+
+    def test_malformed_line(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        path.write_text("lonely\n")
+        with pytest.raises(ValueError, match="expected"):
+            load_snap_edges(path)
+
+    def test_missing_timestamps_use_row_index(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        path.write_text("a b\nb c\n")
+        loaded = load_snap_edges(path)
+        assert [e.time for e in loaded] == [0, 1]
+
+
+class TestOneModeProjection:
+    def test_paper_example_2(self):
+        """u bought a T-shirt; v bought the same two days later: <u, v, t>."""
+        events = [("u", "tshirt", 0), ("v", "tshirt", 2)]
+        projected = one_mode_projection(events, window=7)
+        assert [(i.source, i.target, i.time) for i in projected] == [("u", "v", 2)]
+
+    def test_window_excludes_old_adopters(self):
+        events = [("u", "item", 0), ("v", "item", 20)]
+        assert one_mode_projection(events, window=7) == []
+
+    def test_max_links_caps_fanin(self):
+        events = [(f"u{i}", "item", i) for i in range(5)] + [("late", "item", 5)]
+        projected = one_mode_projection(events, window=100, max_links=2)
+        incoming = [i for i in projected if i.target == "late"]
+        assert len(incoming) == 2
+        # Most recent adopters linked first.
+        assert {i.source for i in incoming} == {"u4", "u3"}
+
+    def test_different_items_independent(self):
+        events = [("u", "a", 0), ("v", "b", 1)]
+        assert one_mode_projection(events) == []
+
+    def test_readoption_does_not_self_link(self):
+        events = [("u", "item", 0), ("u", "item", 1), ("v", "item", 2)]
+        projected = one_mode_projection(events, window=10, max_links=5)
+        assert all(i.source != i.target for i in projected)
+
+    def test_non_chronological_rejected(self):
+        with pytest.raises(ValueError, match="chronological"):
+            one_mode_projection([("u", "i", 5), ("v", "i", 1)])
+
+    def test_projection_feeds_tracker(self):
+        """End-to-end: projected interactions drive the tracker."""
+        from repro.core.tracker import InfluenceTracker
+
+        events = [("trendsetter", "gadget", 0)]
+        events += [(f"follower{i}", "gadget", 1) for i in range(4)]
+        projected = one_mode_projection(events, window=5, max_links=10)
+        tracker = InfluenceTracker("sieve-adn", k=1, epsilon=0.2)
+        tracker.step(1, projected)
+        assert tracker.query().nodes == ("trendsetter",)

@@ -1,0 +1,97 @@
+"""Tests for the synthetic stream generators."""
+
+from collections import Counter
+
+import pytest
+
+from repro.datasets.synthetic import lbsn_stream, qa_stream, retweet_stream
+
+
+class TestLbsnStream:
+    def test_event_count_and_chronology(self):
+        events = lbsn_stream(50, 40, 300, seed=1)
+        assert len(events) == 300
+        assert [e.time for e in events] == sorted(e.time for e in events)
+
+    def test_bipartite_direction(self):
+        events = lbsn_stream(50, 40, 200, seed=2)
+        assert all(e.source.startswith("p") for e in events)
+        assert all(e.target.startswith("u") for e in events)
+
+    def test_popularity_is_heavy_tailed(self):
+        events = lbsn_stream(200, 100, 5_000, zipf_exponent=1.2, seed=3)
+        counts = Counter(e.source for e in events)
+        top_share = sum(c for _, c in counts.most_common(10)) / len(events)
+        assert top_share > 0.25  # top-10 places dominate
+
+    def test_one_event_per_step_default(self):
+        events = lbsn_stream(20, 20, 100, seed=4)
+        assert [e.time for e in events] == list(range(100))
+
+    def test_events_per_step_batches(self):
+        events = lbsn_stream(20, 20, 100, events_per_step=10, seed=5)
+        times = Counter(e.time for e in events)
+        assert set(times.values()) == {10}
+        assert max(times) == 9
+
+    def test_drift_changes_popular_places(self):
+        events = lbsn_stream(
+            100, 50, 4_000, drift_interval=200, drift_fraction=0.5, seed=6
+        )
+        early = Counter(e.source for e in events[:1_000])
+        late = Counter(e.source for e in events[-1_000:])
+        top_early = {p for p, _ in early.most_common(5)}
+        top_late = {p for p, _ in late.most_common(5)}
+        assert top_early != top_late  # popularity drifted
+
+    def test_deterministic_by_seed(self):
+        assert lbsn_stream(20, 20, 50, seed=9) == lbsn_stream(20, 20, 50, seed=9)
+        assert lbsn_stream(20, 20, 50, seed=9) != lbsn_stream(20, 20, 50, seed=10)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            lbsn_stream(0, 10, 10)
+        with pytest.raises(ValueError):
+            lbsn_stream(10, 10, 10, drift_fraction=1.5)
+
+
+class TestRetweetStream:
+    def test_no_self_retweets(self):
+        events = retweet_stream(30, 500, seed=1)
+        assert all(e.source != e.target for e in events)
+
+    def test_burst_shifts_attention(self):
+        """During a burst, a small author set must dominate arrivals."""
+        events = retweet_stream(
+            200, 3_000, burst_interval=1_000, burst_length=300,
+            burst_boost=50.0, seed=2,
+        )
+        in_burst = [e for e in events if 1_000 <= e.time < 1_300]
+        counts = Counter(e.source for e in in_burst)
+        top_share = sum(c for _, c in counts.most_common(4)) / max(len(in_burst), 1)
+        assert top_share > 0.5
+
+    def test_cascade_probability_zero_allowed(self):
+        events = retweet_stream(20, 100, cascade_probability=0.0, seed=3)
+        assert len(events) == 100
+
+    def test_deterministic_by_seed(self):
+        assert retweet_stream(20, 50, seed=4) == retweet_stream(20, 50, seed=4)
+
+
+class TestQaStream:
+    def test_epoch_turnover(self):
+        """Hot authors must change across epochs (topical churn)."""
+        events = qa_stream(300, 2_000, epoch_length=500, hot_fraction=0.03, seed=1)
+        epoch1 = Counter(e.source for e in events[:500])
+        epoch3 = Counter(e.source for e in events[1_000:1_500])
+        top1 = {a for a, _ in epoch1.most_common(5)}
+        top3 = {a for a, _ in epoch3.most_common(5)}
+        assert top1 != top3
+
+    def test_no_self_comments(self):
+        events = qa_stream(30, 300, seed=2)
+        assert all(e.source != e.target for e in events)
+
+    def test_event_count(self):
+        assert len(qa_stream(30, 123, seed=3)) == 123

@@ -1,0 +1,82 @@
+"""Unit tests for experiment metrics and ratio helpers."""
+
+import pytest
+
+from repro.experiments.metrics import (
+    AlgorithmSeries,
+    calls_ratio_series,
+    downsample,
+    final_calls_ratio,
+    mean_value_ratio,
+    value_ratio_series,
+)
+
+
+def series(name, values, calls, times=None):
+    s = AlgorithmSeries(name)
+    times = times if times is not None else list(range(len(values)))
+    for i, (t, v, c) in enumerate(zip(times, values, calls)):
+        s.record(t=t, value=v, calls=c, wall=float(i + 1), edges=(i + 1) * 10)
+    return s
+
+
+class TestAlgorithmSeries:
+    def test_aggregates(self):
+        s = series("x", [2.0, 4.0], [10, 30])
+        assert s.mean_value == 3.0
+        assert s.total_calls == 30
+        assert s.total_wall_seconds == 2.0
+        assert s.throughput == pytest.approx(10.0)
+
+    def test_empty(self):
+        s = AlgorithmSeries("empty")
+        assert s.mean_value == 0.0
+        assert s.total_calls == 0
+        assert s.throughput == 0.0
+
+
+class TestRatios:
+    def test_value_ratio_series(self):
+        a = series("a", [1.0, 2.0], [1, 2])
+        b = series("b", [2.0, 4.0], [1, 2])
+        assert value_ratio_series(a, b) == [0.5, 0.5]
+
+    def test_mean_value_ratio(self):
+        a = series("a", [1.0, 3.0], [1, 2])
+        b = series("b", [2.0, 3.0], [1, 2])
+        assert mean_value_ratio(a, b) == pytest.approx(0.75)
+
+    def test_zero_reference_treated_as_parity(self):
+        a = series("a", [1.0], [1])
+        b = series("b", [0.0], [1])
+        assert value_ratio_series(a, b) == [1.0]
+
+    def test_calls_ratio_series(self):
+        a = series("a", [1.0, 1.0], [5, 10])
+        b = series("b", [1.0, 1.0], [10, 100])
+        assert calls_ratio_series(a, b) == [0.5, 0.1]
+
+    def test_final_calls_ratio(self):
+        a = series("a", [1.0], [25])
+        b = series("b", [1.0], [100])
+        assert final_calls_ratio(a, b) == 0.25
+
+    def test_misaligned_series_rejected(self):
+        a = series("a", [1.0, 2.0], [1, 2], times=[0, 1])
+        b = series("b", [1.0, 2.0], [1, 2], times=[0, 5])
+        with pytest.raises(ValueError, match="different query points"):
+            value_ratio_series(a, b)
+
+
+class TestDownsample:
+    def test_short_series_unchanged(self):
+        assert downsample([1, 2, 3], 5) == [1, 2, 3]
+
+    def test_long_series_reduced(self):
+        result = downsample(list(range(100)), 10)
+        assert len(result) == 10
+        assert result[0] == 0
+
+    def test_invalid_max_points(self):
+        with pytest.raises(ValueError):
+            downsample([1], 0)

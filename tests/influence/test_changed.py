@@ -1,0 +1,80 @@
+"""Unit tests for the changed-node set ``V_t-bar`` computation."""
+
+import pytest
+
+from repro.influence.changed import changed_nodes
+from repro.influence.oracle import InfluenceOracle
+from repro.tdn.graph import TDNGraph
+from repro.tdn.interaction import Interaction
+
+
+class TestModes:
+    def test_sources_mode_returns_batch_sources(self):
+        graph = TDNGraph()
+        batch = [Interaction("a", "b", 0, 5), Interaction("c", "d", 0, 5)]
+        graph.add_batch(batch)
+        assert set(changed_nodes(graph, batch, mode="sources")) == {"a", "c"}
+
+    def test_ancestors_mode_includes_upstream(self):
+        graph = TDNGraph()
+        graph.add_interaction(Interaction("up", "a", 0, 9))
+        batch = [Interaction("a", "b", 0, 9)]
+        graph.add_batch(batch)
+        assert set(changed_nodes(graph, batch, mode="ancestors")) == {"up", "a"}
+
+    def test_invalid_mode(self):
+        with pytest.raises(ValueError, match="mode"):
+            changed_nodes(TDNGraph(), [], mode="bogus")
+
+    def test_empty_batch(self):
+        assert changed_nodes(TDNGraph(), []) == []
+
+    def test_deterministic_order(self):
+        graph = TDNGraph()
+        batch = [Interaction("b", "x", 0, 5), Interaction("a", "y", 0, 5)]
+        graph.add_batch(batch)
+        assert changed_nodes(graph, batch, mode="sources") == ["'a'", "'b'"] or \
+            changed_nodes(graph, batch, mode="sources") == ["a", "b"]
+
+
+class TestSupersetProperty:
+    def test_ancestors_superset_covers_all_spread_changes(self):
+        """Every node whose spread changed must be in the ancestors set.
+
+        Build a graph, record all nodes' spreads, insert a batch, and check
+        that any node whose spread changed is reported.
+        """
+        graph = TDNGraph()
+        base = [
+            Interaction("a", "b", 0, 9),
+            Interaction("b", "c", 0, 9),
+            Interaction("x", "y", 0, 9),
+        ]
+        graph.add_batch(base)
+        oracle = InfluenceOracle(graph)
+        before = {n: oracle.spread([n]) for n in graph.node_set()}
+        batch = [Interaction("c", "x", 0, 9)]
+        graph.add_batch(batch)
+        oracle_after = InfluenceOracle(graph)
+        changed = set(changed_nodes(graph, batch, mode="ancestors"))
+        for node, old in before.items():
+            if oracle_after.spread([node]) != old:
+                assert node in changed, f"{node} changed but was not reported"
+
+    def test_horizon_filter_limits_ancestry(self):
+        graph = TDNGraph()
+        graph.add_interaction(Interaction("up", "a", 0, 2))  # expiry 2
+        batch = [Interaction("a", "b", 0, 9)]
+        graph.add_batch(batch)
+        # At horizon 5 the up->a edge is invisible.
+        assert set(changed_nodes(graph, batch, min_expiry=5)) == {"a"}
+        assert set(changed_nodes(graph, batch, min_expiry=None)) == {"up", "a"}
+
+    def test_paths_through_same_batch_count(self):
+        graph = TDNGraph()
+        batch = [Interaction("a", "b", 0, 9), Interaction("b", "c", 0, 9)]
+        graph.add_batch(batch)
+        # a reaches b through the first edge of the same batch, so a is an
+        # ancestor of source b as well.
+        changed = set(changed_nodes(graph, batch, mode="ancestors"))
+        assert changed == {"a", "b"}

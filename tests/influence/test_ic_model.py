@@ -1,0 +1,74 @@
+"""Unit and statistical tests for the IC diffusion model."""
+
+import pytest
+
+from repro.influence.ic_model import estimate_spread_mc, simulate_ic
+from repro.influence.probabilities import WeightedGraphSnapshot
+from repro.tdn.graph import TDNGraph
+from repro.tdn.interaction import Interaction
+
+
+def deterministic_snapshot():
+    """Edge probabilities ~1 (many parallel interactions) along a chain."""
+    graph = TDNGraph()
+    for _ in range(60):  # p ~ 1 - 1e-5
+        graph.add_interaction(Interaction("a", "b", 0, 9))
+        graph.add_interaction(Interaction("b", "c", 0, 9))
+    return WeightedGraphSnapshot(graph)
+
+
+def sparse_snapshot():
+    graph = TDNGraph()
+    graph.add_interaction(Interaction("a", "b", 0, 9))
+    return WeightedGraphSnapshot(graph)
+
+
+class TestSimulateIC:
+    def test_seeds_always_active(self):
+        activated = simulate_ic(sparse_snapshot(), ["a"], rng=1)
+        assert "a" in activated
+
+    def test_near_deterministic_chain_activates_fully(self):
+        activated = simulate_ic(deterministic_snapshot(), ["a"], rng=1)
+        assert activated == {"a", "b", "c"}
+
+    def test_missing_seed_counts_but_does_not_spread(self):
+        activated = simulate_ic(sparse_snapshot(), ["ghost"], rng=1)
+        assert activated == {"ghost"}
+
+    def test_no_seeds(self):
+        assert simulate_ic(sparse_snapshot(), [], rng=1) == set()
+
+    def test_activation_probability_statistical(self):
+        # Single edge with p = interactions_to_probability(1) ~ 0.0997.
+        from repro.influence.probabilities import interactions_to_probability
+
+        snapshot = sparse_snapshot()
+        p = interactions_to_probability(1)
+        import random
+
+        rng = random.Random(7)
+        hits = sum(
+            1 for _ in range(20_000) if "b" in simulate_ic(snapshot, ["a"], rng=rng)
+        )
+        assert hits / 20_000 == pytest.approx(p, abs=0.01)
+
+
+class TestEstimateSpreadMC:
+    def test_matches_closed_form_single_edge(self):
+        from repro.influence.probabilities import interactions_to_probability
+
+        snapshot = sparse_snapshot()
+        p = interactions_to_probability(1)
+        estimate = estimate_spread_mc(snapshot, ["a"], num_simulations=20_000, rng=3)
+        assert estimate == pytest.approx(1.0 + p, abs=0.02)
+
+    def test_monotone_in_seeds(self):
+        snapshot = deterministic_snapshot()
+        single = estimate_spread_mc(snapshot, ["b"], num_simulations=500, rng=5)
+        double = estimate_spread_mc(snapshot, ["a", "b"], num_simulations=500, rng=5)
+        assert double >= single
+
+    def test_invalid_simulation_count(self):
+        with pytest.raises(ValueError):
+            estimate_spread_mc(sparse_snapshot(), ["a"], num_simulations=0)

@@ -1,0 +1,108 @@
+"""Unit tests for the counted, cached influence oracle."""
+
+from repro.influence.oracle import InfluenceOracle
+from repro.tdn.graph import TDNGraph
+from repro.tdn.interaction import Interaction
+
+
+def star_graph():
+    graph = TDNGraph()
+    for i in range(4):
+        graph.add_interaction(Interaction("hub", f"leaf{i}", 0, 10))
+    return graph
+
+
+class TestSpread:
+    def test_empty_set_is_zero_and_free(self):
+        oracle = InfluenceOracle(star_graph())
+        assert oracle.spread([]) == 0
+        assert oracle.calls == 0  # normalization costs nothing
+
+    def test_singleton_spread(self):
+        oracle = InfluenceOracle(star_graph())
+        assert oracle.spread(["hub"]) == 5  # hub + 4 leaves
+        assert oracle.spread(["leaf0"]) == 1
+
+    def test_set_spread_counts_distinct(self):
+        oracle = InfluenceOracle(star_graph())
+        assert oracle.spread(["hub", "leaf0"]) == 5
+
+    def test_horizon_respected(self):
+        graph = TDNGraph()
+        graph.add_interaction(Interaction("a", "b", 0, 2))
+        graph.add_interaction(Interaction("a", "c", 0, 9))
+        oracle = InfluenceOracle(graph)
+        assert oracle.spread(["a"]) == 3
+        assert oracle.spread(["a"], min_expiry=5) == 2
+
+
+class TestCountingAndCaching:
+    def test_repeat_evaluation_hits_cache(self):
+        oracle = InfluenceOracle(star_graph())
+        oracle.spread(["hub"])
+        oracle.spread(["hub"])
+        assert oracle.calls == 1
+
+    def test_node_order_irrelevant_for_cache(self):
+        oracle = InfluenceOracle(star_graph())
+        oracle.spread(["hub", "leaf0"])
+        oracle.spread(["leaf0", "hub"])
+        assert oracle.calls == 1
+
+    def test_different_horizons_cached_separately(self):
+        oracle = InfluenceOracle(star_graph())
+        assert oracle.spread(["hub"], min_expiry=None) == 5
+        assert oracle.spread(["hub"], min_expiry=20) == 1
+        assert oracle.calls == 2
+
+    def test_cache_invalidated_on_mutation(self):
+        graph = star_graph()
+        oracle = InfluenceOracle(graph)
+        assert oracle.spread(["hub"]) == 5
+        graph.add_interaction(Interaction("hub", "leaf9", 0, 10))
+        assert oracle.spread(["hub"]) == 6
+        assert oracle.calls == 2
+
+    def test_cache_invalidated_on_expiry(self):
+        graph = TDNGraph()
+        graph.add_interaction(Interaction("a", "b", 0, 1))
+        graph.add_interaction(Interaction("a", "c", 0, 5))
+        oracle = InfluenceOracle(graph)
+        assert oracle.spread(["a"]) == 3
+        graph.advance_to(1)
+        assert oracle.spread(["a"]) == 2
+
+    def test_explicit_invalidate(self):
+        oracle = InfluenceOracle(star_graph())
+        oracle.spread(["hub"])
+        oracle.invalidate()
+        oracle.spread(["hub"])
+        assert oracle.calls == 2
+
+    def test_shared_counter(self):
+        from repro.utils.counters import CallCounter
+
+        counter = CallCounter("shared")
+        graph = star_graph()
+        oracle_a = InfluenceOracle(graph, counter)
+        oracle_b = InfluenceOracle(graph, counter)
+        oracle_a.spread(["hub"])
+        oracle_b.spread(["leaf0"])
+        assert counter.total == 2
+
+
+class TestMarginalGain:
+    def test_gain_matches_direct_difference(self):
+        oracle = InfluenceOracle(star_graph())
+        expected = oracle.spread(["hub", "leaf0"]) - oracle.spread(["hub"])
+        assert oracle.marginal_gain(["hub"], "leaf0") == expected
+
+    def test_gain_of_member_is_zero(self):
+        oracle = InfluenceOracle(star_graph())
+        calls_before = oracle.calls
+        assert oracle.marginal_gain(["hub"], "hub") == 0
+        assert oracle.calls == calls_before  # short-circuit, no evaluation
+
+    def test_gain_from_empty_base(self):
+        oracle = InfluenceOracle(star_graph())
+        assert oracle.marginal_gain([], "hub") == 5

@@ -1,0 +1,87 @@
+"""Unit tests for the interaction-count -> IC probability mapping."""
+
+import math
+
+import pytest
+
+from repro.influence.probabilities import (
+    WeightedGraphSnapshot,
+    interactions_to_probability,
+)
+from repro.tdn.graph import TDNGraph
+from repro.tdn.interaction import Interaction
+
+
+class TestProbabilityMapping:
+    def test_zero_count_is_zero(self):
+        assert interactions_to_probability(0) == 0.0
+
+    def test_paper_formula(self):
+        # p = 2 / (1 + exp(-0.2 x)) - 1 (paper Section V-C).
+        for x in (1, 3, 10):
+            expected = 2.0 / (1.0 + math.exp(-0.2 * x)) - 1.0
+            assert interactions_to_probability(x) == pytest.approx(expected)
+
+    def test_monotone_in_count(self):
+        values = [interactions_to_probability(x) for x in range(0, 30)]
+        assert values == sorted(values)
+
+    def test_saturates_at_one(self):
+        # Mathematically p < 1 for finite counts, but the exponential
+        # underflows for huge counts and the value saturates at exactly 1.0.
+        assert interactions_to_probability(50) < 1.0
+        assert interactions_to_probability(10_000) <= 1.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            interactions_to_probability(-1)
+
+
+class TestWeightedGraphSnapshot:
+    def make_graph(self):
+        graph = TDNGraph()
+        graph.add_interaction(Interaction("a", "b", 0, 9))
+        graph.add_interaction(Interaction("a", "b", 0, 9))
+        graph.add_interaction(Interaction("b", "c", 0, 9))
+        return graph
+
+    def test_counts_become_probabilities(self):
+        snapshot = WeightedGraphSnapshot(self.make_graph())
+        assert snapshot.probability("a", "b") == pytest.approx(
+            interactions_to_probability(2)
+        )
+        assert snapshot.probability("b", "c") == pytest.approx(
+            interactions_to_probability(1)
+        )
+
+    def test_missing_edge_probability_zero(self):
+        snapshot = WeightedGraphSnapshot(self.make_graph())
+        assert snapshot.probability("c", "a") == 0.0
+        assert snapshot.probability("a", "ghost") == 0.0
+
+    def test_dense_indexing_round_trip(self):
+        snapshot = WeightedGraphSnapshot(self.make_graph())
+        assert snapshot.num_nodes == 3
+        for label in ("a", "b", "c"):
+            assert snapshot.labels[snapshot.index[label]] == label
+        assert snapshot.to_labels([snapshot.index["b"]]) == ["b"]
+
+    def test_in_and_out_adjacency_consistent(self):
+        snapshot = WeightedGraphSnapshot(self.make_graph())
+        out_edges = {(u, v) for u, v, _ in snapshot.edges()}
+        assert out_edges == {("a", "b"), ("b", "c")}
+        b = snapshot.index["b"]
+        assert [snapshot.labels[u] for u, _ in snapshot.in_adj[b]] == ["a"]
+
+    def test_snapshot_ignores_expired(self):
+        graph = self.make_graph()
+        graph.add_interaction(Interaction("c", "d", 0, 1))
+        graph.advance_to(1)
+        snapshot = WeightedGraphSnapshot(graph)
+        assert snapshot.probability("c", "d") == 0.0
+        assert "d" not in snapshot.index
+
+    def test_empty_graph(self):
+        snapshot = WeightedGraphSnapshot(TDNGraph())
+        assert snapshot.num_nodes == 0
+        assert snapshot.num_edges == 0

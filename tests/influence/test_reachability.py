@@ -1,0 +1,82 @@
+"""Unit tests for horizon-filtered reachability."""
+
+from repro.influence.reachability import ancestors, reachable_set
+from repro.tdn.graph import TDNGraph
+from repro.tdn.interaction import Interaction
+
+
+def chain_graph():
+    """a -> b -> c -> d with expiries 10, 5, 2."""
+    graph = TDNGraph()
+    graph.add_interaction(Interaction("a", "b", 0, 10))
+    graph.add_interaction(Interaction("b", "c", 0, 5))
+    graph.add_interaction(Interaction("c", "d", 0, 2))
+    return graph
+
+
+class TestReachableSet:
+    def test_includes_sources(self):
+        graph = chain_graph()
+        assert "a" in reachable_set(graph, ["a"])
+
+    def test_full_chain(self):
+        graph = chain_graph()
+        assert reachable_set(graph, ["a"]) == {"a", "b", "c", "d"}
+
+    def test_mid_chain(self):
+        graph = chain_graph()
+        assert reachable_set(graph, ["c"]) == {"c", "d"}
+
+    def test_multiple_sources_union(self):
+        graph = chain_graph()
+        graph.add_interaction(Interaction("x", "y", 0, 10))
+        assert reachable_set(graph, ["c", "x"]) == {"c", "d", "x", "y"}
+
+    def test_horizon_cuts_short_edges(self):
+        graph = chain_graph()
+        # Horizon 3: only edges with expiry >= 3 traversable (a->b, b->c).
+        assert reachable_set(graph, ["a"], min_expiry=3) == {"a", "b", "c"}
+        # Horizon 6: only a->b.
+        assert reachable_set(graph, ["a"], min_expiry=6) == {"a", "b"}
+
+    def test_absent_source_counts_itself(self):
+        graph = chain_graph()
+        assert reachable_set(graph, ["ghost"]) == {"ghost"}
+
+    def test_empty_sources(self):
+        assert reachable_set(chain_graph(), []) == set()
+
+    def test_cycle_terminates(self):
+        graph = TDNGraph()
+        graph.add_interaction(Interaction("a", "b", 0, 5))
+        graph.add_interaction(Interaction("b", "a", 0, 5))
+        assert reachable_set(graph, ["a"]) == {"a", "b"}
+
+    def test_duplicated_sources(self):
+        graph = chain_graph()
+        assert reachable_set(graph, ["a", "a"]) == {"a", "b", "c", "d"}
+
+
+class TestAncestors:
+    def test_includes_targets(self):
+        graph = chain_graph()
+        assert "d" in ancestors(graph, ["d"])
+
+    def test_full_chain_backwards(self):
+        graph = chain_graph()
+        assert ancestors(graph, ["d"]) == {"a", "b", "c", "d"}
+
+    def test_horizon_filter(self):
+        graph = chain_graph()
+        # Horizon 3: the c->d edge (expiry 2) is invisible, so d's only
+        # ancestor is itself.
+        assert ancestors(graph, ["d"], min_expiry=3) == {"d"}
+        assert ancestors(graph, ["c"], min_expiry=3) == {"a", "b", "c"}
+
+    def test_duality_with_reachability(self):
+        graph = chain_graph()
+        for node in ("a", "b", "c", "d"):
+            for other in ("a", "b", "c", "d"):
+                forward = other in reachable_set(graph, [node])
+                backward = node in ancestors(graph, [other])
+                assert forward == backward

@@ -1,0 +1,139 @@
+"""Tests for the weighted influence objective (the paper's f_t hook)."""
+
+import random
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.core.hist_approx import HistApprox
+from repro.influence.oracle import InfluenceOracle
+from repro.influence.weighted import WeightedInfluenceOracle
+from repro.tdn.graph import TDNGraph
+from repro.tdn.interaction import Interaction
+
+NODES = [f"n{i}" for i in range(6)]
+
+
+def star_graph():
+    graph = TDNGraph()
+    for i in range(3):
+        graph.add_interaction(Interaction("hub", f"leaf{i}", 0, 9))
+    return graph
+
+
+class TestBasics:
+    def test_unit_weights_match_unweighted_oracle(self):
+        graph = star_graph()
+        weighted = WeightedInfluenceOracle(graph)
+        plain = InfluenceOracle(graph)
+        for seeds in (["hub"], ["leaf0"], ["hub", "leaf1"]):
+            assert weighted.spread(seeds) == plain.spread(seeds)
+
+    def test_mapping_weights(self):
+        graph = star_graph()
+        oracle = WeightedInfluenceOracle(graph, {"leaf0": 10.0}, default_weight=1.0)
+        # hub reaches hub(1) + leaf0(10) + leaf1(1) + leaf2(1) = 13.
+        assert oracle.spread(["hub"]) == 13.0
+
+    def test_callable_weights(self):
+        graph = star_graph()
+        oracle = WeightedInfluenceOracle(
+            graph, lambda n: 5.0 if str(n).startswith("leaf") else 0.0
+        )
+        assert oracle.spread(["hub"]) == 15.0
+
+    def test_zero_weight_excludes_value(self):
+        graph = star_graph()
+        oracle = WeightedInfluenceOracle(graph, {"hub": 0.0})
+        assert oracle.spread(["hub"]) == 3.0
+
+    def test_empty_set_normalized(self):
+        oracle = WeightedInfluenceOracle(star_graph())
+        assert oracle.spread([]) == 0.0
+        assert oracle.calls == 0
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError, match="negative"):
+            WeightedInfluenceOracle(star_graph(), {"hub": -1.0})
+        with pytest.raises(ValueError):
+            WeightedInfluenceOracle(star_graph(), default_weight=-2.0)
+
+    def test_caching_and_counting(self):
+        oracle = WeightedInfluenceOracle(star_graph(), {"leaf0": 2.0})
+        oracle.spread(["hub"])
+        oracle.spread(["hub"])
+        assert oracle.calls == 1
+
+    def test_marginal_gain(self):
+        graph = star_graph()
+        graph.add_interaction(Interaction("solo", "other", 0, 9))
+        oracle = WeightedInfluenceOracle(graph, {"other": 7.0})
+        assert oracle.marginal_gain(["hub"], "solo") == 8.0
+        assert oracle.marginal_gain(["hub"], "hub") == 0.0
+
+
+class TestSubmodularityProperties:
+    @given(
+        seed=st.integers(min_value=0, max_value=5_000),
+        small=st.sets(st.sampled_from(NODES), max_size=2),
+        extra=st.sets(st.sampled_from(NODES), max_size=2),
+        candidate=st.sampled_from(NODES),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_weighted_spread_monotone_submodular(self, seed, small, extra, candidate):
+        """Theorem 1 must hold for the weighted objective too."""
+        rng = random.Random(seed)
+        graph = TDNGraph()
+        for _ in range(rng.randint(1, 12)):
+            u, v = rng.sample(range(len(NODES)), 2)
+            graph.add_interaction(
+                Interaction(NODES[u], NODES[v], 0, rng.randint(1, 9))
+            )
+        weights = {node: rng.uniform(0.0, 5.0) for node in NODES}
+        oracle = WeightedInfluenceOracle(graph, weights)
+        large = small | extra
+        # Monotone.
+        assert oracle.spread(large | {candidate}) >= oracle.spread(large) - 1e-12
+        # Submodular.
+        gain_small = oracle.spread(small | {candidate}) - oracle.spread(small)
+        gain_large = oracle.spread(large | {candidate}) - oracle.spread(large)
+        assert gain_small >= gain_large - 1e-9
+
+
+class TestTrackersWithWeightedObjective:
+    def test_hist_approx_chases_weighted_value(self):
+        """With a huge weight on one target, the tracker must prefer the
+        otherwise-minor influencer that reaches it."""
+        graph = TDNGraph()
+        oracle = WeightedInfluenceOracle(graph, {"vip": 100.0})
+        hist = HistApprox(1, 0.2, graph, oracle)
+        batch = [Interaction("popular", f"x{i}", 0, 9) for i in range(5)]
+        batch.append(Interaction("minor", "vip", 0, 9))
+        graph.add_batch(batch)
+        hist.on_batch(0, batch)
+        assert hist.query().nodes == ("minor",)
+        assert hist.query().value == 101.0
+
+    def test_unit_weighted_tracker_matches_plain(self):
+        rng = random.Random(5)
+        events = []
+        for t in range(8):
+            for _ in range(rng.randint(1, 3)):
+                u, v = rng.sample(range(len(NODES)), 2)
+                events.append(Interaction(NODES[u], NODES[v], t, rng.randint(1, 6)))
+        graph_a, graph_b = TDNGraph(), TDNGraph()
+        plain = HistApprox(2, 0.2, graph_a)
+        weighted = HistApprox(
+            2, 0.2, graph_b, WeightedInfluenceOracle(graph_b)
+        )
+        by_time = {}
+        for e in events:
+            by_time.setdefault(e.time, []).append(e)
+        for t in sorted(by_time):
+            for graph, algo in ((graph_a, plain), (graph_b, weighted)):
+                graph.advance_to(t)
+                graph.add_batch(by_time[t])
+                algo.on_batch(t, by_time[t])
+        assert plain.query().value == weighted.query().value
+        assert plain.query().nodes == weighted.query().nodes

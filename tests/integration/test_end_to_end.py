@@ -1,0 +1,180 @@
+"""End-to-end integration tests across the whole stack.
+
+These replay realistic synthetic streams through the full pipeline —
+dataset generator -> lifetime policy -> shared TDN -> algorithms ->
+harness — and assert the cross-cutting behaviours the paper's evaluation
+depends on.
+"""
+
+import pytest
+
+from repro.baselines.greedy_recompute import GreedyRecompute
+from repro.baselines.random_baseline import RandomBaseline
+from repro.core.basic_reduction import BasicReduction
+from repro.core.hist_approx import HistApprox
+from repro.core.tracker import InfluenceTracker
+from repro.datasets.registry import make_stream
+from repro.experiments.harness import run_tracking
+from repro.tdn.graph import TDNGraph
+from repro.tdn.lifetimes import ConstantLifetime, GeometricLifetime
+from repro.tdn.stream import MemoryStream
+
+
+class TestQualityOrdering:
+    def test_greedy_hist_random_ordering(self):
+        """Fig. 8's invariant ordering on a realistic stream."""
+        report = run_tracking(
+            make_stream("twitter-hk", 200, seed=5),
+            {
+                "hist": lambda graph: HistApprox(5, 0.2, graph),
+                "greedy": lambda graph: GreedyRecompute(5, graph),
+                "random": lambda graph: RandomBaseline(5, graph, seed=3),
+            },
+            lifetime_policy=GeometricLifetime(0.02, 150, seed=6),
+            query_interval=5,
+        )
+        hist = report["hist"].mean_value
+        greedy = report["greedy"].mean_value
+        random_val = report["random"].mean_value
+        assert greedy >= hist * 0.999
+        assert hist > random_val
+        assert hist >= 0.75 * greedy  # well above the 1/3 floor in practice
+
+    def test_hist_uses_fewer_calls_than_greedy(self):
+        """Fig. 10's invariant on a realistic stream."""
+        report = run_tracking(
+            make_stream("brightkite", 200, seed=2),
+            {
+                "hist": lambda graph: HistApprox(10, 0.2, graph),
+                "greedy": lambda graph: GreedyRecompute(10, graph),
+            },
+            lifetime_policy=GeometricLifetime(0.02, 150, seed=3),
+            query_interval=1,
+        )
+        assert report["hist"].total_calls < report["greedy"].total_calls
+
+
+class TestModelEquivalences:
+    def test_constant_lifetime_equals_sliding_window(self):
+        """Example 4: TDN with constant lifetime W == W-step sliding window.
+
+        HISTAPPROX on the TDN must report values on the same graph as a
+        manually maintained sliding window.
+        """
+        events = make_stream("twitter-hk", 80, seed=1).materialize()
+        window = 6
+        graph = TDNGraph()
+        hist = HistApprox(3, 0.2, graph)
+        flat = [(t, i) for t, batch in events for i in batch]
+        for t, interaction in flat:
+            graph.advance_to(t)
+            lifed = interaction.with_lifetime(window)
+            graph.add_interaction(lifed)
+            hist.on_batch(t, [lifed])
+            window_pairs = {
+                (i.source, i.target)
+                for tt, i in flat
+                if tt <= t and tt > t - window
+            }
+            assert set(graph.alive_pairs()) == window_pairs
+
+    def test_infinite_lifetimes_match_sieve_adn(self):
+        """Example 3: on an ADN, HISTAPPROX degenerates to one SIEVEADN
+        instance and both must produce identical solutions."""
+        stream = make_stream("gowalla", 120, seed=4)
+        graph_a, graph_b = TDNGraph(), TDNGraph()
+        sieve = None
+        hist = HistApprox(5, 0.2, graph_b)
+        from repro.core.sieve_adn import SieveADN
+
+        sieve = SieveADN(5, 0.2, graph_a)
+        for t, batch in stream:
+            for graph, algo in ((graph_a, sieve), (graph_b, hist)):
+                graph.advance_to(t)
+                graph.add_batch(batch)
+                algo.on_batch(t, batch)
+        assert hist.num_instances == 1
+        assert hist.query().value == sieve.query().value
+        assert hist.query().nodes == sieve.query().nodes
+
+
+class TestTrackerScenarios:
+    def test_influencer_churn_is_tracked(self):
+        """The paper's Fig. 1 scenario: the influential set must follow the
+        data as old influencers stop interacting."""
+        tracker = InfluenceTracker(
+            "hist-approx", k=1, epsilon=0.2, lifetime_policy=ConstantLifetime(5)
+        )
+        # Phase 1: u1 dominates.
+        for t in range(5):
+            tracker.step(t, [("u1", f"a{t}"), ("u1", f"b{t}")])
+        assert tracker.query().nodes == ("u1",)
+        # Phase 2: u1 goes silent, u5 takes over; after the window passes,
+        # u5 must be the tracked influencer.
+        for t in range(5, 15):
+            tracker.step(t, [("u5", f"c{t}"), ("u5", f"d{t}"), ("u5", f"e{t}")])
+        assert tracker.query().nodes == ("u5",)
+
+    def test_alice_scenario_smooth_decay(self):
+        """Example 1: a briefly absent influencer with long-lived edges must
+        NOT vanish from the solution (the TDN's advantage over a hard
+        sliding window)."""
+        tracker = InfluenceTracker(
+            "hist-approx", k=1, epsilon=0.2,
+            lifetime_policy=ConstantLifetime(20),  # long-lived evidence
+        )
+        for t in range(5):
+            tracker.step(t, [("alice", f"f{t}")])
+        # Alice is hospitalized: 6 quiet steps with only background noise.
+        for t in range(5, 11):
+            tracker.step(t, [("noise", f"n{t % 2}")])
+        # A 5-step sliding window would have dropped her; the TDN keeps her.
+        assert tracker.query().nodes == ("alice",)
+
+    def test_all_algorithms_agree_on_static_hub(self):
+        """Every algorithm must find the unambiguous dominant hub."""
+        events = []
+        for t in range(10):
+            events.append(("hub", f"x{t}"))
+        for name in ("hist-approx", "sieve-adn", "greedy"):
+            tracker = InfluenceTracker(name, k=1, epsilon=0.2)
+            for t in range(10):
+                tracker.step(t, [events[t]])
+            assert tracker.query().nodes == ("hub",), name
+
+
+class TestBasicVsHistConsistency:
+    def test_close_values_on_realistic_stream(self):
+        """Fig. 7: HISTAPPROX within a few percent of BASICREDUCTION."""
+        L = 60
+        report = run_tracking(
+            make_stream("brightkite", 150, seed=7),
+            {
+                "basic": lambda graph: BasicReduction(5, 0.1, L, graph),
+                "hist": lambda graph: HistApprox(5, 0.1, graph),
+            },
+            lifetime_policy=GeometricLifetime(0.03, L, seed=8),
+            query_interval=5,
+        )
+        basic = report["basic"].mean_value
+        hist = report["hist"].mean_value
+        assert hist >= 0.85 * basic
+        assert report["hist"].total_calls < report["basic"].total_calls
+
+
+class TestDeterminism:
+    def test_identical_runs_identical_results(self):
+        def run_once():
+            report = run_tracking(
+                make_stream("stackoverflow-c2q", 100, seed=9),
+                {"hist": lambda graph: HistApprox(5, 0.2, graph)},
+                lifetime_policy=GeometricLifetime(0.05, 50, seed=10),
+                query_interval=5,
+            )
+            return (
+                tuple(report["hist"].values),
+                report["hist"].total_calls,
+                report.final_nodes["hist"],
+            )
+
+        assert run_once() == run_once()

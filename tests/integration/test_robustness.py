@@ -1,0 +1,157 @@
+"""Robustness and misuse tests: degenerate parameters, hostile schedules.
+
+Production code meets weird inputs; these tests pin down behaviour at the
+edges — degenerate budgets, extreme epsilons, bursts followed by total
+silence, duplicate queries, disabled caches.
+"""
+
+import pytest
+
+from repro.core.basic_reduction import BasicReduction
+from repro.core.hist_approx import HistApprox
+from repro.core.sieve_adn import SieveADN
+from repro.core.tracker import InfluenceTracker
+from repro.influence.oracle import InfluenceOracle
+from repro.tdn.graph import TDNGraph
+from repro.tdn.interaction import Interaction
+
+
+class TestDegenerateParameters:
+    def test_L_equals_one(self):
+        """Every edge lives exactly one step: the solution resets per step."""
+        graph = TDNGraph()
+        basic = BasicReduction(2, 0.2, 1, graph)
+        for t in range(5):
+            graph.advance_to(t)
+            batch = [Interaction(f"s{t}", f"t{t}", t, 1)]
+            graph.add_batch(batch)
+            basic.on_batch(t, batch)
+            assert basic.query().nodes == (f"s{t}",)
+
+    def test_k_one_tracks_single_best(self):
+        graph = TDNGraph()
+        hist = HistApprox(1, 0.2, graph)
+        batch = [Interaction("big", f"x{i}", 0, 9) for i in range(4)]
+        batch += [Interaction("small", "y", 0, 9)]
+        graph.add_batch(batch)
+        hist.on_batch(0, batch)
+        assert hist.query().nodes == ("big",)
+
+    def test_extreme_epsilon_high(self):
+        """eps = 0.99: minimal thresholds, still a valid (tiny) guarantee."""
+        graph = TDNGraph()
+        hist = HistApprox(2, 0.99, graph)
+        batch = [Interaction("a", f"b{i}", 0, 9) for i in range(5)]
+        graph.add_batch(batch)
+        hist.on_batch(0, batch)
+        assert hist.query().value > 0
+
+    def test_extreme_epsilon_low(self):
+        """eps = 0.01: hundreds of thresholds; correctness unaffected."""
+        graph = TDNGraph()
+        sieve = SieveADN(2, 0.01, graph)
+        batch = [Interaction("a", "b", 0, 9), Interaction("c", "d", 0, 9)]
+        graph.add_batch(batch)
+        sieve.on_batch(0, batch)
+        assert sieve.query().value == 4.0
+
+    def test_oracle_with_cache_disabled(self):
+        graph = TDNGraph()
+        graph.add_interaction(Interaction("a", "b", 0, 9))
+        oracle = InfluenceOracle(graph, max_cache_entries=0)
+        assert oracle.spread(["a"]) == 2
+        assert oracle.spread(["a"]) == 2
+        assert oracle.calls == 2  # nothing was cached
+
+
+class TestHostileSchedules:
+    def test_burst_then_total_silence(self):
+        """A large burst, then many empty steps: everything must expire
+        cleanly and queries must degrade to empty without errors."""
+        graph = TDNGraph()
+        hist = HistApprox(3, 0.2, graph)
+        burst = [Interaction(f"s{i}", f"t{i}", 0, 5) for i in range(30)]
+        graph.add_batch(burst)
+        hist.on_batch(0, burst)
+        assert hist.query().value > 0
+        for t in range(1, 12):
+            graph.advance_to(t)
+            hist.on_batch(t, [])
+        assert hist.query().value == 0.0
+        assert hist.num_instances == 0
+        assert graph.num_nodes == 0
+
+    def test_sparse_times_with_huge_gaps(self):
+        graph = TDNGraph()
+        basic = BasicReduction(2, 0.2, 10, graph)
+        for t in (0, 1_000, 50_000):
+            graph.advance_to(t)
+            batch = [Interaction(f"a{t}", f"b{t}", t, 5)]
+            graph.add_batch(batch)
+            basic.on_batch(t, batch)
+            assert basic.query().nodes == (f"a{t}",)
+        assert basic.num_instances == 10
+
+    def test_repeated_queries_are_stable_and_cheap(self):
+        graph = TDNGraph()
+        hist = HistApprox(2, 0.2, graph)
+        batch = [Interaction("a", "b", 0, 9)]
+        graph.add_batch(batch)
+        hist.on_batch(0, batch)
+        first = hist.query()
+        calls_after_first = hist.oracle.calls
+        for _ in range(20):
+            assert hist.query() == first
+        # All repeat queries hit the per-version cache.
+        assert hist.oracle.calls == calls_after_first
+
+    def test_same_pair_flooding(self):
+        """Thousands of parallel edges on one pair must not blow up
+        structures (multiplicity is a counter, not object copies)."""
+        graph = TDNGraph()
+        hist = HistApprox(1, 0.2, graph)
+        batch = [Interaction("a", "b", 0, 50) for _ in range(2_000)]
+        graph.add_batch(batch)
+        hist.on_batch(0, batch)
+        assert graph.num_edges == 2_000
+        assert graph.num_pairs == 1
+        assert hist.query().value == 2.0
+
+    def test_alternating_long_short_lifetimes(self):
+        """Interleaving extremes exercises instance creation/expiry churn."""
+        graph = TDNGraph()
+        hist = HistApprox(2, 0.2, graph)
+        for t in range(20):
+            graph.advance_to(t)
+            lifetime = 1 if t % 2 == 0 else 100
+            batch = [Interaction(f"u{t % 4}", f"v{t % 3}", t, lifetime)]
+            if batch[0].source == batch[0].target:
+                batch = []
+            graph.add_batch(batch)
+            hist.on_batch(t, batch)
+            assert len(hist.query().nodes) <= 2
+        # Instances stay bounded despite the churn.
+        assert hist.num_instances <= 8
+
+
+class TestTrackerMisuse:
+    def test_step_backwards_rejected_but_state_intact(self):
+        tracker = InfluenceTracker("hist-approx", k=1, epsilon=0.2)
+        tracker.step(5, [("a", "b")])
+        with pytest.raises(ValueError):
+            tracker.step(4, [("c", "d")])
+        # The failed step must not have corrupted anything.
+        assert tracker.query().nodes == ("a",)
+
+    def test_empty_steps_allowed(self):
+        tracker = InfluenceTracker("hist-approx", k=1, epsilon=0.2)
+        tracker.step(0, [])
+        tracker.step(1, [])
+        assert tracker.query().value == 0.0
+
+    def test_mixed_item_types_in_one_batch(self):
+        tracker = InfluenceTracker("hist-approx", k=2, epsilon=0.2)
+        solution = tracker.step(
+            0, [("a", "b"), Interaction("c", "d", 0, 5), ("e", "f", 3)]
+        )
+        assert solution.value >= 2.0

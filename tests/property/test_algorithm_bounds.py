@@ -1,0 +1,145 @@
+"""Property-based approximation-bound tests for the paper's theorems.
+
+Hypothesis generates arbitrary small TDN traces; at every time step the
+algorithms' outputs are compared against the brute-force optimum:
+
+* Theorem 2 — SIEVEADN >= (1/2 - eps) OPT on addition-only streams;
+* Theorem 4 — BASICREDUCTION >= (1/2 - eps) OPT on general TDNs;
+* Theorem 7 — HISTAPPROX >= (1/3 - eps) OPT on general TDNs
+  (and >= (1/2 - eps) with head refinement).
+
+These are the paper's headline guarantees; hypothesis hunting for
+counterexamples is the strongest evidence the reproduction is faithful.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core.basic_reduction import BasicReduction
+from repro.core.hist_approx import HistApprox
+from repro.core.sieve_adn import SieveADN
+from repro.influence.oracle import InfluenceOracle
+from repro.submodular.functions import SpreadFunction
+from repro.submodular.greedy import brute_force_optimum
+from repro.tdn.graph import TDNGraph
+from repro.tdn.interaction import Interaction
+
+NODES = [f"n{i}" for i in range(6)]
+MAX_LIFETIME = 5
+K = 2
+EPS = 0.1
+
+
+@st.composite
+def tdn_trace(draw, infinite_lifetimes=False):
+    steps = draw(st.integers(min_value=1, max_value=7))
+    trace = []
+    for t in range(steps):
+        batch = []
+        for _ in range(draw(st.integers(min_value=0, max_value=3))):
+            u, v = draw(
+                st.tuples(st.sampled_from(NODES), st.sampled_from(NODES)).filter(
+                    lambda p: p[0] != p[1]
+                )
+            )
+            if infinite_lifetimes:
+                lifetime = None
+            else:
+                lifetime = draw(st.integers(min_value=1, max_value=MAX_LIFETIME))
+            batch.append(Interaction(u, v, t, lifetime))
+        trace.append((t, batch))
+    return trace
+
+
+def optimum_at(graph):
+    oracle = InfluenceOracle(graph)
+    return brute_force_optimum(
+        SpreadFunction(oracle), sorted(graph.node_set(), key=repr), K
+    ).value
+
+
+@given(trace=tdn_trace(infinite_lifetimes=True))
+@settings(max_examples=50, deadline=None)
+def test_sieve_adn_half_bound_on_adns(trace):
+    graph = TDNGraph()
+    sieve = SieveADN(K, EPS, graph)
+    for t, batch in trace:
+        graph.advance_to(t)
+        graph.add_batch(batch)
+        sieve.on_batch(t, batch)
+        optimum = optimum_at(graph)
+        if optimum > 0:
+            assert sieve.query().value >= (0.5 - EPS) * optimum - 1e-9
+
+
+@given(trace=tdn_trace())
+@settings(max_examples=50, deadline=None)
+def test_basic_reduction_half_bound_on_tdns(trace):
+    graph = TDNGraph()
+    basic = BasicReduction(K, EPS, MAX_LIFETIME, graph)
+    for t, batch in trace:
+        graph.advance_to(t)
+        graph.add_batch(batch)
+        basic.on_batch(t, batch)
+        optimum = optimum_at(graph)
+        if optimum > 0:
+            assert basic.query().value >= (0.5 - EPS) * optimum - 1e-9
+
+
+@given(trace=tdn_trace())
+@settings(max_examples=50, deadline=None)
+def test_hist_approx_third_bound_on_tdns(trace):
+    graph = TDNGraph()
+    hist = HistApprox(K, EPS, graph)
+    for t, batch in trace:
+        graph.advance_to(t)
+        graph.add_batch(batch)
+        hist.on_batch(t, batch)
+        optimum = optimum_at(graph)
+        if optimum > 0:
+            assert hist.query().value >= (1.0 / 3.0 - EPS) * optimum - 1e-9
+
+
+@given(trace=tdn_trace())
+@settings(max_examples=40, deadline=None)
+def test_hist_approx_refined_half_bound(trace):
+    """The paper's Section IV remark: head refinement restores (1/2 - eps)."""
+    graph = TDNGraph()
+    hist = HistApprox(K, EPS, graph, refine_head=True)
+    for t, batch in trace:
+        graph.advance_to(t)
+        graph.add_batch(batch)
+        hist.on_batch(t, batch)
+        optimum = optimum_at(graph)
+        if optimum > 0:
+            assert hist.query().value >= (0.5 - EPS) * optimum - 1e-9
+
+
+@given(trace=tdn_trace())
+@settings(max_examples=40, deadline=None)
+def test_solutions_never_exceed_true_optimum(trace):
+    """Sanity: no algorithm reports a value above the brute-force optimum."""
+    graph = TDNGraph()
+    algorithms = [
+        BasicReduction(K, EPS, MAX_LIFETIME, graph),
+        HistApprox(K, EPS, graph),
+    ]
+    for t, batch in trace:
+        graph.advance_to(t)
+        graph.add_batch(batch)
+        optimum = optimum_at(graph)
+        for algorithm in algorithms:
+            algorithm.on_batch(t, batch)
+            assert algorithm.query().value <= optimum + 1e-9
+
+
+@given(trace=tdn_trace())
+@settings(max_examples=40, deadline=None)
+def test_solution_sizes_respect_budget(trace):
+    graph = TDNGraph()
+    hist = HistApprox(K, EPS, graph)
+    for t, batch in trace:
+        graph.advance_to(t)
+        graph.add_batch(batch)
+        hist.on_batch(t, batch)
+        assert len(hist.query().nodes) <= K

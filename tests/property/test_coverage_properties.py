@@ -1,0 +1,81 @@
+"""Property-based tests for coverage functions and greedy optimizers."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.submodular.functions import CoverageFunction
+from repro.submodular.greedy import (
+    brute_force_optimum,
+    greedy_max,
+    lazy_greedy_max,
+)
+
+E_INV = 1.0 - 1.0 / 2.718281828459045
+
+
+@st.composite
+def coverage_instance(draw):
+    num_sets = draw(st.integers(min_value=1, max_value=8))
+    sets = [
+        draw(
+            st.sets(st.integers(min_value=0, max_value=9), min_size=1, max_size=4)
+        )
+        for _ in range(num_sets)
+    ]
+    universe = sorted({x for s in sets for x in s})
+    return CoverageFunction(sets), universe
+
+
+@given(instance=coverage_instance(), k=st.integers(min_value=1, max_value=4))
+@settings(max_examples=80, deadline=None)
+def test_lazy_equals_plain_greedy(instance, k):
+    cover, universe = instance
+    assert (
+        lazy_greedy_max(cover, universe, k).value
+        == greedy_max(cover, universe, k).value
+    )
+
+
+@given(instance=coverage_instance(), k=st.integers(min_value=1, max_value=3))
+@settings(max_examples=60, deadline=None)
+def test_greedy_classic_bound(instance, k):
+    cover, universe = instance
+    greedy_value = greedy_max(cover, universe, k).value
+    optimum = brute_force_optimum(cover, universe, k).value
+    assert greedy_value >= E_INV * optimum - 1e-9
+
+
+@given(instance=coverage_instance(), k=st.integers(min_value=1, max_value=3))
+@settings(max_examples=60, deadline=None)
+def test_dedicated_cover_matches_generic_greedy(instance, k):
+    """greedy_cover's incremental gains == generic greedy's evaluations."""
+    cover, universe = instance
+    dedicated = cover.value(cover.greedy_cover(k))
+    generic = greedy_max(cover, universe, k).value
+    assert dedicated == generic
+
+
+@given(
+    instance=coverage_instance(),
+    seeds=st.sets(st.integers(min_value=0, max_value=9), max_size=4),
+    extra=st.integers(min_value=0, max_value=9),
+)
+@settings(max_examples=80, deadline=None)
+def test_coverage_monotone(instance, seeds, extra):
+    cover, _ = instance
+    assert cover.value(seeds | {extra}) >= cover.value(seeds)
+
+
+@given(
+    instance=coverage_instance(),
+    small=st.sets(st.integers(min_value=0, max_value=9), max_size=3),
+    additional=st.sets(st.integers(min_value=0, max_value=9), max_size=3),
+    candidate=st.integers(min_value=0, max_value=9),
+)
+@settings(max_examples=80, deadline=None)
+def test_coverage_submodular(instance, small, additional, candidate):
+    cover, _ = instance
+    large = small | additional
+    gain_small = cover.value(small | {candidate}) - cover.value(small)
+    gain_large = cover.value(large | {candidate}) - cover.value(large)
+    assert gain_small >= gain_large

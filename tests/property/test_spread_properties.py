@@ -1,0 +1,121 @@
+"""Property-based tests for Theorem 1: f_t is normalized, monotone, submodular.
+
+Hypothesis generates arbitrary small TDNs (event lists with lifetimes) and
+arbitrary seed sets; the influence spread of Definition 3 must satisfy the
+three properties the entire algorithmic framework rests on, at every time
+and every horizon.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.influence.oracle import InfluenceOracle
+from repro.tdn.graph import TDNGraph
+from repro.tdn.interaction import Interaction
+
+NODES = [f"n{i}" for i in range(6)]
+
+
+@st.composite
+def tdn_events(draw):
+    """A chronological list of events over a 6-node universe."""
+    count = draw(st.integers(min_value=1, max_value=14))
+    events = []
+    for _ in range(count):
+        u, v = draw(
+            st.tuples(
+                st.sampled_from(NODES), st.sampled_from(NODES)
+            ).filter(lambda p: p[0] != p[1])
+        )
+        t = draw(st.integers(min_value=0, max_value=6))
+        lifetime = draw(st.integers(min_value=1, max_value=8))
+        events.append(Interaction(u, v, t, lifetime))
+    events.sort(key=lambda e: e.time)
+    return events
+
+
+def build_graph(events, upto):
+    graph = TDNGraph()
+    by_time = {}
+    for e in events:
+        by_time.setdefault(e.time, []).append(e)
+    for t in range(upto + 1):
+        graph.advance_to(t)
+        for e in by_time.get(t, []):
+            graph.add_interaction(e)
+    return graph
+
+
+@given(events=tdn_events(), t=st.integers(min_value=0, max_value=6))
+@settings(max_examples=60, deadline=None)
+def test_normalized(events, t):
+    graph = build_graph(events, t)
+    assert InfluenceOracle(graph).spread([]) == 0
+
+
+@given(
+    events=tdn_events(),
+    t=st.integers(min_value=0, max_value=6),
+    seeds=st.sets(st.sampled_from(NODES), max_size=4),
+    extra=st.sampled_from(NODES),
+)
+@settings(max_examples=60, deadline=None)
+def test_monotone(events, t, seeds, extra):
+    graph = build_graph(events, t)
+    oracle = InfluenceOracle(graph)
+    assert oracle.spread(seeds | {extra}) >= oracle.spread(seeds)
+
+
+@given(
+    events=tdn_events(),
+    t=st.integers(min_value=0, max_value=6),
+    small=st.sets(st.sampled_from(NODES), max_size=2),
+    additional=st.sets(st.sampled_from(NODES), max_size=2),
+    candidate=st.sampled_from(NODES),
+)
+@settings(max_examples=80, deadline=None)
+def test_submodular(events, t, small, additional, candidate):
+    """Diminishing returns: gain w.r.t. S >= gain w.r.t. T for S subset T."""
+    graph = build_graph(events, t)
+    oracle = InfluenceOracle(graph)
+    large = small | additional
+    gain_small = oracle.spread(small | {candidate}) - oracle.spread(small)
+    gain_large = oracle.spread(large | {candidate}) - oracle.spread(large)
+    assert gain_small >= gain_large
+
+
+@given(
+    events=tdn_events(),
+    t=st.integers(min_value=0, max_value=6),
+    horizon_offset=st.integers(min_value=1, max_value=8),
+    seeds=st.sets(st.sampled_from(NODES), min_size=1, max_size=3),
+)
+@settings(max_examples=60, deadline=None)
+def test_horizon_monotone_in_expiry(events, t, horizon_offset, seeds):
+    """Raising the horizon (fewer visible edges) can only shrink the spread."""
+    graph = build_graph(events, t)
+    oracle = InfluenceOracle(graph)
+    low = oracle.spread(seeds, min_expiry=t + 1)
+    high = oracle.spread(seeds, min_expiry=t + 1 + horizon_offset)
+    assert high <= low
+
+
+@given(
+    events=tdn_events(),
+    t=st.integers(min_value=0, max_value=6),
+    seeds=st.sets(st.sampled_from(NODES), min_size=1, max_size=3),
+)
+@settings(max_examples=60, deadline=None)
+def test_spread_matches_naive_reachability(events, t, seeds):
+    """Oracle spread == brute-force reachability over alive edges."""
+    graph = build_graph(events, t)
+    alive = [(e.source, e.target) for e in events if e.alive_at(t)]
+    reached = set(seeds)
+    changed = True
+    while changed:
+        changed = False
+        for u, v in alive:
+            if u in reached and v not in reached:
+                reached.add(v)
+                changed = True
+    assert InfluenceOracle(graph).spread(seeds) == len(reached)

@@ -1,0 +1,127 @@
+"""Property-based tests: TDNGraph agrees with a naive reference model.
+
+The reference model keeps the full event list and answers every question by
+linear scans using only ``Interaction.alive_at`` — the paper's membership
+rule.  TDNGraph's incremental bookkeeping (expiry buckets, per-pair maxima,
+node removal) must agree with it after arbitrary event sequences.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.tdn.graph import TDNGraph
+from repro.tdn.interaction import Interaction
+
+NODES = [f"n{i}" for i in range(5)]
+
+
+@st.composite
+def event_trace(draw):
+    count = draw(st.integers(min_value=1, max_value=16))
+    events = []
+    for _ in range(count):
+        u, v = draw(
+            st.tuples(st.sampled_from(NODES), st.sampled_from(NODES)).filter(
+                lambda p: p[0] != p[1]
+            )
+        )
+        t = draw(st.integers(min_value=0, max_value=8))
+        lifetime = draw(
+            st.one_of(st.integers(min_value=1, max_value=10), st.none())
+        )
+        events.append(Interaction(u, v, t, lifetime))
+    events.sort(key=lambda e: e.time)
+    return events
+
+
+def build(events, upto):
+    graph = TDNGraph()
+    by_time = {}
+    for e in events:
+        by_time.setdefault(e.time, []).append(e)
+    for t in range(upto + 1):
+        graph.advance_to(t)
+        for e in by_time.get(t, []):
+            graph.add_interaction(e)
+    return graph
+
+
+@given(events=event_trace(), t=st.integers(min_value=0, max_value=8))
+@settings(max_examples=80, deadline=None)
+def test_edge_count_matches_reference(events, t):
+    graph = build(events, t)
+    alive = [e for e in events if e.alive_at(t)]
+    assert graph.num_edges == len(alive)
+
+
+@given(events=event_trace(), t=st.integers(min_value=0, max_value=8))
+@settings(max_examples=80, deadline=None)
+def test_node_set_matches_reference(events, t):
+    graph = build(events, t)
+    alive = [e for e in events if e.alive_at(t)]
+    expected = {e.source for e in alive} | {e.target for e in alive}
+    assert graph.node_set() == expected
+
+
+@given(events=event_trace(), t=st.integers(min_value=0, max_value=8))
+@settings(max_examples=80, deadline=None)
+def test_pair_counts_match_reference(events, t):
+    graph = build(events, t)
+    alive = [e for e in events if e.alive_at(t)]
+    for u in NODES:
+        for v in NODES:
+            if u == v:
+                continue
+            expected = sum(1 for e in alive if e.source == u and e.target == v)
+            assert graph.interaction_count(u, v) == expected
+
+
+@given(
+    events=event_trace(),
+    t=st.integers(min_value=0, max_value=8),
+    horizon_offset=st.integers(min_value=1, max_value=12),
+)
+@settings(max_examples=80, deadline=None)
+def test_horizon_adjacency_matches_reference(events, t, horizon_offset):
+    """out_neighbors(min_expiry=h) == pairs with some edge with expiry >= h."""
+    graph = build(events, t)
+    horizon = t + horizon_offset
+    alive = [e for e in events if e.alive_at(t)]
+    for u in NODES:
+        expected = {
+            e.target for e in alive if e.source == u and e.expiry >= horizon
+        }
+        assert set(graph.out_neighbors(u, min_expiry=horizon)) == expected
+
+
+@given(events=event_trace(), t=st.integers(min_value=0, max_value=8))
+@settings(max_examples=60, deadline=None)
+def test_expiry_range_scan_matches_reference(events, t):
+    graph = build(events, t)
+    lo, hi = t + 2, t + 6
+    expected = sorted(
+        (e.source, e.target, int(e.expiry))
+        for e in events
+        if e.alive_at(t) and e.lifetime is not None and lo <= e.expiry < hi
+    )
+    assert sorted(graph.edges_with_expiry_in(lo, hi)) == expected
+
+
+@given(events=event_trace())
+@settings(max_examples=40, deadline=None)
+def test_stepwise_equals_jump_advance(events):
+    """Advancing one step at a time == jumping straight to the end."""
+    final_time = max(e.time for e in events) + 12
+    stepwise = build(events, final_time)
+    jump = TDNGraph()
+    by_time = {}
+    for e in events:
+        by_time.setdefault(e.time, []).append(e)
+    for t in sorted(by_time):
+        jump.advance_to(t)
+        for e in by_time[t]:
+            jump.add_interaction(e)
+    jump.advance_to(final_time)
+    assert jump.num_edges == stepwise.num_edges
+    assert jump.node_set() == stepwise.node_set()
+    assert sorted(jump.alive_pairs()) == sorted(stepwise.alive_pairs())

@@ -1,0 +1,78 @@
+"""Property-based tests for the lazy threshold grid and lifetime policies."""
+
+import math
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core.thresholds import ThresholdSet
+from repro.tdn.interaction import Interaction
+from repro.tdn.lifetimes import GeometricLifetime
+
+EVENT = Interaction("a", "b", 0)
+
+
+@given(
+    k=st.integers(min_value=1, max_value=50),
+    epsilon=st.floats(min_value=0.01, max_value=0.9),
+    deltas=st.lists(
+        st.floats(min_value=0.5, max_value=1e6), min_size=1, max_size=10
+    ),
+)
+@settings(max_examples=100, deadline=None)
+def test_grid_window_invariant(k, epsilon, deltas):
+    """After any delta sequence: thresholds exactly cover [D/2k, D] range.
+
+    Every maintained threshold theta = (1+eps)^i / 2k must satisfy
+    Delta/(2k) <= theta (up to one grid step) and theta <= Delta (same),
+    and consecutive thresholds differ by the factor (1+eps).
+    """
+    grid = ThresholdSet(k, epsilon)
+    for delta in deltas:
+        grid.update_delta(delta)
+    top = max(deltas)
+    assert grid.delta == top
+    thresholds = [t for t, _ in grid.items()]
+    assert thresholds, "grid must be non-empty once delta > 0"
+    lo_bound = top / (2 * k)
+    hi_bound = top
+    tolerance = 1 + epsilon + 1e-6
+    assert thresholds[0] >= lo_bound / tolerance
+    assert thresholds[-1] <= hi_bound * tolerance
+    for a, b in zip(thresholds, thresholds[1:]):
+        assert b / a == _approx(1 + epsilon)
+
+
+def _approx(value):
+    class _Cmp:
+        def __eq__(self, other):
+            return math.isclose(other, value, rel_tol=1e-9)
+
+    return _Cmp()
+
+
+@given(
+    k=st.integers(min_value=1, max_value=30),
+    epsilon=st.floats(min_value=0.05, max_value=0.5),
+    delta=st.floats(min_value=1.0, max_value=1e5),
+)
+@settings(max_examples=100, deadline=None)
+def test_grid_size_bound(k, epsilon, delta):
+    """|Theta| = O(log(2k)/eps), the space bound of Theorem 3."""
+    grid = ThresholdSet(k, epsilon)
+    grid.update_delta(delta)
+    bound = math.log(2 * k) / math.log1p(epsilon) + 2
+    assert len(grid) <= bound
+
+
+@given(
+    p=st.floats(min_value=0.01, max_value=0.9),
+    max_lifetime=st.integers(min_value=1, max_value=500),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+@settings(max_examples=100, deadline=None)
+def test_geometric_draws_always_valid(p, max_lifetime, seed):
+    policy = GeometricLifetime(p, max_lifetime, seed=seed)
+    for _ in range(50):
+        draw = policy.draw(EVENT)
+        assert 1 <= draw <= max_lifetime

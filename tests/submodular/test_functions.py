@@ -1,0 +1,84 @@
+"""Unit tests for set-function adapters and coverage."""
+
+import pytest
+
+from repro.influence.oracle import InfluenceOracle
+from repro.submodular.functions import CoverageFunction, SpreadFunction
+from repro.tdn.graph import TDNGraph
+from repro.tdn.interaction import Interaction
+
+
+class TestSpreadFunction:
+    def test_binds_oracle_and_horizon(self):
+        graph = TDNGraph()
+        graph.add_interaction(Interaction("a", "b", 0, 2))
+        graph.add_interaction(Interaction("a", "c", 0, 9))
+        oracle = InfluenceOracle(graph)
+        assert SpreadFunction(oracle).value(["a"]) == 3
+        assert SpreadFunction(oracle, min_expiry=5).value(["a"]) == 2
+
+
+class TestCoverageFunction:
+    def test_value_counts_covered_sets(self):
+        cover = CoverageFunction([{1, 2}, {2, 3}, {4}])
+        assert cover.value([2]) == 2
+        assert cover.value([2, 4]) == 3
+        assert cover.value([]) == 0
+
+    def test_weighted(self):
+        cover = CoverageFunction([{1}, {2}], weights=[5.0, 1.0])
+        assert cover.value([1]) == 5.0
+        assert cover.value([1, 2]) == 6.0
+
+    def test_weight_length_mismatch(self):
+        with pytest.raises(ValueError):
+            CoverageFunction([{1}], weights=[1.0, 2.0])
+
+    def test_covering_sets_index(self):
+        cover = CoverageFunction([{1, 2}, {2}])
+        assert cover.covering_sets(2) == [0, 1]
+        assert cover.covering_sets(99) == []
+
+    def test_monotone_and_submodular_on_instance(self):
+        cover = CoverageFunction([{1, 2}, {2, 3}, {3, 4}, {5}])
+        ground = [1, 2, 3, 4, 5]
+        # Monotone: adding an element never decreases coverage.
+        for s in ([], [1], [1, 3]):
+            for x in ground:
+                assert cover.value(s + [x]) >= cover.value(s)
+        # Submodular: diminishing returns for a nested pair.
+        small, large = [1], [1, 3, 4]
+        for x in ground:
+            gain_small = cover.value(small + [x]) - cover.value(small)
+            gain_large = cover.value(large + [x]) - cover.value(large)
+            assert gain_small >= gain_large
+
+
+class TestGreedyCover:
+    def test_selects_best_cover(self):
+        cover = CoverageFunction([{1, 2}, {2, 3}, {4}, {4, 5}])
+        chosen = cover.greedy_cover(2)
+        assert cover.value(chosen) == 4.0
+
+    def test_matches_lazy_greedy(self):
+        from repro.submodular.greedy import lazy_greedy_max
+
+        sets = [{1, 2, 3}, {3, 4}, {5}, {1, 5}, {2, 6}]
+        cover = CoverageFunction(sets)
+        universe = sorted({x for s in sets for x in s})
+        dedicated = cover.value(cover.greedy_cover(3))
+        generic = lazy_greedy_max(cover, universe, 3).value
+        assert dedicated == generic
+
+    def test_k_zero(self):
+        cover = CoverageFunction([{1}])
+        assert cover.greedy_cover(0) == []
+
+    def test_k_larger_than_universe(self):
+        cover = CoverageFunction([{1}, {2}])
+        chosen = cover.greedy_cover(10)
+        assert cover.value(chosen) == 2.0
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(ValueError):
+            CoverageFunction([{1}]).greedy_cover(-1)

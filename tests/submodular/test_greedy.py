@@ -1,0 +1,98 @@
+"""Unit tests for greedy, lazy greedy, and brute force."""
+
+import pytest
+
+from repro.submodular.functions import CoverageFunction
+from repro.submodular.greedy import brute_force_optimum, greedy_max, lazy_greedy_max
+
+
+def coverage_instance():
+    sets = [{1, 2, 3}, {3, 4}, {4, 5, 6}, {6}, {7, 8}, {1, 8}]
+    cover = CoverageFunction(sets)
+    universe = sorted({x for s in sets for x in s})
+    return cover, universe
+
+
+class TestGreedyMax:
+    def test_first_pick_is_best_singleton(self):
+        cover, universe = coverage_instance()
+        result = greedy_max(cover, universe, 1)
+        best_single = max(cover.value([x]) for x in universe)
+        assert result.value == best_single
+
+    def test_respects_budget(self):
+        cover, universe = coverage_instance()
+        assert len(greedy_max(cover, universe, 3).nodes) <= 3
+
+    def test_classic_guarantee_on_instance(self):
+        cover, universe = coverage_instance()
+        for k in (1, 2, 3):
+            greedy = greedy_max(cover, universe, k)
+            optimum = brute_force_optimum(cover, universe, k)
+            assert greedy.value >= (1 - 1 / 2.718281828) * optimum.value
+
+    def test_k_zero(self):
+        cover, universe = coverage_instance()
+        assert greedy_max(cover, universe, 0).nodes == []
+
+    def test_negative_k(self):
+        cover, universe = coverage_instance()
+        with pytest.raises(ValueError):
+            greedy_max(cover, universe, -1)
+
+    def test_duplicate_candidates_deduped(self):
+        cover, universe = coverage_instance()
+        result = greedy_max(cover, universe + universe, 2)
+        assert len(set(result.nodes)) == len(result.nodes)
+
+
+class TestLazyGreedyMax:
+    def test_identical_to_plain_greedy(self):
+        cover, universe = coverage_instance()
+        for k in (1, 2, 3, 4):
+            plain = greedy_max(cover, universe, k)
+            lazy = lazy_greedy_max(cover, universe, k)
+            assert lazy.value == plain.value
+
+    def test_fewer_evaluations_without_ties(self):
+        # Disjoint sets with strictly distinct weights: marginal gains never
+        # change after a pick, so stale CELF bounds stay exact and lazy
+        # greedy does n initial + ~1 evaluation per round, while plain
+        # greedy pays the full remaining pool every round.
+        sets = [{i} for i in range(20)]
+        weights = [100.0 - i for i in range(20)]
+        cover = CoverageFunction(sets, weights=weights)
+        universe = list(range(20))
+        plain = greedy_max(cover, universe, 5)
+        lazy = lazy_greedy_max(cover, universe, 5)
+        assert lazy.value == plain.value
+        assert lazy.evaluations < plain.evaluations
+
+    def test_stops_at_zero_gain(self):
+        cover = CoverageFunction([{1}, {2}])
+        result = lazy_greedy_max(cover, [1, 2, 99], 3)
+        assert set(result.nodes) == {1, 2}  # 99 covers nothing
+
+    def test_empty_candidates(self):
+        cover, _ = coverage_instance()
+        assert lazy_greedy_max(cover, [], 3).nodes == []
+
+
+class TestBruteForce:
+    def test_finds_true_optimum(self):
+        # Coverage counts covered *sets*: {1, 3} hits all three.
+        cover = CoverageFunction([{1, 2}, {3, 4}, {1, 3}])
+        result = brute_force_optimum(cover, [1, 2, 3, 4], 2)
+        assert result.value == 3.0
+
+    def test_at_most_k(self):
+        cover, universe = coverage_instance()
+        assert len(brute_force_optimum(cover, universe, 2).nodes) <= 2
+
+    def test_dominates_greedy(self):
+        cover, universe = coverage_instance()
+        for k in (1, 2, 3):
+            assert (
+                brute_force_optimum(cover, universe, k).value
+                >= greedy_max(cover, universe, k).value
+            )

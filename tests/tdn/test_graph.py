@@ -1,0 +1,265 @@
+"""Unit tests for TDNGraph: expiry, adjacency, horizon filtering."""
+
+import math
+
+import pytest
+
+from repro.tdn.graph import TDNGraph
+from repro.tdn.interaction import Interaction
+
+
+def make_graph(events, upto):
+    graph = TDNGraph()
+    by_time = {}
+    for e in events:
+        by_time.setdefault(e.time, []).append(e)
+    for t in range(upto + 1):
+        graph.advance_to(t)
+        for e in by_time.get(t, []):
+            graph.add_interaction(e)
+    return graph
+
+
+class TestClock:
+    def test_starts_at_zero(self):
+        assert TDNGraph().time == 0
+
+    def test_advance_and_tick(self):
+        graph = TDNGraph()
+        graph.advance_to(5)
+        assert graph.time == 5
+        graph.tick()
+        assert graph.time == 6
+
+    def test_rewind_rejected(self):
+        graph = TDNGraph()
+        graph.advance_to(3)
+        with pytest.raises(ValueError, match="rewind"):
+            graph.advance_to(2)
+
+    def test_advance_returns_removed_count(self):
+        graph = TDNGraph()
+        graph.add_interaction(Interaction("a", "b", 0, 1))
+        graph.add_interaction(Interaction("a", "c", 0, 2))
+        assert graph.advance_to(1) == 1
+        assert graph.advance_to(2) == 1
+
+
+class TestAddAndExpire:
+    def test_edge_alive_then_expires(self):
+        graph = TDNGraph()
+        graph.add_interaction(Interaction("a", "b", 0, 2))
+        assert graph.num_edges == 1
+        graph.advance_to(1)
+        assert graph.num_edges == 1
+        graph.advance_to(2)
+        assert graph.num_edges == 0
+
+    def test_node_removed_when_all_edges_expire(self):
+        graph = TDNGraph()
+        graph.add_interaction(Interaction("a", "b", 0, 1))
+        assert graph.has_node("a") and graph.has_node("b")
+        graph.advance_to(1)
+        assert not graph.has_node("a") and not graph.has_node("b")
+        assert graph.num_nodes == 0
+
+    def test_node_stays_while_any_edge_alive(self):
+        graph = TDNGraph()
+        graph.add_interaction(Interaction("a", "b", 0, 1))
+        graph.add_interaction(Interaction("c", "a", 0, 3))
+        graph.advance_to(1)
+        assert graph.has_node("a")  # still a target of c->a
+        assert not graph.has_node("b")
+
+    def test_multi_edges_counted(self):
+        graph = TDNGraph()
+        graph.add_interaction(Interaction("a", "b", 0, 1))
+        graph.add_interaction(Interaction("a", "b", 0, 5))
+        assert graph.num_edges == 2
+        assert graph.num_pairs == 1
+        assert graph.interaction_count("a", "b") == 2
+        graph.advance_to(1)
+        assert graph.interaction_count("a", "b") == 1
+
+    def test_stale_interaction_rejected(self):
+        graph = TDNGraph()
+        graph.advance_to(5)
+        with pytest.raises(ValueError, match="not alive"):
+            graph.add_interaction(Interaction("a", "b", 2, 2))
+
+    def test_infinite_lifetime_never_expires(self):
+        graph = TDNGraph()
+        graph.add_interaction(Interaction("a", "b", 0))
+        graph.advance_to(10_000)
+        assert graph.num_edges == 1
+
+    def test_version_bumps_on_changes_only(self):
+        graph = TDNGraph()
+        v0 = graph.version
+        graph.add_interaction(Interaction("a", "b", 0, 3))
+        assert graph.version == v0 + 1
+        v1 = graph.version
+        graph.advance_to(1)  # nothing expires
+        assert graph.version == v1
+        graph.advance_to(3)  # the edge expires
+        assert graph.version == v1 + 1
+
+
+class TestPaperFig2Example:
+    """Replays the exact 9-edge example of the paper's Fig. 2."""
+
+    EDGES_T = [
+        ("u1", "u2", 1),
+        ("u1", "u3", 1),
+        ("u1", "u4", 2),
+        ("u5", "u3", 3),
+        ("u6", "u4", 1),
+        ("u6", "u7", 1),
+    ]
+    EDGES_T1 = [
+        ("u5", "u2", 1),
+        ("u7", "u4", 2),
+        ("u7", "u6", 3),
+    ]
+
+    def build(self, upto):
+        events = [Interaction(u, v, 0, l) for u, v, l in self.EDGES_T]
+        events += [Interaction(u, v, 1, l) for u, v, l in self.EDGES_T1]
+        return make_graph(events, upto)
+
+    def test_time_t_edges(self):
+        graph = self.build(0)
+        assert graph.num_edges == 6
+        assert set(graph.alive_pairs()) == {
+            ("u1", "u2"), ("u1", "u3"), ("u1", "u4"),
+            ("u5", "u3"), ("u6", "u4"), ("u6", "u7"),
+        }
+
+    def test_time_t_plus_1_matches_figure(self):
+        # Per Fig. 2: e1, e2, e5, e6 expire; e3, e4 survive with decremented
+        # lifetimes; e7, e8, e9 arrive.
+        graph = self.build(1)
+        assert set(graph.alive_pairs()) == {
+            ("u1", "u4"), ("u5", "u3"),
+            ("u5", "u2"), ("u7", "u4"), ("u7", "u6"),
+        }
+        assert graph.remaining_lifetime("u1", "u4") == 1
+        assert graph.remaining_lifetime("u5", "u3") == 2
+        assert graph.remaining_lifetime("u5", "u2") == 1
+        assert graph.remaining_lifetime("u7", "u4") == 2
+        assert graph.remaining_lifetime("u7", "u6") == 3
+
+
+class TestHorizonFiltering:
+    def test_out_neighbors_filtered_by_expiry(self):
+        graph = TDNGraph()
+        graph.add_interaction(Interaction("a", "b", 0, 2))  # expiry 2
+        graph.add_interaction(Interaction("a", "c", 0, 5))  # expiry 5
+        assert set(graph.out_neighbors("a")) == {"b", "c"}
+        assert set(graph.out_neighbors("a", min_expiry=3)) == {"c"}
+        assert set(graph.out_neighbors("a", min_expiry=6)) == set()
+
+    def test_in_neighbors_filtered_by_expiry(self):
+        graph = TDNGraph()
+        graph.add_interaction(Interaction("a", "c", 0, 2))
+        graph.add_interaction(Interaction("b", "c", 0, 5))
+        assert set(graph.in_neighbors("c", min_expiry=3)) == {"b"}
+
+    def test_max_expiry_uses_longest_parallel_edge(self):
+        graph = TDNGraph()
+        graph.add_interaction(Interaction("a", "b", 0, 1))
+        graph.add_interaction(Interaction("a", "b", 0, 4))
+        assert graph.max_expiry("a", "b") == 4
+        assert set(graph.out_neighbors("a", min_expiry=3)) == {"b"}
+        graph.advance_to(1)  # short edge gone, long one remains
+        assert graph.max_expiry("a", "b") == 4
+
+    def test_max_expiry_recomputed_after_longest_expires(self):
+        graph = TDNGraph()
+        graph.add_interaction(Interaction("a", "b", 0, 2))
+        graph.advance_to(1)
+        graph.add_interaction(Interaction("a", "b", 1, 4))  # expiry 5
+        graph.advance_to(2)  # first edge (expiry 2) goes
+        assert graph.max_expiry("a", "b") == 5
+
+    def test_infinite_expiry_always_passes_filters(self):
+        graph = TDNGraph()
+        graph.add_interaction(Interaction("a", "b", 0))
+        assert set(graph.out_neighbors("a", min_expiry=10**9)) == {"b"}
+        assert graph.max_expiry("a", "b") == math.inf
+
+
+class TestExpiryRangeScan:
+    def test_edges_with_expiry_in_range(self):
+        graph = TDNGraph()
+        graph.add_interaction(Interaction("a", "b", 0, 1))  # expiry 1
+        graph.add_interaction(Interaction("a", "c", 0, 3))  # expiry 3
+        graph.add_interaction(Interaction("b", "c", 0, 5))  # expiry 5
+        rows = list(graph.edges_with_expiry_in(2, 5))
+        assert rows == [("a", "c", 3)]
+
+    def test_range_scan_excludes_expired_buckets(self):
+        graph = TDNGraph()
+        graph.add_interaction(Interaction("a", "b", 0, 1))
+        graph.add_interaction(Interaction("a", "c", 0, 4))
+        graph.advance_to(2)
+        assert list(graph.edges_with_expiry_in(0, 100)) == [("a", "c", 4)]
+
+    def test_range_scan_with_infinite_upper_bound(self):
+        graph = TDNGraph()
+        graph.add_interaction(Interaction("a", "b", 0, 2))
+        graph.add_interaction(Interaction("a", "c", 0))  # infinite
+        rows = list(graph.edges_with_expiry_in(1, math.inf))
+        # Infinite-expiry edges are never yielded (hi is exclusive).
+        assert rows == [("a", "b", 2)]
+
+    def test_range_scan_includes_parallel_edges(self):
+        graph = TDNGraph()
+        graph.add_interaction(Interaction("a", "b", 0, 3))
+        graph.add_interaction(Interaction("a", "b", 0, 3))
+        assert list(graph.edges_with_expiry_in(1, 10)) == [
+            ("a", "b", 3),
+            ("a", "b", 3),
+        ]
+
+
+class TestRemovalListener:
+    def test_listener_fires_per_removed_edge(self):
+        removed = []
+        graph = TDNGraph()
+        graph.add_removal_listener(lambda u, v, left: removed.append((u, v, left)))
+        graph.add_interaction(Interaction("a", "b", 0, 1))
+        graph.add_interaction(Interaction("a", "b", 0, 1))
+        graph.advance_to(1)
+        assert removed == [("a", "b", 1), ("a", "b", 0)]
+
+
+class TestInventories:
+    def test_node_set_and_alive_interactions(self):
+        graph = TDNGraph()
+        graph.add_interaction(Interaction("a", "b", 0, 2))
+        graph.add_interaction(Interaction("c", "a", 0, 1))
+        assert graph.node_set() == {"a", "b", "c"}
+        rows = graph.alive_interactions()
+        assert len(rows) == 2
+        graph.advance_to(1)
+        assert graph.node_set() == {"a", "b"}
+
+    def test_alive_pairs_with_counts(self):
+        graph = TDNGraph()
+        graph.add_interaction(Interaction("a", "b", 0, 2))
+        graph.add_interaction(Interaction("a", "b", 0, 2))
+        graph.add_interaction(Interaction("b", "c", 0, 2))
+        assert sorted(graph.alive_pairs_with_counts()) == [
+            ("a", "b", 2),
+            ("b", "c", 1),
+        ]
+
+    def test_degrees(self):
+        graph = TDNGraph()
+        graph.add_interaction(Interaction("a", "b", 0, 2))
+        graph.add_interaction(Interaction("a", "c", 0, 2))
+        graph.add_interaction(Interaction("c", "b", 0, 2))
+        assert graph.out_degree("a") == 2
+        assert graph.in_degree("b") == 2
+        assert graph.out_degree("b") == 0

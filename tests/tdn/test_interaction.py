@@ -1,0 +1,83 @@
+"""Unit tests for the Interaction record (paper Definition 1)."""
+
+import math
+
+import pytest
+
+from repro.tdn.interaction import Interaction
+
+
+class TestConstruction:
+    def test_basic_fields(self):
+        i = Interaction("a", "b", 5, 3)
+        assert i.source == "a"
+        assert i.target == "b"
+        assert i.time == 5
+        assert i.lifetime == 3
+
+    def test_default_lifetime_is_infinite(self):
+        assert Interaction("a", "b", 0).lifetime is None
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError, match="self-loop"):
+            Interaction("a", "a", 0)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError, match="time"):
+            Interaction("a", "b", -1)
+
+    def test_non_integer_time_rejected(self):
+        with pytest.raises(TypeError):
+            Interaction("a", "b", 1.5)
+
+    def test_zero_lifetime_rejected(self):
+        with pytest.raises(ValueError, match="lifetime"):
+            Interaction("a", "b", 0, 0)
+
+    def test_bool_time_rejected(self):
+        with pytest.raises(TypeError):
+            Interaction("a", "b", True)
+
+    def test_frozen(self):
+        i = Interaction("a", "b", 0, 1)
+        with pytest.raises(AttributeError):
+            i.time = 3
+
+    def test_hashable_and_equal(self):
+        assert Interaction("a", "b", 0, 1) == Interaction("a", "b", 0, 1)
+        assert len({Interaction("a", "b", 0, 1), Interaction("a", "b", 0, 1)}) == 1
+
+
+class TestLifetimeSemantics:
+    def test_expiry_is_time_plus_lifetime(self):
+        assert Interaction("a", "b", 3, 4).expiry == 7
+
+    def test_infinite_expiry(self):
+        assert Interaction("a", "b", 3).expiry == math.inf
+
+    def test_alive_window_matches_paper_rule(self):
+        # e in E_t iff tau <= t < tau + l (paper Section II-B).
+        i = Interaction("a", "b", 2, 3)
+        assert not i.alive_at(1)
+        assert i.alive_at(2)
+        assert i.alive_at(3)
+        assert i.alive_at(4)
+        assert not i.alive_at(5)
+
+    def test_lifetime_one_lives_exactly_one_step(self):
+        i = Interaction("a", "b", 7, 1)
+        assert i.alive_at(7)
+        assert not i.alive_at(8)
+
+    def test_remaining_lifetime_decreases(self):
+        # l_t(e) = l_tau(e) - (t - tau) (the paper's decay rule).
+        i = Interaction("a", "b", 2, 3)
+        assert i.remaining_lifetime(2) == 3
+        assert i.remaining_lifetime(4) == 1
+        assert i.remaining_lifetime(5) == 0
+
+    def test_with_lifetime_returns_new_record(self):
+        i = Interaction("a", "b", 1)
+        j = i.with_lifetime(9)
+        assert j.lifetime == 9 and i.lifetime is None
+        assert j.source == i.source and j.time == i.time

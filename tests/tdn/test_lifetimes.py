@@ -1,0 +1,151 @@
+"""Unit and statistical tests for lifetime policies (paper Examples 3-5)."""
+
+import math
+import random
+
+import pytest
+
+from repro.tdn.interaction import Interaction
+from repro.tdn.lifetimes import (
+    ConstantLifetime,
+    FunctionLifetime,
+    GeometricLifetime,
+    InfiniteLifetime,
+    PowerLawLifetime,
+    UniformLifetime,
+)
+
+EVENT = Interaction("a", "b", 0)
+
+
+class TestInfiniteLifetime:
+    def test_draw_is_none(self):
+        assert InfiniteLifetime().draw(EVENT) is None
+
+    def test_assign_keeps_infinite(self):
+        assert InfiniteLifetime().assign(EVENT).lifetime is None
+
+    def test_no_max(self):
+        assert InfiniteLifetime().max_lifetime is None
+
+
+class TestConstantLifetime:
+    def test_draw_equals_window(self):
+        policy = ConstantLifetime(7)
+        assert policy.draw(EVENT) == 7
+        assert policy.max_lifetime == 7
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            ConstantLifetime(0)
+
+    def test_sliding_window_semantics(self):
+        # Example 4: lifetime W means the edge is alive for exactly W steps.
+        assigned = ConstantLifetime(3).assign(Interaction("a", "b", 10))
+        assert assigned.alive_at(12)
+        assert not assigned.alive_at(13)
+
+
+class TestGeometricLifetime:
+    def test_draws_in_range(self):
+        policy = GeometricLifetime(0.2, max_lifetime=10, seed=1)
+        draws = [policy.draw(EVENT) for _ in range(500)]
+        assert all(1 <= d <= 10 for d in draws)
+
+    def test_untruncated_mean_close_to_1_over_p(self):
+        # E[Geo(p)] = 1/p; statistical check with generous tolerance.
+        p = 0.1
+        policy = GeometricLifetime(p, seed=7)
+        draws = [policy.draw(EVENT) for _ in range(20_000)]
+        mean = sum(draws) / len(draws)
+        assert abs(mean - 1.0 / p) < 0.5
+
+    def test_distribution_shape(self):
+        # Pr(l = 1) = p for the untruncated geometric.
+        p = 0.3
+        policy = GeometricLifetime(p, seed=11)
+        draws = [policy.draw(EVENT) for _ in range(20_000)]
+        frac_one = sum(1 for d in draws if d == 1) / len(draws)
+        assert abs(frac_one - p) < 0.02
+
+    def test_equivalence_with_per_step_deletion(self):
+        """Paper Example 5: geometric lifetimes == forgetting with prob p.
+
+        Simulate the per-step deletion process directly and compare the
+        empirical survival distribution against the policy's draws.
+        """
+        p = 0.25
+        rng = random.Random(3)
+        simulated = []
+        for _ in range(20_000):
+            lifetime = 1
+            while rng.random() >= p:
+                lifetime += 1
+                if lifetime > 200:
+                    break
+            simulated.append(lifetime)
+        policy = GeometricLifetime(p, seed=5)
+        drawn = [policy.draw(EVENT) for _ in range(20_000)]
+        sim_mean = sum(simulated) / len(simulated)
+        drawn_mean = sum(drawn) / len(drawn)
+        assert abs(sim_mean - drawn_mean) < 0.15
+
+    def test_truncation_respected(self):
+        policy = GeometricLifetime(0.001, max_lifetime=50, seed=2)
+        assert max(policy.draw(EVENT) for _ in range(2_000)) <= 50
+
+    def test_p_validation(self):
+        with pytest.raises(ValueError):
+            GeometricLifetime(0.0)
+        with pytest.raises(ValueError):
+            GeometricLifetime(1.0)
+
+
+class TestUniformLifetime:
+    def test_draws_cover_range(self):
+        policy = UniformLifetime(2, 5, seed=1)
+        draws = {policy.draw(EVENT) for _ in range(500)}
+        assert draws == {2, 3, 4, 5}
+
+    def test_invalid_range(self):
+        with pytest.raises(ValueError, match="high"):
+            UniformLifetime(5, 2)
+
+
+class TestPowerLawLifetime:
+    def test_draws_in_range(self):
+        policy = PowerLawLifetime(2.0, 20, seed=1)
+        draws = [policy.draw(EVENT) for _ in range(1_000)]
+        assert all(1 <= d <= 20 for d in draws)
+
+    def test_heavy_head(self):
+        # With alpha=2 over {1..20}, Pr(1) = 1 / sum(1/l^2) ~ 0.645.
+        policy = PowerLawLifetime(2.0, 20, seed=3)
+        draws = [policy.draw(EVENT) for _ in range(20_000)]
+        frac_one = sum(1 for d in draws if d == 1) / len(draws)
+        expected = 1.0 / sum(l**-2.0 for l in range(1, 21))
+        assert abs(frac_one - expected) < 0.02
+
+
+class TestFunctionLifetime:
+    def test_delegates(self):
+        policy = FunctionLifetime(lambda i: 4 if i.source == "a" else 9)
+        assert policy.draw(Interaction("a", "b", 0)) == 4
+        assert policy.draw(Interaction("c", "b", 0)) == 9
+
+    def test_clamps_to_max(self):
+        policy = FunctionLifetime(lambda i: 100, max_lifetime=10)
+        assert policy.draw(EVENT) == 10
+
+    def test_invalid_return_rejected(self):
+        policy = FunctionLifetime(lambda i: 0)
+        with pytest.raises(ValueError):
+            policy.draw(EVENT)
+
+    def test_non_callable_rejected(self):
+        with pytest.raises(TypeError):
+            FunctionLifetime(42)
+
+    def test_none_means_infinite(self):
+        policy = FunctionLifetime(lambda i: None)
+        assert policy.assign(EVENT).lifetime is None

@@ -1,0 +1,162 @@
+"""Round-trip tests for checkpoint/restore.
+
+The gold standard: a run that checkpoints halfway and resumes must produce
+exactly the same solutions and values as an uninterrupted run.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.core.basic_reduction import BasicReduction
+from repro.core.hist_approx import HistApprox
+from repro.core.sieve_adn import SieveADN
+from repro.persistence import (
+    algorithm_from_dict,
+    algorithm_to_dict,
+    graph_from_dict,
+    graph_to_dict,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.tdn.graph import TDNGraph
+from repro.tdn.interaction import Interaction
+from repro.tdn.stream import MemoryStream
+
+
+def random_events(seed, steps=12, num_nodes=8, max_lifetime=6, infinite_fraction=0.1):
+    rng = random.Random(seed)
+    events = []
+    for t in range(steps):
+        for _ in range(rng.randint(1, 3)):
+            u, v = rng.randrange(num_nodes), rng.randrange(num_nodes)
+            if u == v:
+                continue
+            if rng.random() < infinite_fraction:
+                lifetime = None
+            else:
+                lifetime = rng.randint(1, max_lifetime)
+            events.append(Interaction(f"n{u}", f"n{v}", t, lifetime))
+    return events
+
+
+class TestGraphRoundTrip:
+    def test_alive_state_preserved(self):
+        events = random_events(1)
+        graph = TDNGraph()
+        for t, batch in MemoryStream(events, fill_gaps=True):
+            graph.advance_to(t)
+            graph.add_batch(batch)
+        restored = graph_from_dict(graph_to_dict(graph))
+        assert restored.time == graph.time
+        assert restored.num_edges == graph.num_edges
+        assert restored.node_set() == graph.node_set()
+        assert sorted(restored.alive_pairs()) == sorted(graph.alive_pairs())
+
+    def test_expiries_preserved(self):
+        graph = TDNGraph()
+        graph.add_interaction(Interaction("a", "b", 0, 3))
+        graph.add_interaction(Interaction("a", "b", 0, 7))
+        graph.add_interaction(Interaction("c", "d", 0))  # infinite
+        restored = graph_from_dict(graph_to_dict(graph))
+        assert restored.max_expiry("a", "b") == 7
+        assert restored.max_expiry("c", "d") == math.inf
+        assert restored.interaction_count("a", "b") == 2
+        # Future expiries behave identically.
+        graph.advance_to(3)
+        restored.advance_to(3)
+        assert restored.interaction_count("a", "b") == graph.interaction_count("a", "b")
+
+    def test_unserializable_label_rejected(self):
+        graph = TDNGraph()
+        graph.add_interaction(Interaction(("tuple", "label"), "b", 0, 3))
+        with pytest.raises(TypeError, match="not JSON-serializable"):
+            graph_to_dict(graph)
+
+
+@pytest.mark.parametrize(
+    "factory",
+    [
+        lambda graph: SieveADN(2, 0.1, graph),
+        lambda graph: BasicReduction(2, 0.1, 6, graph),
+        lambda graph: HistApprox(2, 0.1, graph),
+        lambda graph: HistApprox(2, 0.1, graph, refine_head=True),
+    ],
+    ids=["sieve-adn", "basic-reduction", "hist-approx", "hist-refined"],
+)
+class TestResumeEquivalence:
+    def test_resumed_run_matches_uninterrupted(self, factory, tmp_path):
+        """Checkpoint halfway, restore, finish: identical query results."""
+        probe = factory(TDNGraph())
+        is_sieve = isinstance(probe, SieveADN)
+        allows_infinite = isinstance(probe, (SieveADN, HistApprox))
+        events = random_events(
+            7, infinite_fraction=0.1 if allows_infinite else 0.0
+        )
+        if is_sieve:
+            events = [e.with_lifetime(None) for e in events]
+        batches = list(MemoryStream(events, fill_gaps=True))
+        half = len(batches) // 2
+
+        # Uninterrupted reference run.
+        graph_ref = TDNGraph()
+        algo_ref = factory(graph_ref)
+        for t, batch in batches:
+            graph_ref.advance_to(t)
+            graph_ref.add_batch(batch)
+            algo_ref.on_batch(t, batch)
+
+        # Interrupted run: process half, checkpoint, restore, finish.
+        graph_a = TDNGraph()
+        algo_a = factory(graph_a)
+        for t, batch in batches[:half]:
+            graph_a.advance_to(t)
+            graph_a.add_batch(batch)
+            algo_a.on_batch(t, batch)
+        path = tmp_path / "checkpoint.json"
+        save_checkpoint(path, graph_a, algo_a)
+        graph_b, algo_b = load_checkpoint(path)
+        for t, batch in batches[half:]:
+            graph_b.advance_to(t)
+            graph_b.add_batch(batch)
+            algo_b.on_batch(t, batch)
+
+        assert algo_b.query().value == algo_ref.query().value
+        assert algo_b.query().nodes == algo_ref.query().nodes
+
+    def test_dict_round_trip_preserves_query(self, factory, tmp_path):
+        is_sieve = isinstance(factory(TDNGraph()), SieveADN)
+        events = random_events(9, infinite_fraction=0.0)
+        if is_sieve:
+            events = [e.with_lifetime(None) for e in events]
+        graph = TDNGraph()
+        algorithm = factory(graph)
+        for t, batch in MemoryStream(events, fill_gaps=True):
+            graph.advance_to(t)
+            graph.add_batch(batch)
+            algorithm.on_batch(t, batch)
+        restored_graph = graph_from_dict(graph_to_dict(graph))
+        restored = algorithm_from_dict(
+            algorithm_to_dict(algorithm), restored_graph
+        )
+        assert restored.query().value == algorithm.query().value
+        assert restored.query().nodes == algorithm.query().nodes
+
+
+class TestErrorHandling:
+    def test_unknown_algorithm_type(self):
+        with pytest.raises(ValueError, match="unknown serialized algorithm"):
+            algorithm_from_dict({"type": "Mystery", "format_version": 1}, TDNGraph())
+
+    def test_wrong_format_version(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"format_version": 99}')
+        with pytest.raises(ValueError, match="unsupported checkpoint format"):
+            load_checkpoint(path)
+
+    def test_unserializable_algorithm(self):
+        from repro.baselines.random_baseline import RandomBaseline
+
+        with pytest.raises(TypeError, match="cannot serialize"):
+            algorithm_to_dict(RandomBaseline(2, TDNGraph()))

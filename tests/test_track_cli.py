@@ -1,0 +1,98 @@
+"""Tests for the command-line tracker (python -m repro.track)."""
+
+import json
+
+import pytest
+
+from repro.track import build_parser, main
+
+
+class TestArgumentParsing:
+    def test_requires_a_source(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_input_and_dataset_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--input", "x", "--dataset", "gowalla"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["--dataset", "gowalla"])
+        assert args.algorithm == "hist-approx"
+        assert args.k == 10
+        assert args.lifetime == "geometric"
+
+
+class TestDatasetRuns:
+    def test_synthetic_run(self, capsys):
+        code = main([
+            "--dataset", "twitter-hk", "--events", "150",
+            "--k", "3", "--report-every", "50",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "summary" in out
+        assert "oracle calls" in out
+        assert "final influencers" in out
+
+    def test_quiet_mode(self, capsys):
+        main([
+            "--dataset", "gowalla", "--events", "100",
+            "--k", "2", "--quiet",
+        ])
+        out = capsys.readouterr().out
+        assert "t=" not in out.split("summary")[0]
+
+    @pytest.mark.parametrize(
+        "algorithm", ["hist-approx", "basic-reduction", "sieve-adn", "greedy", "random"]
+    )
+    def test_all_algorithms_run(self, algorithm, capsys):
+        args = [
+            "--dataset", "brightkite", "--events", "60",
+            "--algorithm", algorithm, "--k", "2", "--quiet",
+            "--max-lifetime", "50",
+        ]
+        if algorithm == "sieve-adn":
+            args += ["--lifetime", "infinite"]
+        assert main(args) == 0
+
+    def test_constant_lifetime(self, capsys):
+        assert main([
+            "--dataset", "gowalla", "--events", "80", "--k", "2",
+            "--lifetime", "constant", "--max-lifetime", "20", "--quiet",
+        ]) == 0
+
+
+class TestFileInput:
+    def test_snap_file_run(self, tmp_path, capsys):
+        path = tmp_path / "trace.txt"
+        lines = [f"u{i % 5} v{i % 7} {i}" for i in range(50)]
+        path.write_text("\n".join(lines) + "\n")
+        code = main([
+            "--input", str(path), "--k", "2", "--quiet",
+            "--max-lifetime", "30",
+        ])
+        assert code == 0
+        assert "events processed:   50" in capsys.readouterr().out
+
+    def test_empty_file(self, tmp_path, capsys):
+        path = tmp_path / "empty.txt"
+        path.write_text("# nothing\n")
+        assert main(["--input", str(path), "--quiet"]) == 1
+
+
+class TestCheckpointing:
+    def test_checkpoint_written_and_loadable(self, tmp_path, capsys):
+        checkpoint = tmp_path / "state.json"
+        main([
+            "--dataset", "twitter-hk", "--events", "120", "--k", "2",
+            "--checkpoint", str(checkpoint), "--checkpoint-every", "50",
+            "--quiet", "--max-lifetime", "60",
+        ])
+        assert checkpoint.exists()
+        payload = json.loads(checkpoint.read_text())
+        assert payload["algorithm"]["type"] == "HistApprox"
+        from repro.persistence import load_checkpoint
+
+        graph, algorithm = load_checkpoint(checkpoint)
+        assert algorithm.query().value >= 0.0
