@@ -7,4 +7,9 @@ container has no network to upgrade pip/setuptools/wheel).
 
 from setuptools import setup
 
-setup()
+setup(
+    # numpy backs the default CSR reachability engine (repro/tdn/csr.py);
+    # the dict backend works without it, but the out-of-the-box oracle
+    # configuration needs it declared.
+    install_requires=["numpy"],
+)

@@ -150,27 +150,40 @@ class HistApprox:
     def _reduce_redundancy(self) -> None:
         """Drop instances sandwiched between eps-close neighbours.
 
-        For each kept index ``i`` (ascending), find the *largest* ``j > i``
-        whose value still satisfies ``g(j) >= (1 - eps) * g(i)`` and delete
-        every index strictly between them.  Values are the instances'
-        cached readouts — maintained as a by-product of candidate
-        processing — so redundancy removal spends no oracle calls, matching
-        the paper's Theorem 8 accounting.
+        The paper's Alg. 3 lines 19-22, as a single forward pass: for each
+        kept index ``i`` (ascending), advance a probe to the largest
+        ``j > i`` whose value still satisfies ``g(j) >= (1 - eps) * g(i)``,
+        delete every index strictly between them, and continue with ``j``
+        as the next anchor.  ``g`` is non-increasing in the index (larger
+        horizons see fewer edges), so the probe never needs to back up and
+        the whole pass is O(H) — each comparison either ends an anchor's
+        scan or deletes an index for good.  The head (index 0) is always
+        the first anchor and is never deleted.
+
+        Values are the instances' cached readouts — maintained as a
+        by-product of candidate processing — so redundancy removal spends
+        no oracle calls, matching the paper's Theorem 8 accounting.
         """
-        position = 0
-        while position < len(self._horizons) - 2:
-            anchor = self._instances[self._horizons[position]].query_value_cached()
-            cutoff = (1.0 - self.epsilon) * anchor
-            farthest = None
-            for j in range(len(self._horizons) - 1, position, -1):
-                if self._instances[self._horizons[j]].query_value_cached() >= cutoff:
-                    farthest = j
-                    break
-            if farthest is not None and farthest > position + 1:
-                for victim in self._horizons[position + 1 : farthest]:
-                    del self._instances[victim]
-                del self._horizons[position + 1 : farthest]
-            position += 1
+        horizons = self._horizons
+        if len(horizons) < 3:
+            return
+        values = [self._instances[h].query_value_cached() for h in horizons]
+        kept = [0]
+        anchor = 0
+        while anchor < len(horizons) - 1:
+            cutoff = (1.0 - self.epsilon) * values[anchor]
+            probe = anchor + 1
+            while probe + 1 < len(horizons) and values[probe + 1] >= cutoff:
+                probe += 1
+            kept.append(probe)
+            anchor = probe
+        if len(kept) == len(horizons):
+            return
+        survivors = [horizons[index] for index in kept]
+        removed = set(horizons) - set(survivors)
+        for victim in removed:
+            del self._instances[victim]
+        self._horizons = survivors
 
     # ------------------------------------------------------------------
     def _expire(self, t: int) -> None:

@@ -96,10 +96,15 @@ class SieveADN:
         candidates = list(candidates)
         if not candidates:
             return
-        # Lines 4-7: lazily maintain the threshold grid.
+        # Lines 4-7: lazily maintain the threshold grid.  The singleton
+        # sweep is issued as one batched oracle call group so the CSR
+        # backend amortizes a single snapshot build across the whole
+        # candidate batch (call counts are identical to per-node spreads).
+        singletons = self.oracle.spread_many(
+            [(node,) for node in candidates], self.min_expiry
+        )
         singleton_values = {}
-        for node in candidates:
-            singleton = self.oracle.spread((node,), self.min_expiry)
+        for node, singleton in zip(candidates, singletons):
             singleton_values[node] = singleton
             self.thresholds.update_delta(singleton)
         # Lines 8-11: sieve each candidate against each threshold.  By
@@ -115,9 +120,9 @@ class SieveADN:
                     break
                 if len(sieve) >= self.k or node in sieve:
                     continue
-                base = self.oracle.spread(tuple(sieve.nodes), self.min_expiry)
-                with_node = self.oracle.spread(
-                    tuple(sieve.nodes) + (node,), self.min_expiry
+                base, with_node = self.oracle.spread_many(
+                    (tuple(sieve.nodes), tuple(sieve.nodes) + (node,)),
+                    self.min_expiry,
                 )
                 sieve.cached_value = float(base)
                 if with_node - base >= threshold:

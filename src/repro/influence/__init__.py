@@ -8,7 +8,7 @@ DIM) the paper compares against.
 """
 
 from repro.influence.reachability import ancestors, reachable_set
-from repro.influence.oracle import InfluenceOracle
+from repro.influence.oracle import ORACLE_BACKENDS, InfluenceOracle
 from repro.influence.changed import changed_nodes
 from repro.influence.fast_spread import (
     all_singleton_spreads,
@@ -25,6 +25,7 @@ __all__ = [
     "reachable_set",
     "ancestors",
     "InfluenceOracle",
+    "ORACLE_BACKENDS",
     "changed_nodes",
     "interactions_to_probability",
     "WeightedGraphSnapshot",

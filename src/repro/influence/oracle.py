@@ -12,11 +12,26 @@ gateway through which all algorithms evaluate spreads:
   sensible implementation caches ``f(S)`` when computing marginal gains;
 * it accepts a ``min_expiry`` horizon so each SIEVEADN instance evaluates on
   its own addition-only subgraph while sharing the one TDN.
+
+Backends
+--------
+Two interchangeable reachability engines sit behind the same API:
+
+* ``"csr"`` (default): the compact engine of :mod:`repro.tdn.csr` — one
+  flat-array snapshot per graph version, array-visited frontier BFS, the
+  same per-pair max-expiry horizon test.  :meth:`spread_many` evaluates a
+  whole batch of sets against one shared snapshot.
+* ``"dict"``: the reference pure-Python BFS over the graph's dict-of-dict
+  adjacency (:func:`repro.influence.reachability.reachable_set`).
+
+Both return identical values and spend identical oracle calls — the
+cross-backend equivalence suite pins this on seeded streams — so the
+accounting shown in the paper's figures is backend independent.
 """
 
 from __future__ import annotations
 
-from typing import FrozenSet, Hashable, Iterable, Optional, Tuple
+from typing import FrozenSet, Hashable, Iterable, List, Optional, Sequence, Tuple
 
 from repro.influence.reachability import reachable_set
 from repro.tdn.graph import TDNGraph
@@ -25,6 +40,26 @@ from repro.utils.counters import CallCounter
 Node = Hashable
 
 _CacheKey = Tuple[Optional[float], FrozenSet[Node]]
+
+#: Selectable reachability engines.
+ORACLE_BACKENDS = ("csr", "dict")
+
+
+def fifo_cache_put(cache: dict, key, value, max_entries: int) -> None:
+    """Insert into a FIFO-bounded memo table.
+
+    Dicts preserve insertion order, so the first key is the oldest memo;
+    evicting it keeps recent spreads hot under cache pressure instead of
+    disabling memoization outright.  ``max_entries=0`` disables the table
+    (nothing is ever stored).  Shared by :class:`InfluenceOracle` and
+    :class:`~repro.influence.weighted.WeightedInfluenceOracle` so the two
+    cache policies can never drift apart.
+    """
+    if max_entries <= 0:
+        return
+    if len(cache) >= max_entries:
+        del cache[next(iter(cache))]
+    cache[key] = value
 
 
 class InfluenceOracle:
@@ -36,7 +71,12 @@ class InfluenceOracle:
             (cache hits are free — they would be cached in any realistic
             implementation and the paper's counts assume as much for the
             lazy-greedy baseline).
-        max_cache_entries: safety bound on the per-version memo table.
+        max_cache_entries: bound on the per-version memo table.  When the
+            table is full the *oldest* entry is evicted to admit the new
+            one (FIFO), so memoization keeps working through long
+            query-heavy phases instead of silently shutting off.
+        backend: ``"csr"`` (compact flat-array engine, default) or
+            ``"dict"`` (reference dict-of-dict BFS).
 
     The memo table is invalidated wholesale whenever ``graph.version``
     changes, so stale spreads can never leak across structural updates.
@@ -48,8 +88,18 @@ class InfluenceOracle:
         counter: Optional[CallCounter] = None,
         *,
         max_cache_entries: int = 200_000,
+        backend: str = "csr",
     ) -> None:
+        if backend not in ORACLE_BACKENDS:
+            raise ValueError(
+                f"backend must be one of {ORACLE_BACKENDS}, got {backend!r}"
+            )
+        if max_cache_entries < 0:
+            raise ValueError(
+                f"max_cache_entries must be >= 0, got {max_cache_entries}"
+            )
         self.graph = graph
+        self.backend = backend
         self.counter = counter if counter is not None else CallCounter("oracle")
         self._max_cache_entries = max_cache_entries
         self._cache: dict = {}
@@ -65,18 +115,32 @@ class InfluenceOracle:
         key_nodes = frozenset(nodes)
         if not key_nodes:
             return 0
-        if self.graph.version != self._cache_version:
-            self._cache.clear()
-            self._cache_version = self.graph.version
-        key: _CacheKey = (min_expiry, key_nodes)
-        hit = self._cache.get(key)
-        if hit is not None:
-            return hit
-        self.counter.increment()
-        value = len(reachable_set(self.graph, key_nodes, min_expiry))
-        if len(self._cache) < self._max_cache_entries:
-            self._cache[key] = value
-        return value
+        self._sync_version()
+        return self._spread_cached(key_nodes, min_expiry)
+
+    def spread_many(
+        self,
+        sets: Sequence[Iterable[Node]],
+        min_expiry: Optional[float] = None,
+    ) -> List[int]:
+        """Evaluate ``f_t`` for a whole batch of sets at one horizon.
+
+        Semantically identical to ``[self.spread(s, min_expiry) for s in
+        sets]`` — same values, same cache behavior, same call counting in
+        the same order.  The whole batch shares one version check, and on
+        the CSR backend every miss evaluates against the one version-keyed
+        snapshot (:meth:`TDNGraph.csr` caches it, so the first miss builds
+        and the rest reuse), which is what makes feeding a SIEVEADN
+        candidate sweep through the oracle cheap.
+        """
+        self._sync_version()
+        results: List[int] = []
+        for nodes in sets:
+            key_nodes = frozenset(nodes)
+            results.append(
+                self._spread_cached(key_nodes, min_expiry) if key_nodes else 0
+            )
+        return results
 
     def marginal_gain(
         self,
@@ -97,6 +161,34 @@ class InfluenceOracle:
         return self.spread(with_candidate, min_expiry) - self.spread(base_set, min_expiry)
 
     # ------------------------------------------------------------------
+    def _sync_version(self) -> None:
+        if self.graph.version != self._cache_version:
+            self._cache.clear()
+            self._cache_version = self.graph.version
+
+    def _spread_cached(
+        self, key_nodes: FrozenSet[Node], min_expiry: Optional[float]
+    ) -> int:
+        key: _CacheKey = (min_expiry, key_nodes)
+        hit = self._cache.get(key)
+        if hit is not None:
+            return hit
+        self.counter.increment()
+        value = self._evaluate(key_nodes, min_expiry)
+        fifo_cache_put(self._cache, key, value, self._max_cache_entries)
+        return value
+
+    def _evaluate(
+        self, key_nodes: FrozenSet[Node], min_expiry: Optional[float]
+    ) -> int:
+        if self.backend == "dict":
+            return len(reachable_set(self.graph, key_nodes, min_expiry))
+        ids, unknown = self.graph.intern_ids(key_nodes)
+        if not ids:
+            return unknown
+        return self.graph.csr().reachable_count(ids, min_expiry) + unknown
+
+    # ------------------------------------------------------------------
     @property
     def calls(self) -> int:
         """Total real evaluations so far."""
@@ -108,4 +200,7 @@ class InfluenceOracle:
         self._cache_version = self.graph.version
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"InfluenceOracle(calls={self.counter.total}, cached={len(self._cache)})"
+        return (
+            f"InfluenceOracle(backend={self.backend!r}, "
+            f"calls={self.counter.total}, cached={len(self._cache)})"
+        )

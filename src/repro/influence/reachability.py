@@ -1,10 +1,13 @@
 """Horizon-filtered reachability on a :class:`~repro.tdn.graph.TDNGraph`.
 
-The influence spread of Definition 3 is plain directed reachability, so the
-oracle bottoms out in the two breadth-first traversals here.  Both accept a
-``min_expiry`` horizon: only edges with expiry at or above the horizon are
-traversed, which is how a single shared graph serves SIEVEADN instances with
-different lifetimes horizons (DESIGN.md Section 2).
+The influence spread of Definition 3 is plain directed reachability.  The
+two breadth-first traversals here are the *reference* engine: the oracle's
+default ``backend="csr"`` answers forward reachability from the compact
+flat-array snapshot (:mod:`repro.tdn.csr`) instead, and is pinned to agree
+with :func:`reachable_set` by the cross-backend equivalence suite.  Both
+accept a ``min_expiry`` horizon: only edges with expiry at or above the
+horizon are traversed, which is how a single shared graph serves SIEVEADN
+instances with different lifetime horizons (DESIGN.md Section 2).
 """
 
 from __future__ import annotations

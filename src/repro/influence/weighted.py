@@ -19,8 +19,20 @@ tracker with it and the algorithms never know the difference.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, FrozenSet, Hashable, Iterable, Optional, Tuple, Union
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Hashable,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
+from repro.influence.oracle import fifo_cache_put
 from repro.influence.reachability import reachable_set
 from repro.tdn.graph import TDNGraph
 from repro.utils.counters import CallCounter
@@ -61,6 +73,10 @@ class WeightedInfluenceOracle:
     ) -> None:
         if default_weight < 0:
             raise ValueError(f"default_weight must be >= 0, got {default_weight}")
+        if max_cache_entries < 0:
+            raise ValueError(
+                f"max_cache_entries must be >= 0, got {max_cache_entries}"
+            )
         self.graph = graph
         self.counter = counter if counter is not None else CallCounter("weighted-oracle")
         self._default = float(default_weight)
@@ -104,9 +120,16 @@ class WeightedInfluenceOracle:
                     f"weight callable returned negative value for {node!r}"
                 )
             value += weight
-        if len(self._cache) < self._max_cache_entries:
-            self._cache[key] = value
+        fifo_cache_put(self._cache, key, value, self._max_cache_entries)
         return value
+
+    def spread_many(
+        self,
+        sets: Sequence[Iterable[Node]],
+        min_expiry: Optional[float] = None,
+    ) -> List[float]:
+        """Batched :meth:`spread` (interface parity with InfluenceOracle)."""
+        return [self.spread(nodes, min_expiry) for nodes in sets]
 
     def marginal_gain(
         self,

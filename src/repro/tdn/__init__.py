@@ -25,6 +25,16 @@ from repro.tdn.stream import (
     group_by_lifetime,
 )
 
+def __getattr__(name):
+    # CSRSnapshot is re-exported lazily: importing repro.tdn must not pull
+    # in numpy (the CSR engine's only dependency) for dict-backend users.
+    if name == "CSRSnapshot":
+        from repro.tdn.csr import CSRSnapshot
+
+        return CSRSnapshot
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
     "Interaction",
     "LifetimePolicy",
@@ -35,6 +45,7 @@ __all__ = [
     "PowerLawLifetime",
     "FunctionLifetime",
     "TDNGraph",
+    "CSRSnapshot",
     "INFINITE_EXPIRY",
     "InteractionStream",
     "MemoryStream",

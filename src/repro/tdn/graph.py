@@ -22,15 +22,21 @@ Bookkeeping
 * ``_out[u][v]`` and ``_in[v][u]`` share one :class:`_PairEdges` record per
   directed pair, holding the multiset of expiries and a cached maximum.
 * ``_expiry_buckets[x]`` lists the pairs with an edge expiring at time ``x``;
-  :meth:`advance_to` drains the buckets as time moves forward, and
-  HISTAPPROX's instance-copy step range-scans them via
-  :meth:`edges_with_expiry_in`.
+  ``_expiry_keys`` is the same set of times kept sorted, so
+  :meth:`advance_to` drains exactly the expired buckets (O(expired), never
+  O(Δt) over a sparse timestamp gap) and :meth:`edges_with_expiry_in`
+  bisects a range instead of re-sorting.
+* every node ever seen is *interned* to a dense integer id
+  (:meth:`node_id`); ids are stable for the graph's lifetime and are what
+  the CSR reachability engine (:mod:`repro.tdn.csr`) indexes by.
 * ``version`` increments on every structural change; the influence oracle
-  keys its memoization on it.
+  keys its memoization on it and :meth:`csr` caches one snapshot per
+  version.
 """
 
 from __future__ import annotations
 
+import bisect
 from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Tuple
 
 from repro.tdn.interaction import Interaction
@@ -100,8 +106,19 @@ class TDNGraph:
         self._out: Dict[Node, Dict[Node, _PairEdges]] = {}
         self._in: Dict[Node, Dict[Node, _PairEdges]] = {}
         self._expiry_buckets: Dict[int, List[Tuple[Node, Node]]] = {}
+        # Keys of _expiry_buckets, kept sorted via bisect.insort.  The
+        # insertion memmove shifts only the keys *above* the new expiry,
+        # and every pending key lives in (time, time + max remaining
+        # lifetime], so the shift is bounded by the lifetime spread — not
+        # by stream length (a heap would trade this for an extra structure
+        # on the range-scan path; see ROADMAP).
+        self._expiry_keys: List[int] = []
+        self._node_ids: Dict[Node, int] = {}
+        self._id_nodes: List[Node] = []
         self._num_edges = 0
         self._removal_listeners: List = []
+        self._csr_cache = None
+        self._csr_version = -1
         self.version = 0
 
     def add_removal_listener(self, callback) -> None:
@@ -127,17 +144,31 @@ class TDNGraph:
 
         Returns the number of edge instances removed.  Advancing backwards is
         an error: the TDN model is forward-only.
+
+        Cost is O(expired edges + log #buckets), independent of the width of
+        the gap ``t - time``: the maintained sorted key list is bisected for
+        the drain cutoff, so sparse (e.g. unix-second) timestamp jumps are
+        as cheap as dense single-step ticks.
         """
         if t < self._time:
             raise ValueError(f"cannot rewind time from {self._time} to {t}")
         removed = 0
-        for step in range(self._time + 1, t + 1):
-            bucket = self._expiry_buckets.pop(step, None)
-            if bucket is None:
-                continue
-            for u, v in bucket:
-                self._remove_one_edge(u, v, float(step))
-                removed += 1
+        keys = self._expiry_keys
+        cutoff = bisect.bisect_right(keys, t)
+        if cutoff:
+            due = keys[:cutoff]
+            del keys[:cutoff]
+            for step in due:
+                # pop with a default: a removal listener may legally mutate
+                # the graph mid-drain, re-bucketing keys under us; a
+                # vanished or re-created bucket is picked up consistently
+                # because the key list was spliced before the drain began.
+                bucket = self._expiry_buckets.pop(step, None)
+                if bucket is None:
+                    continue
+                for u, v in bucket:
+                    self._remove_one_edge(u, v, float(step))
+                    removed += 1
         self._time = t
         if removed:
             self.version += 1
@@ -164,6 +195,12 @@ class TDNGraph:
             )
         u, v = interaction.source, interaction.target
         expiry = interaction.expiry
+        if u not in self._node_ids:
+            self._node_ids[u] = len(self._id_nodes)
+            self._id_nodes.append(u)
+        if v not in self._node_ids:
+            self._node_ids[v] = len(self._id_nodes)
+            self._id_nodes.append(v)
         pair = self._out.setdefault(u, {}).get(v)
         if pair is None:
             pair = _PairEdges()
@@ -173,7 +210,13 @@ class TDNGraph:
             self._in.setdefault(v, {}).setdefault(u, pair)
         pair.add(expiry)
         if expiry != INFINITE_EXPIRY:
-            self._expiry_buckets.setdefault(int(expiry), []).append((u, v))
+            step = int(expiry)
+            bucket = self._expiry_buckets.get(step)
+            if bucket is None:
+                self._expiry_buckets[step] = [(u, v)]
+                bisect.insort(self._expiry_keys, step)
+            else:
+                bucket.append((u, v))
         self._num_edges += 1
         self.version += 1
 
@@ -238,6 +281,61 @@ class TDNGraph:
     def has_node(self, node: Node) -> bool:
         """Return whether ``node`` has any alive edge."""
         return bool(self._out.get(node)) or bool(self._in.get(node))
+
+    # ------------------------------------------------------------------
+    # Node interning & CSR snapshot
+    # ------------------------------------------------------------------
+    @property
+    def num_interned(self) -> int:
+        """Number of nodes ever seen (dense-id space; never shrinks)."""
+        return len(self._id_nodes)
+
+    def node_id(self, node: Node) -> Optional[int]:
+        """Dense integer id of ``node``, or None if it was never seen.
+
+        Ids are assigned in first-appearance order and are stable for the
+        graph's lifetime — a node keeps its id even after all of its edges
+        expire, so array-indexed state (CSR snapshots, visited buffers)
+        stays valid across structural updates.
+        """
+        return self._node_ids.get(node)
+
+    def node_of_id(self, node_id: int) -> Node:
+        """Inverse of :meth:`node_id` (raises IndexError for unknown ids)."""
+        return self._id_nodes[node_id]
+
+    def intern_ids(self, nodes: Iterable[Node]) -> Tuple[List[int], int]:
+        """Map ``nodes`` to dense ids; count the never-seen remainder.
+
+        Returns ``(ids, unknown)`` where ``ids`` are the ids of the known
+        nodes and ``unknown`` is how many *distinct* inputs were never
+        interned (the caller passes de-duplicated sets; unknown nodes still
+        trivially reach themselves in spread accounting).
+        """
+        ids: List[int] = []
+        unknown = 0
+        lookup = self._node_ids
+        for node in nodes:
+            node_id = lookup.get(node)
+            if node_id is None:
+                unknown += 1
+            else:
+                ids.append(node_id)
+        return ids, unknown
+
+    def csr(self):
+        """The CSR adjacency snapshot for the current ``version`` (cached).
+
+        Lazily (re)built on first use after any structural change; every
+        consumer of the current version shares one snapshot, so a whole
+        batch of oracle evaluations amortizes a single O(V + P) build.
+        """
+        if self._csr_cache is None or self._csr_version != self.version:
+            from repro.tdn.csr import CSRSnapshot
+
+            self._csr_cache = CSRSnapshot.build(self)
+            self._csr_version = self.version
+        return self._csr_cache
 
     def out_neighbors(self, node: Node, min_expiry: Optional[float] = None) -> Iterator[Node]:
         """Iterate successors of ``node`` traversable at the given horizon.
@@ -321,12 +419,16 @@ class TDNGraph:
         with an infinite horizon); infinite-expiry edges themselves are never
         yielded because ``hi`` is exclusive.
 
-        The scan walks the sorted bucket keys in range, so its cost is
-        proportional to the number of distinct expiry times plus the matching
-        edges, never the width of a sparse range.
+        The scan bisects the maintained sorted key list for the range
+        endpoints, so its cost is proportional to the number of distinct
+        expiry times in range plus the matching edges — never the width of a
+        sparse range, and never an O(B log B) re-sort of all buckets.
         """
         lo = max(lo, self._time + 1)
-        for step in sorted(key for key in self._expiry_buckets if lo <= key < hi):
+        keys = self._expiry_keys
+        start = bisect.bisect_left(keys, lo)
+        stop = bisect.bisect_left(keys, hi)
+        for step in keys[start:stop]:
             for u, v in self._expiry_buckets[step]:
                 yield (u, v, step)
 

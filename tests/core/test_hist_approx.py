@@ -250,3 +250,101 @@ class TestQueryEdgeCases:
         graph.advance_to(10)
         assert hist.query().value == 0.0
         assert hist.horizons() == []
+
+
+class _FixedValueInstance:
+    """Stub standing in for a SieveADN: a frozen cached readout."""
+
+    def __init__(self, value):
+        self.value = value
+
+    def query_value_cached(self):
+        return self.value
+
+
+def hist_with_values(values, epsilon=0.2):
+    """A HistApprox whose histogram is exactly ``values`` at horizons 10i."""
+    hist = HistApprox(2, epsilon, TDNGraph())
+    hist._horizons = [10 * (i + 1) for i in range(len(values))]
+    hist._instances = {
+        h: _FixedValueInstance(v) for h, v in zip(hist._horizons, values)
+    }
+    return hist
+
+
+class TestReduceRedundancy:
+    def test_deletes_sandwiched_eps_close_indices(self):
+        # cutoff(100) = 80: indices valued 95 and 90 are sandwiched between
+        # 100 and 85 (>= 80), so both are deleted; 40 breaks the run.
+        hist = hist_with_values([100, 95, 90, 85, 40], epsilon=0.2)
+        hist._reduce_redundancy()
+        assert [hist._instances[h].value for h in hist._horizons] == [100, 85, 40]
+
+    def test_keeps_well_separated_histogram(self):
+        hist = hist_with_values([100, 70, 45, 25, 10], epsilon=0.2)
+        before = list(hist._horizons)
+        hist._reduce_redundancy()
+        assert hist._horizons == before
+
+    def test_head_is_never_deleted(self):
+        # All values equal: everything between head and tail is redundant,
+        # but the head itself must survive as the first anchor.
+        hist = hist_with_values([50, 50, 50, 50, 50], epsilon=0.2)
+        head = hist._horizons[0]
+        hist._reduce_redundancy()
+        assert hist._horizons[0] == head
+        assert [hist._instances[h].value for h in hist._horizons] == [50, 50]
+
+    def test_chained_anchors_do_not_over_delete(self):
+        # 100 keeps 81 (>= 80); anchored at 81, 66 (>= 64.8) is its probe
+        # end; deletion must respect each anchor's own cutoff, not the
+        # head's (transitively everything is eps-close, pairwise not).
+        hist = hist_with_values([100, 81, 66, 54], epsilon=0.2)
+        hist._reduce_redundancy()
+        assert [hist._instances[h].value for h in hist._horizons] == [100, 81, 66, 54]
+
+    def test_short_histograms_untouched(self):
+        for values in ([], [10], [10, 5]):
+            hist = hist_with_values(values)
+            before = list(hist._horizons)
+            hist._reduce_redundancy()
+            assert hist._horizons == before
+
+    def test_instances_dict_stays_in_sync(self):
+        hist = hist_with_values([100, 99, 98, 97, 30], epsilon=0.1)
+        hist._reduce_redundancy()
+        assert set(hist._instances) == set(hist._horizons)
+
+    def test_forward_pass_is_linear(self):
+        # The pass must not rescan the whole histogram per anchor: count
+        # value readouts, which the O(H) pass does exactly once per index.
+        class CountingInstance(_FixedValueInstance):
+            reads = 0
+
+            def query_value_cached(self):
+                CountingInstance.reads += 1
+                return self.value
+
+        values = [1000.0 / (i + 1) for i in range(200)]
+        hist = HistApprox(2, 0.1, TDNGraph())
+        hist._horizons = list(range(1, len(values) + 1))
+        hist._instances = {
+            h: CountingInstance(v) for h, v in zip(hist._horizons, values)
+        }
+        CountingInstance.reads = 0
+        hist._reduce_redundancy()
+        assert CountingInstance.reads == len(values)
+
+
+class TestReduceRedundancyOnStreams:
+    def test_head_survives_every_batch(self, seed=3):
+        rng = random.Random(seed)
+        events = random_events(rng, num_nodes=8, steps=14, max_lifetime=8)
+
+        def check(graph, hist, t):
+            if hist._horizons:
+                assert hist._horizons[0] > t
+                assert set(hist._instances) == set(hist._horizons)
+                assert hist._horizons == sorted(hist._horizons)
+
+        drive(events, k=2, epsilon=0.3, check=check)

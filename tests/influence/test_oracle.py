@@ -106,3 +106,94 @@ class TestMarginalGain:
     def test_gain_from_empty_base(self):
         oracle = InfluenceOracle(star_graph())
         assert oracle.marginal_gain([], "hub") == 5
+
+
+class TestBackends:
+    def test_invalid_backend_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError, match="backend"):
+            InfluenceOracle(star_graph(), backend="sparse")
+
+    def test_backends_agree_on_values(self):
+        graph = star_graph()
+        dict_oracle = InfluenceOracle(graph, backend="dict")
+        csr_oracle = InfluenceOracle(graph, backend="csr")
+        for seeds in (["hub"], ["leaf0"], ["hub", "leaf1"], ["missing"]):
+            assert dict_oracle.spread(seeds) == csr_oracle.spread(seeds)
+
+    def test_unknown_nodes_count_themselves(self):
+        # A queried node the graph has never seen still "influences" itself,
+        # on both backends (the dict BFS yields it from the seed set).
+        graph = star_graph()
+        for backend in ("dict", "csr"):
+            oracle = InfluenceOracle(graph, backend=backend)
+            assert oracle.spread(["ghost"]) == 1
+            assert oracle.spread(["ghost", "phantom"]) == 2
+            assert oracle.spread(["hub", "ghost"]) == 6
+
+
+class TestSpreadMany:
+    def test_values_match_sequential_spreads(self):
+        graph = star_graph()
+        batched = InfluenceOracle(graph)
+        sequential = InfluenceOracle(graph)
+        sets = [["hub"], ["leaf0"], [], ["hub", "leaf0"], ["leaf1"]]
+        assert batched.spread_many(sets) == [sequential.spread(s) for s in sets]
+
+    def test_call_counting_matches_sequential(self):
+        graph = star_graph()
+        batched = InfluenceOracle(graph)
+        sequential = InfluenceOracle(graph)
+        sets = [["hub"], ["hub"], ["leaf0"], [], ["leaf0", "hub"], ["hub"]]
+        batched.spread_many(sets, min_expiry=5)
+        for s in sets:
+            sequential.spread(s, min_expiry=5)
+        assert batched.calls == sequential.calls == 3
+
+    def test_empty_batch(self):
+        assert InfluenceOracle(star_graph()).spread_many([]) == []
+
+
+class TestCacheEviction:
+    """Under cache pressure the oracle must evict, never stop memoizing."""
+
+    def test_recent_entries_stay_hot_at_capacity(self):
+        oracle = InfluenceOracle(star_graph(), max_cache_entries=2)
+        oracle.spread(["leaf0"])  # cache: [leaf0]
+        oracle.spread(["leaf1"])  # cache: [leaf0, leaf1]
+        oracle.spread(["leaf2"])  # evicts leaf0 -> cache: [leaf1, leaf2]
+        assert oracle.calls == 3
+        # The two most recent spreads are still memoized.
+        oracle.spread(["leaf2"])
+        oracle.spread(["leaf1"])
+        assert oracle.calls == 3
+        # The evicted oldest entry re-counts (and re-enters the cache).
+        oracle.spread(["leaf0"])
+        assert oracle.calls == 4
+        oracle.spread(["leaf0"])
+        assert oracle.calls == 4
+
+    def test_query_heavy_phase_does_not_lock_out_memoization(self):
+        # Regression: the old implementation stopped admitting entries once
+        # the cap was reached, so every *new* spread after the cap was
+        # re-counted forever within a version.  With FIFO eviction a
+        # repeated recent query is always a hit.
+        oracle = InfluenceOracle(star_graph(), max_cache_entries=3)
+        for index in range(10):
+            oracle.spread([f"leaf{index % 4}"])  # rolling working set
+        calls_after_warmup = oracle.calls
+        oracle.spread(["leaf1"])  # most recent entry: must be cached
+        assert oracle.calls == calls_after_warmup
+
+    def test_zero_capacity_disables_memoization(self):
+        oracle = InfluenceOracle(star_graph(), max_cache_entries=0)
+        oracle.spread(["hub"])
+        oracle.spread(["hub"])
+        assert oracle.calls == 2
+
+    def test_negative_capacity_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError, match="max_cache_entries"):
+            InfluenceOracle(star_graph(), max_cache_entries=-1)

@@ -1,0 +1,89 @@
+"""Property tests for HISTAPPROX's redundancy removal (Alg. 3 lines 19-22).
+
+On a non-increasing value profile (larger horizons see fewer edges, so
+``g`` decreases in the index — the regime the paper's smooth-histogram
+argument lives in), one forward pass must leave a histogram where:
+
+* the head index is always kept (it is the solution the tracker reports);
+* every deletion was justified: consecutive kept indices that skip over
+  deleted ones are eps-close (``g(next) >= (1 - eps) * g(prev)``);
+* no kept index is redundant: for any three consecutive kept indices the
+  outer pair is *never* eps-close (otherwise the middle one should have
+  been deleted) — the paper's smooth-histogram invariant;
+* a second pass is a no-op (the reduction is a fixed point).
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core.hist_approx import HistApprox
+from repro.tdn.graph import TDNGraph
+
+
+class _FixedValueInstance:
+    def __init__(self, value):
+        self.value = value
+
+    def query_value_cached(self):
+        return self.value
+
+
+def reduce_values(values, epsilon):
+    """Run one redundancy pass over a synthetic value profile.
+
+    Returns ``(kept_positions, kept_values)`` where positions index into
+    the original profile.
+    """
+    hist = HistApprox(2, epsilon, TDNGraph())
+    horizons = [float(i + 1) for i in range(len(values))]
+    hist._horizons = list(horizons)
+    hist._instances = {
+        h: _FixedValueInstance(v) for h, v in zip(horizons, values)
+    }
+    hist._reduce_redundancy()
+    kept_positions = [horizons.index(h) for h in hist._horizons]
+    return kept_positions, [values[p] for p in kept_positions]
+
+
+monotone_profiles = st.lists(
+    st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+    min_size=1,
+    max_size=40,
+).map(lambda xs: sorted(xs, reverse=True))
+
+epsilons = st.floats(min_value=0.01, max_value=0.9)
+
+
+@settings(max_examples=300, deadline=None)
+@given(values=monotone_profiles, epsilon=epsilons)
+def test_smooth_histogram_invariant(values, epsilon):
+    kept_positions, kept_values = reduce_values(values, epsilon)
+
+    # Head is never deleted.
+    assert kept_positions[0] == 0
+    # The tail index always survives too (nothing beyond it to justify
+    # a deletion), so the histogram's support endpoints are intact.
+    assert kept_positions[-1] == len(values) - 1
+
+    shrink = 1.0 - epsilon
+    for prev, nxt, prev_value, nxt_value in zip(
+        kept_positions, kept_positions[1:], kept_values, kept_values[1:]
+    ):
+        if nxt > prev + 1:
+            # Indices were skipped: the deletion must have been justified
+            # by eps-closeness across the gap.
+            assert nxt_value >= shrink * prev_value
+
+    for first, third in zip(kept_values, kept_values[2:]):
+        # No kept index is redundant: across any kept triple the outer
+        # values are never eps-close (the middle would be deletable).
+        assert third < shrink * first or (first == 0.0 and third == 0.0)
+
+
+@settings(max_examples=150, deadline=None)
+@given(values=monotone_profiles, epsilon=epsilons)
+def test_reduction_is_a_fixed_point(values, epsilon):
+    kept_positions, kept_values = reduce_values(values, epsilon)
+    again_positions, again_values = reduce_values(kept_values, epsilon)
+    assert again_positions == list(range(len(kept_values)))
+    assert again_values == kept_values

@@ -1,0 +1,133 @@
+"""Unit and fuzz tests for the CSR reachability snapshot.
+
+The CSR engine must agree bit-for-bit with the reference dict-of-dict BFS
+on every graph shape and horizon — both on its vectorized frontier path
+and on the small-graph scalar path (``SCALAR_PAIR_LIMIT`` decides which
+one runs, so the fuzz below pins both).
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.influence.reachability import reachable_set
+from repro.tdn.csr import CSRSnapshot
+from repro.tdn.graph import TDNGraph
+from repro.tdn.interaction import Interaction
+
+
+def random_graph(rng, num_nodes=30, num_events=150, infinite_fraction=0.15):
+    graph = TDNGraph()
+    t = 0
+    for _ in range(num_events):
+        if rng.random() < 0.1:
+            t += rng.randint(1, 4)
+            graph.advance_to(t)
+        u, v = rng.sample(range(num_nodes), 2)
+        lifetime = None if rng.random() < infinite_fraction else rng.randint(1, 25)
+        graph.add_interaction(Interaction(f"n{u}", f"n{v}", t, lifetime))
+    return graph
+
+
+class TestBuild:
+    def test_empty_graph(self):
+        snapshot = CSRSnapshot.build(TDNGraph())
+        assert snapshot.num_nodes == 0
+        assert snapshot.num_pairs == 0
+        assert snapshot.reachable_count([]) == 0
+
+    def test_arrays_cover_all_alive_pairs(self):
+        graph = TDNGraph()
+        graph.add_interaction(Interaction("a", "b", 0, 2))
+        graph.add_interaction(Interaction("a", "b", 0, 9))  # parallel, max 9
+        graph.add_interaction(Interaction("b", "c", 0, None))
+        snapshot = CSRSnapshot.build(graph)
+        assert snapshot.num_nodes == 3
+        assert snapshot.num_pairs == 2
+        a, b, c = (graph.node_id(n) for n in "abc")
+        row_a = snapshot.indices[snapshot.indptr[a] : snapshot.indptr[a + 1]]
+        assert row_a.tolist() == [b]
+        expiry_ab = snapshot.expiries[snapshot.indptr[a]]
+        assert expiry_ab == 9.0  # per-pair *max* expiry
+        row_b = snapshot.indices[snapshot.indptr[b] : snapshot.indptr[b + 1]]
+        assert row_b.tolist() == [c]
+        assert math.isinf(snapshot.expiries[snapshot.indptr[b]])
+
+    def test_expired_pairs_are_absent(self):
+        graph = TDNGraph()
+        graph.add_interaction(Interaction("a", "b", 0, 2))
+        graph.add_interaction(Interaction("b", "c", 0, 10))
+        graph.advance_to(5)
+        snapshot = CSRSnapshot.build(graph)
+        assert snapshot.num_nodes == 3  # interned ids persist
+        assert snapshot.num_pairs == 1
+        assert snapshot.reachable_count([graph.node_id("a")]) == 1
+
+
+class TestGraphCaching:
+    def test_snapshot_cached_per_version(self):
+        graph = TDNGraph()
+        graph.add_interaction(Interaction("a", "b", 0, 5))
+        first = graph.csr()
+        assert graph.csr() is first  # same version -> same snapshot
+        graph.add_interaction(Interaction("b", "c", 0, 5))
+        second = graph.csr()
+        assert second is not first
+        assert second.version == graph.version
+
+    def test_stamped_visits_do_not_leak_across_queries(self):
+        graph = TDNGraph()
+        graph.add_interaction(Interaction("a", "b", 0, 5))
+        graph.add_interaction(Interaction("c", "d", 0, 5))
+        snapshot = graph.csr()
+        a, c = graph.node_id("a"), graph.node_id("c")
+        assert snapshot.reachable_count([a]) == 2
+        assert snapshot.reachable_count([c]) == 2
+        assert snapshot.reachable_count([a, c]) == 4
+
+    def test_out_of_range_ids_rejected(self):
+        graph = TDNGraph()
+        graph.add_interaction(Interaction("a", "b", 0, 5))
+        snapshot = graph.csr()
+        with pytest.raises(IndexError):
+            snapshot.reachable_count([99])
+        with pytest.raises(IndexError):
+            snapshot.reachable_ids([-1])
+
+
+class TestEquivalenceFuzz:
+    @pytest.mark.parametrize("force_vectorized", [False, True])
+    def test_matches_reference_bfs(self, force_vectorized, monkeypatch):
+        if force_vectorized:
+            monkeypatch.setattr(CSRSnapshot, "SCALAR_PAIR_LIMIT", 0)
+        rng = random.Random(42 + force_vectorized)
+        for _ in range(25):
+            graph = random_graph(rng)
+            snapshot = graph.csr()
+            t = graph.time
+            horizons = [None, t + 1, t + rng.randint(1, 30), math.inf]
+            nodes = sorted(graph.node_set(), key=repr)
+            if not nodes:
+                continue
+            for _ in range(10):
+                seeds = rng.sample(nodes, rng.randint(1, min(4, len(nodes))))
+                horizon = rng.choice(horizons)
+                expected = reachable_set(graph, seeds, horizon)
+                ids = [graph.node_id(s) for s in seeds]
+                got = {
+                    graph.node_of_id(i)
+                    for i in snapshot.reachable_ids(ids, horizon)
+                }
+                assert got == expected, (seeds, horizon)
+                assert snapshot.reachable_count(ids, horizon) == len(expected)
+
+    def test_scalar_and_vector_paths_agree(self, monkeypatch):
+        rng = random.Random(7)
+        graph = random_graph(rng, num_nodes=20, num_events=120)
+        ids = list(range(graph.num_interned))
+        scalar = graph.csr().reachable_ids(ids[:3], graph.time + 2)
+        monkeypatch.setattr(CSRSnapshot, "SCALAR_PAIR_LIMIT", 0)
+        fresh = CSRSnapshot.build(graph)
+        vector = fresh.reachable_ids(ids[:3], graph.time + 2)
+        assert scalar == vector

@@ -263,3 +263,94 @@ class TestInventories:
         assert graph.out_degree("a") == 2
         assert graph.in_degree("b") == 2
         assert graph.out_degree("b") == 0
+
+
+class TestSparseTimestamps:
+    """Clock advancement must cost O(expired edges), never O(Δt)."""
+
+    def test_million_scale_gap_completes_fast(self):
+        import time as _time
+
+        graph = TDNGraph()
+        # Unix-second style timestamps: a handful of buckets, huge gaps.
+        graph.add_interaction(Interaction("a", "b", 0, 5))
+        graph.add_interaction(Interaction("b", "c", 0, 10_000_000))
+        graph.add_interaction(Interaction("c", "d", 0, None))
+        started = _time.perf_counter()
+        removed = graph.advance_to(9_999_999)
+        elapsed = _time.perf_counter() - started
+        assert removed == 1  # only the lifetime-5 edge expired
+        assert graph.num_edges == 2
+        # O(Δt) iteration over a 10^7 gap takes seconds; the bucket drain
+        # is microseconds.  A generous bound keeps slow CI honest.
+        assert elapsed < 0.05, f"advance_to over 10^7 gap took {elapsed:.3f}s"
+        removed = graph.advance_to(10_000_000)
+        assert removed == 1
+        assert graph.num_edges == 1  # only the infinite edge remains
+
+    def test_sparse_advance_expires_exactly_the_due_buckets(self):
+        graph = TDNGraph()
+        graph.add_interaction(Interaction("a", "b", 0, 3))
+        graph.add_interaction(Interaction("a", "c", 0, 1_000_000))
+        graph.add_interaction(Interaction("b", "c", 0, 2_000_000))
+        assert graph.advance_to(999_999) == 1
+        assert graph.advance_to(1_500_000) == 1
+        assert set(graph.alive_pairs()) == {("b", "c")}
+        assert graph.advance_to(2_000_000) == 1
+        assert graph.num_edges == 0
+
+    def test_interleaved_adds_keep_key_order(self):
+        # A later add may create a bucket *below* existing keys; the sorted
+        # key structure must stay ordered so drains and range scans agree.
+        graph = TDNGraph()
+        graph.add_interaction(Interaction("a", "b", 0, 50))  # expiry 50
+        graph.add_interaction(Interaction("a", "c", 0, 10))  # expiry 10
+        graph.advance_to(5)
+        graph.add_interaction(Interaction("b", "c", 5, 2))  # expiry 7
+        assert [e for _, _, e in graph.edges_with_expiry_in(0, 100)] == [7, 10, 50]
+        assert graph.advance_to(9) == 1  # only expiry 7 is due
+        assert graph.advance_to(10) == 1  # then expiry 10
+        assert set(graph.alive_pairs()) == {("a", "b")}
+
+
+class TestNodeInterning:
+    def test_ids_dense_and_stable(self):
+        graph = TDNGraph()
+        graph.add_interaction(Interaction("a", "b", 0, 2))
+        graph.add_interaction(Interaction("b", "c", 0, 5))
+        assert graph.num_interned == 3
+        assert [graph.node_id(n) for n in ("a", "b", "c")] == [0, 1, 2]
+        assert graph.node_of_id(2) == "c"
+        graph.advance_to(2)  # (a, b) expires; ids must not shift
+        assert graph.node_id("a") == 0
+        assert graph.num_interned == 3
+        graph.add_interaction(Interaction("a", "d", 2, 3))
+        assert graph.node_id("d") == 3
+
+    def test_intern_ids_counts_unknown_nodes(self):
+        graph = TDNGraph()
+        graph.add_interaction(Interaction("a", "b", 0, 2))
+        ids, unknown = graph.intern_ids(["a", "ghost", "b", "phantom"])
+        assert sorted(ids) == [0, 1]
+        assert unknown == 2
+
+    def test_unknown_node_id_is_none(self):
+        assert TDNGraph().node_id("nope") is None
+
+    def test_removal_listener_may_mutate_mid_drain(self):
+        # A removal listener that inserts edges while advance_to drains
+        # must not desync the sorted key structure from the buckets.
+        graph = TDNGraph()
+
+        def reinsert(u, v, remaining):
+            if u == "a" and graph.num_edges < 5:
+                graph.add_interaction(Interaction("x", "y", 0, 100))
+
+        graph.add_removal_listener(reinsert)
+        graph.add_interaction(Interaction("a", "b", 0, 3))
+        graph.add_interaction(Interaction("b", "c", 0, 8))
+        assert graph.advance_to(5) == 1  # (a, b) expired, (x, y) inserted
+        assert set(graph.alive_pairs()) == {("b", "c"), ("x", "y")}
+        assert graph.advance_to(8) == 1  # (b, c) expires cleanly afterwards
+        assert graph.advance_to(100) == 1  # and so does the reinserted edge
+        assert graph.num_edges == 0
