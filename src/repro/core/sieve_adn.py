@@ -83,7 +83,17 @@ class SieveADN:
             batch = [e for e in batch if e.expiry >= self.min_expiry]
         if not batch:
             return
-        candidates = changed_nodes(self.graph, batch, self.min_expiry, self.changed_mode)
+        # The changed-node sweep runs on the same engine family as the
+        # oracle: array-visited transpose sweep for "csr", reference dict
+        # walk for "dict" (identical sets and ordering either way).
+        # Duck-typed oracles without a backend attribute get the dict walk.
+        candidates = changed_nodes(
+            self.graph,
+            batch,
+            self.min_expiry,
+            self.changed_mode,
+            backend=getattr(self.oracle, "backend", "dict"),
+        )
         self.process_candidates(candidates)
 
     def process_candidates(self, candidates: Iterable[Node]) -> None:

@@ -17,15 +17,28 @@ Backends
 --------
 Two interchangeable reachability engines sit behind the same API:
 
-* ``"csr"`` (default): the compact engine of :mod:`repro.tdn.csr` — one
-  flat-array snapshot per graph version, array-visited frontier BFS, the
-  same per-pair max-expiry horizon test.  :meth:`spread_many` evaluates a
-  whole batch of sets against one shared snapshot.
+* ``"csr"`` (default): the incrementally maintained delta-CSR engine of
+  :mod:`repro.tdn.csr` — an immutable base snapshot plus O(1)-per-edge
+  overlay/tombstone deltas (no per-version rebuild), array-visited
+  frontier BFS, the same per-pair max-expiry horizon test.
 * ``"dict"``: the reference pure-Python BFS over the graph's dict-of-dict
   adjacency (:func:`repro.influence.reachability.reachable_set`).
 
-Both return identical values and spend identical oracle calls — the
-cross-backend equivalence suite pins this on seeded streams — so the
+Bit-plane batching
+------------------
+On the CSR backend, :meth:`InfluenceOracle.spread_many` does not issue one
+traversal per set.  It first replays the *sequential* cache protocol —
+walking the batch in order, taking hits, counting one oracle call per miss,
+and reserving each miss's FIFO cache slot — and then evaluates all distinct
+misses through :meth:`DeltaCSR.spread_counts`, which packs up to 64 seed
+sets into uint64 visited-mask planes and propagates them to fixpoint in a
+single shared multi-source sweep.  The *accounting* is therefore exactly
+what ``[self.spread(s) for s in sets]`` would produce — same values, same
+call counts, same cache evictions in the same order — while the *physics*
+costs one multi-BFS per 64 sets.
+
+Both backends return identical values and spend identical oracle calls —
+the cross-backend equivalence suite pins this on seeded streams — so the
 accounting shown in the paper's figures is backend independent.
 """
 
@@ -43,6 +56,12 @@ _CacheKey = Tuple[Optional[float], FrozenSet[Node]]
 
 #: Selectable reachability engines.
 ORACLE_BACKENDS = ("csr", "dict")
+
+#: In-batch placeholder for a cache slot whose value is still being
+#: evaluated by the shared bit-plane sweep.  Reserving the slot up front
+#: keeps FIFO insertion (and eviction) order identical to a sequential
+#: evaluation of the batch.
+_PENDING = object()
 
 
 def fifo_cache_put(cache: dict, key, value, max_entries: int) -> None:
@@ -127,19 +146,69 @@ class InfluenceOracle:
 
         Semantically identical to ``[self.spread(s, min_expiry) for s in
         sets]`` — same values, same cache behavior, same call counting in
-        the same order.  The whole batch shares one version check, and on
-        the CSR backend every miss evaluates against the one version-keyed
-        snapshot (:meth:`TDNGraph.csr` caches it, so the first miss builds
-        and the rest reuse), which is what makes feeding a SIEVEADN
-        candidate sweep through the oracle cheap.
+        the same order.  On the CSR backend the cache protocol is replayed
+        sequentially (hits, per-miss counting, FIFO slot reservation) but
+        the distinct misses are then evaluated together through the
+        engine's bit-plane multi-source sweep — one shared traversal per
+        64 sets instead of one BFS per set — which is what makes feeding a
+        SIEVEADN candidate sweep through the oracle cheap.
         """
         self._sync_version()
-        results: List[int] = []
-        for nodes in sets:
+        if self.backend == "dict":
+            reference: List[int] = []
+            for nodes in sets:
+                key_nodes = frozenset(nodes)
+                reference.append(
+                    self._spread_cached(key_nodes, min_expiry) if key_nodes else 0
+                )
+            return reference
+        results: List[Optional[int]] = [None] * len(sets)
+        cache = self._cache
+        miss_keys: List[_CacheKey] = []  # first-miss order, mirrors sequential
+        miss_sets: List[FrozenSet[Node]] = []
+        slot_of: dict = {}
+        placements: List[Tuple[int, int]] = []  # (result index, miss slot)
+        for i, nodes in enumerate(sets):
             key_nodes = frozenset(nodes)
-            results.append(
-                self._spread_cached(key_nodes, min_expiry) if key_nodes else 0
-            )
+            if not key_nodes:
+                results[i] = 0
+                continue
+            key: _CacheKey = (min_expiry, key_nodes)
+            hit = cache.get(key)
+            if hit is _PENDING:
+                # Duplicate of an in-batch miss: a sequential run would hit
+                # the (by then populated) cache entry — no call counted.
+                placements.append((i, slot_of[key]))
+                continue
+            if hit is not None:
+                results[i] = hit
+                continue
+            self.counter.increment()
+            slot = slot_of.get(key)
+            if slot is None:
+                slot = len(miss_keys)
+                slot_of[key] = slot
+                miss_keys.append(key)
+                miss_sets.append(key_nodes)
+            # Reserve the FIFO slot exactly where a sequential evaluation
+            # would have inserted the computed value (a re-counted miss —
+            # its reservation evicted mid-batch — re-inserts, as it would
+            # sequentially).
+            fifo_cache_put(cache, key, _PENDING, self._max_cache_entries)
+            placements.append((i, slot))
+        if miss_sets:
+            try:
+                values = self._evaluate_batch(miss_sets, min_expiry)
+            except BaseException:
+                for key in miss_keys:
+                    if cache.get(key) is _PENDING:
+                        del cache[key]
+                raise
+            for key, value in zip(miss_keys, values):
+                if cache.get(key) is _PENDING:
+                    cache[key] = value
+            for i, slot in placements:
+                results[i] = values[slot]
         return results
 
     def marginal_gain(
@@ -171,7 +240,7 @@ class InfluenceOracle:
     ) -> int:
         key: _CacheKey = (min_expiry, key_nodes)
         hit = self._cache.get(key)
-        if hit is not None:
+        if hit is not None and hit is not _PENDING:
             return hit
         self.counter.increment()
         value = self._evaluate(key_nodes, min_expiry)
@@ -187,6 +256,29 @@ class InfluenceOracle:
         if not ids:
             return unknown
         return self.graph.csr().reachable_count(ids, min_expiry) + unknown
+
+    def _evaluate_batch(
+        self, key_sets: Sequence[FrozenSet[Node]], min_expiry: Optional[float]
+    ) -> List[int]:
+        """Evaluate distinct cache misses via the shared bit-plane sweep."""
+        graph = self.graph
+        values: List[int] = [0] * len(key_sets)
+        id_sets: List[List[int]] = []
+        unknowns: List[int] = []
+        pending: List[int] = []
+        for j, key_nodes in enumerate(key_sets):
+            ids, unknown = graph.intern_ids(key_nodes)
+            if ids:
+                pending.append(j)
+                id_sets.append(ids)
+                unknowns.append(unknown)
+            else:
+                values[j] = unknown
+        if id_sets:
+            counts = graph.csr().spread_counts(id_sets, min_expiry)
+            for j, count, unknown in zip(pending, counts, unknowns):
+                values[j] = count + unknown
+        return values
 
     # ------------------------------------------------------------------
     @property

@@ -2,12 +2,15 @@
 
 The influence spread of Definition 3 is plain directed reachability.  The
 two breadth-first traversals here are the *reference* engine: the oracle's
-default ``backend="csr"`` answers forward reachability from the compact
-flat-array snapshot (:mod:`repro.tdn.csr`) instead, and is pinned to agree
-with :func:`reachable_set` by the cross-backend equivalence suite.  Both
-accept a ``min_expiry`` horizon: only edges with expiry at or above the
-horizon are traversed, which is how a single shared graph serves SIEVEADN
-instances with different lifetime horizons (DESIGN.md Section 2).
+default ``backend="csr"`` answers forward reachability from the delta-CSR
+engine (:mod:`repro.tdn.csr`) instead, and :func:`ancestors` has a
+transpose-backed counterpart there
+(:meth:`~repro.tdn.csr.DeltaCSR.ancestor_ids`) used by ``changed_nodes``;
+both compact paths are pinned to agree with the functions here by the
+cross-backend equivalence suite.  All traversals accept a ``min_expiry``
+horizon: only edges with expiry at or above the horizon are traversed,
+which is how a single shared graph serves SIEVEADN instances with
+different lifetime horizons (DESIGN.md Section 2).
 """
 
 from __future__ import annotations

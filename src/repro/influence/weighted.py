@@ -32,7 +32,9 @@ from typing import (
     Union,
 )
 
-from repro.influence.oracle import fifo_cache_put
+import numpy as np
+
+from repro.influence.oracle import ORACLE_BACKENDS, fifo_cache_put
 from repro.influence.reachability import reachable_set
 from repro.tdn.graph import TDNGraph
 from repro.utils.counters import CallCounter
@@ -53,6 +55,14 @@ class WeightedInfluenceOracle:
         default_weight: weight for nodes absent from the mapping (1.0
             recovers the paper's unweighted spread exactly).
         counter: shared call counter (fresh one by default).
+        backend: ``"csr"`` (default) computes the reachable id set on the
+            graph's delta-CSR engine; with mapping/default weights it sums
+            a dense per-id node-weight array over it — one vectorized
+            gather instead of a per-node Python weight lookup — while a
+            weight *callable* is still invoked once per reached node (it
+            may be partial or stateful, so it is never pre-evaluated for
+            unreached nodes).  ``"dict"`` is the reference dict BFS.  Both
+            return identical values and spend identical calls.
 
     The interface matches :class:`InfluenceOracle` (``spread``,
     ``marginal_gain``, ``calls``), so it can be injected into any
@@ -70,6 +80,7 @@ class WeightedInfluenceOracle:
         default_weight: float = 1.0,
         counter: Optional[CallCounter] = None,
         max_cache_entries: int = 200_000,
+        backend: str = "csr",
     ) -> None:
         if default_weight < 0:
             raise ValueError(f"default_weight must be >= 0, got {default_weight}")
@@ -77,9 +88,24 @@ class WeightedInfluenceOracle:
             raise ValueError(
                 f"max_cache_entries must be >= 0, got {max_cache_entries}"
             )
+        if backend not in ORACLE_BACKENDS:
+            raise ValueError(
+                f"backend must be one of {ORACLE_BACKENDS}, got {backend!r}"
+            )
         self.graph = graph
+        self.backend = backend
         self.counter = counter if counter is not None else CallCounter("weighted-oracle")
         self._default = float(default_weight)
+        # Dense per-interned-id weight cache, extended lazily as new nodes
+        # appear (ids are append-only, so prefixes never go stale).  Only
+        # used for mapping/default weights, which are total and pure; a
+        # user *callable* is never pre-evaluated for nodes outside the
+        # reachable set (it may raise for them, be partial, or vary), so
+        # the csr path falls back to per-reached-node calls for it —
+        # exactly the dict backend's evaluation pattern.
+        self._weight_array = np.empty(0, dtype=np.float64)
+        self._dense_weights = weights is None or not callable(weights)
+        self._uniform_default = weights is None
         if weights is None:
             self._weight_of: Callable[[Node], float] = lambda node: self._default
         elif callable(weights):
@@ -111,17 +137,61 @@ class WeightedInfluenceOracle:
         if hit is not None:
             return hit
         self.counter.increment()
-        reached = reachable_set(self.graph, key_nodes, min_expiry)
-        value = 0.0
-        for node in reached:
-            weight = self._weight_of(node)
-            if weight < 0:
-                raise ValueError(
-                    f"weight callable returned negative value for {node!r}"
-                )
-            value += weight
+        if self.backend == "dict":
+            value = 0.0
+            for node in reachable_set(self.graph, key_nodes, min_expiry):
+                value += self._checked_weight(node)
+        else:
+            value = self._csr_spread(key_nodes, min_expiry)
         fifo_cache_put(self._cache, key, value, self._max_cache_entries)
         return value
+
+    def _checked_weight(self, node: Node) -> float:
+        weight = self._weight_of(node)
+        if weight < 0:
+            raise ValueError(
+                f"weight callable returned negative value for {node!r}"
+            )
+        return weight
+
+    def _csr_spread(self, key_nodes: FrozenSet[Node], min_expiry: Optional[float]) -> float:
+        """Sum the dense weight array over the engine's reachable id set."""
+        graph = self.graph
+        ids: List[int] = []
+        value = 0.0
+        for node in key_nodes:
+            node_id = graph.node_id(node)
+            if node_id is None:
+                # Never-interned seed: reaches only itself.
+                value += self._checked_weight(node)
+            else:
+                ids.append(node_id)
+        if not ids:
+            return value
+        reached = graph.csr().reachable_ids(ids, min_expiry)
+        if self._uniform_default:
+            # No mapping at all: every node weighs default_weight.
+            return value + self._default * len(reached)
+        if not self._dense_weights:
+            node_of_id = graph.node_of_id
+            for reached_id in reached:
+                value += self._checked_weight(node_of_id(reached_id))
+            return value
+        weights = self._weights_upto(graph.num_interned)
+        reached_ids = np.fromiter(reached, dtype=np.int64, count=len(reached))
+        return value + float(weights[reached_ids].sum())
+
+    def _weights_upto(self, count: int) -> np.ndarray:
+        """The dense id-indexed weight array, extended to ``count`` entries."""
+        have = self._weight_array.shape[0]
+        if have < count:
+            node_of_id = self.graph.node_of_id
+            fresh = np.asarray(
+                [self._checked_weight(node_of_id(i)) for i in range(have, count)],
+                dtype=np.float64,
+            )
+            self._weight_array = np.concatenate([self._weight_array, fresh])
+        return self._weight_array
 
     def spread_many(
         self,

@@ -6,7 +6,11 @@ round-trips the TDN graph and each of the paper's algorithms through plain
 JSON-able dictionaries:
 
 * the graph serializes as ``(time, [source, target, expiry] rows)`` —
-  expiry (not arrival time) is the only temporal attribute the TDN needs;
+  expiry (not arrival time) is the only temporal attribute the TDN needs —
+  plus the node interning table in id order: dense ids are part of the
+  graph's identity (the CSR engine indexes by them and the changed-node
+  sweep orders candidates by them), so a restored graph must intern
+  every node at its original id even if the node's edges have expired;
 * a SIEVEADN instance serializes its threshold grid (delta + per-exponent
   sieve sets with their cached values) and horizon;
 * BASICREDUCTION / HISTAPPROX serialize their horizon-keyed instances.
@@ -16,7 +20,11 @@ oracle; resumed runs produce *identical* results to uninterrupted ones
 (verified in ``tests/test_persistence.py``).
 
 Node labels must be JSON-compatible (strings, numbers); the loader refuses
-graphs whose serialized labels would not round-trip.
+graphs whose serialized labels would not round-trip.  This applies to
+*every node the graph has ever seen*, not just currently-alive endpoints:
+the interning table must round-trip in full, or restored dense ids (and
+with them the deterministic changed-node ordering) would silently diverge
+from the original run.
 
 Randomized components (lifetime policies, the Random baseline, RR-set
 samplers) are intentionally *not* serialized: RNG state is not portable
@@ -56,18 +64,33 @@ def graph_to_dict(graph: TDNGraph) -> Dict:
                 serialized_expiry = None if expiry == INFINITE_EXPIRY else int(expiry)
                 for _ in range(multiplicity):
                     edges.append([u, v, serialized_expiry])
+    for node in graph._id_nodes:  # noqa: SLF001 - own module
+        _check_label(node)
     return {
         "format_version": _FORMAT_VERSION,
         "type": "TDNGraph",
         "time": graph.time,
+        "csr_mode": graph._csr_mode,  # noqa: SLF001 - own module
+        "interned": list(graph._id_nodes),  # noqa: SLF001 - own module
         "edges": edges,
     }
 
 
 def graph_from_dict(payload: Dict) -> TDNGraph:
-    """Rebuild a graph serialized by :func:`graph_to_dict`."""
+    """Rebuild a graph serialized by :func:`graph_to_dict`.
+
+    The interning table is restored first so every node keeps its original
+    dense id (checkpoints from before the table was serialized fall back
+    to replay-order interning).
+    """
     _check_payload(payload, "TDNGraph")
-    graph = TDNGraph(start_time=payload["time"])
+    graph = TDNGraph(
+        start_time=payload["time"], csr_mode=payload.get("csr_mode", "delta")
+    )
+    for node in payload.get("interned", ()):
+        if node not in graph._node_ids:  # noqa: SLF001 - own module
+            graph._node_ids[node] = len(graph._id_nodes)  # noqa: SLF001
+            graph._id_nodes.append(node)  # noqa: SLF001
     t = payload["time"]
     for u, v, expiry in payload["edges"]:
         lifetime = None if expiry is None else int(expiry) - t

@@ -1,10 +1,14 @@
-"""Compact CSR snapshots of a :class:`~repro.tdn.graph.TDNGraph`.
+"""Compact CSR engines for a :class:`~repro.tdn.graph.TDNGraph`.
 
 The influence oracle's cost model bottoms out in directed reachability, and
 the reference implementation walks the graph's dict-of-dict adjacency one
-Python object at a time.  This module is the compact engine behind the
-oracle's ``backend="csr"`` mode: the alive pair adjacency is flattened into
-three numpy arrays —
+Python object at a time.  This module holds the compact engines behind the
+oracle's ``backend="csr"`` mode.
+
+Two layers
+----------
+:class:`CSRSnapshot` is the immutable base layer: the alive pair adjacency
+flattened into three numpy arrays —
 
 * ``indptr``  (``num_nodes + 1``): per-node slice boundaries,
 * ``indices``: successor ids, grouped by source id,
@@ -16,30 +20,64 @@ expiry against ``min_expiry``), but the BFS frontier expansion becomes a
 handful of vectorized gathers per level instead of per-edge Python dict
 probes.
 
-Snapshots are immutable and keyed to the graph ``version`` they were built
-from; :meth:`TDNGraph.csr` caches one per version so a whole batch of
-evaluations (one SIEVEADN candidate sweep, one ``spread_many`` call) shares
-a single O(V + P) build.  The visited buffer uses an epoch *stamp* instead
-of a boolean array so repeated traversals do not pay an O(V) clear each.
+:class:`DeltaCSR` is the *incrementally maintained* engine the graph
+actually serves queries from (:meth:`TDNGraph.csr`).  Instead of rebuilding
+a snapshot on every graph version (O(V + P) per batch), it keeps
+
+* an immutable :class:`CSRSnapshot` **base**,
+* a per-node **append overlay** of post-base arrivals (forward and reverse,
+  so the transpose stays incremental too), and
+* a lazy **tombstone count** for expiries.
+
+Arrivals append one ``(neighbor, expiry)`` entry in O(1); expiries cost
+O(1) because a dead pair's base entry is *stale-but-harmless*: an expired
+edge has ``expiry <= t``, while every live query horizon is at least
+``t + 1`` (an alive edge always satisfies ``expiry >= t + 1``), so queries
+clamp their horizon to ``max(min_expiry, t + 1)`` and stale entries filter
+themselves out.  When the overlay-plus-tombstone fraction crosses
+:attr:`DeltaCSR.COMPACT_FRACTION` of the base, the engine compacts into a
+fresh base — so a stream of B-edge batches pays amortized O(B), not
+O(V + P), per step.
+
+Traversals
+----------
+Forward reachability (:meth:`DeltaCSR.reachable_count` /
+:meth:`~DeltaCSR.reachable_ids`) and the transpose-backed reverse sweep
+(:meth:`DeltaCSR.ancestor_ids`, behind ``changed_nodes``) run an
+array-visited frontier BFS over base-plus-overlay.  The visited buffer uses
+an epoch *stamp* instead of a boolean array so repeated traversals do not
+pay an O(V) clear each.
+
+:meth:`DeltaCSR.spread_counts` is the multi-source **bit-plane** engine: up
+to 64 candidate sets are packed into uint64 visited-mask planes (bit *i* of
+``masks[v]`` means "set *i* reaches *v*") and all planes propagate to
+fixpoint in one shared traversal, so a SIEVEADN singleton sweep over a
+candidate batch costs one multi-BFS instead of |candidates| BFSes.  Oracle
+*call accounting is unchanged* — counting stays per-set in the oracle, only
+the physical traversal is shared.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Set
+from typing import Iterable, List, Optional, Sequence, Set
 
 import numpy as np
 
-__all__ = ["CSRSnapshot"]
+__all__ = ["CSRSnapshot", "DeltaCSR"]
+
+#: Selectable maintenance policies for :class:`DeltaCSR`.
+CSR_MODES = ("delta", "rebuild")
 
 
 class CSRSnapshot:
     """Immutable flat-array view of the alive directed pairs of a TDN.
 
-    Build with :meth:`build` (or, in practice, via the caching
-    :meth:`TDNGraph.csr` accessor).  All arrays are indexed by the graph's
+    Build with :meth:`build`.  All arrays are indexed by the graph's
     interned node ids, including ids whose node has no alive edges (their
     adjacency slice is simply empty), so id-keyed callers never need to
-    translate between id spaces across versions.
+    translate between id spaces across versions.  In production the
+    snapshot is the *base layer* of :class:`DeltaCSR`; standalone use
+    (tests, offline analysis) queries it directly.
     """
 
     __slots__ = (
@@ -57,7 +95,9 @@ class CSRSnapshot:
     #: Below this many alive pairs, traversal walks the flat arrays with a
     #: plain Python loop: per-level numpy dispatch overhead dominates on
     #: tiny graphs, while the vectorized frontier expansion wins by a wide
-    #: margin above it.  Tests pin both paths to identical results.
+    #: margin above it.  Tests pin both paths to identical results.  The
+    #: delta engine reads this class attribute too, so one knob (and one
+    #: monkeypatch) governs both engines.
     SCALAR_PAIR_LIMIT = 2048
 
     def __init__(
@@ -236,4 +276,465 @@ class CSRSnapshot:
         return (
             f"CSRSnapshot(nodes={self.num_nodes}, pairs={self.num_pairs}, "
             f"version={self.version})"
+        )
+
+
+class DeltaCSR:
+    """Incrementally maintained delta-CSR reachability engine.
+
+    Owned by the graph (:meth:`TDNGraph.csr` creates it lazily and keeps it
+    for the graph's lifetime); the graph's mutation hooks feed it directly:
+
+    * :meth:`record_arrival` appends one overlay entry per inserted edge —
+      forward (``u -> (v, expiry)``) and reverse (``v -> (u, expiry)``), so
+      the transpose never needs a per-version rebuild either;
+    * :meth:`record_pair_death` counts a tombstone when a pair's last alive
+      edge expires.  The dead pair's base entry stays in place: its
+      recorded expiry is ``<= t`` while every query horizon is clamped to
+      ``>= t + 1``, so it can never be traversed again.
+
+    :meth:`sync` (called from :meth:`TDNGraph.csr`) compacts overlay and
+    tombstones into a fresh base once their combined count crosses
+    ``max(COMPACT_MIN, COMPACT_FRACTION * base pairs)``; between
+    compactions every mutation is O(1) and every query sees the exact
+    current graph.  ``mode="rebuild"`` forces a compaction on every version
+    change, reproducing the PR 1 rebuild-per-version cost model for
+    benchmarking.
+    """
+
+    #: Compact when overlay entries + tombstones exceed this fraction of
+    #: the base pair count ...
+    COMPACT_FRACTION = 0.25
+    #: ... but never before this many deltas have accumulated (tiny bases
+    #: would otherwise compact on every batch).
+    COMPACT_MIN = 512
+    #: Candidate sets packed per bit-plane traversal (uint64 mask width).
+    PLANE_WIDTH = 64
+
+    __slots__ = (
+        "_graph",
+        "mode",
+        "_base",
+        "_tindptr",
+        "_tindices",
+        "_texpiries",
+        "_tscalar",
+        "_ov_out",
+        "_ov_in",
+        "_ov_out_flag",
+        "_ov_in_flag",
+        "_ov_entries",
+        "_tombstones",
+        "_visit",
+        "_stamp",
+        "compactions",
+        "version",
+    )
+
+    def __init__(self, graph, mode: str = "delta") -> None:
+        if mode not in CSR_MODES:
+            raise ValueError(f"mode must be one of {CSR_MODES}, got {mode!r}")
+        self._graph = graph
+        self.mode = mode
+        self.compactions = 0
+        self._visit = np.zeros(graph.num_interned, dtype=np.int64)
+        self._stamp = 0
+        self._compact()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        """Current interned-id space (grows as nodes appear)."""
+        return self._graph.num_interned
+
+    @property
+    def num_entries(self) -> int:
+        """Base pair entries plus overlay entries (stale ones included)."""
+        return self._base.num_pairs + self._ov_entries
+
+    @property
+    def overlay_entries(self) -> int:
+        """Overlay arrivals accumulated since the last compaction."""
+        return self._ov_entries
+
+    @property
+    def tombstones(self) -> int:
+        """Pair deaths accumulated since the last compaction."""
+        return self._tombstones
+
+    @property
+    def base(self) -> CSRSnapshot:
+        """The immutable compacted base snapshot."""
+        return self._base
+
+    # ------------------------------------------------------------------
+    # Mutation hooks (called by TDNGraph)
+    # ------------------------------------------------------------------
+    def record_arrival(self, uid: int, vid: int, expiry: float) -> None:
+        """Append one arrived edge to the forward and reverse overlays."""
+        top = uid if uid > vid else vid
+        if top >= self._ov_out_flag.shape[0]:
+            self._grow(top + 1)
+        self._ov_out.setdefault(uid, []).append((vid, expiry))
+        self._ov_in.setdefault(vid, []).append((uid, expiry))
+        self._ov_out_flag[uid] = True
+        self._ov_in_flag[vid] = True
+        self._ov_entries += 1
+
+    def record_pair_death(self) -> None:
+        """Count a tombstone for a pair whose last alive edge expired."""
+        self._tombstones += 1
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def sync(self) -> None:
+        """Bring the engine up to date with the graph (maybe compact)."""
+        graph = self._graph
+        if self.mode == "rebuild":
+            if self.version != graph.version:
+                self._compact()
+            return
+        if self._ov_entries + self._tombstones > max(
+            self.COMPACT_MIN, self.COMPACT_FRACTION * self._base.num_pairs
+        ):
+            self._compact()
+        else:
+            self.version = graph.version
+
+    def _compact(self) -> None:
+        """Fold overlay and tombstones into a fresh immutable base."""
+        graph = self._graph
+        self._base = CSRSnapshot.build(graph)
+        self._tindptr = None
+        self._tindices = None
+        self._texpiries = None
+        self._tscalar = None
+        self._ov_out = {}
+        self._ov_in = {}
+        capacity = max(self._visit.shape[0], graph.num_interned)
+        self._ov_out_flag = np.zeros(capacity, dtype=bool)
+        self._ov_in_flag = np.zeros(capacity, dtype=bool)
+        self._ov_entries = 0
+        self._tombstones = 0
+        self.compactions += 1
+        self.version = graph.version
+
+    def _grow(self, needed: int) -> None:
+        """Amortized-doubling growth of the id-indexed buffers."""
+        capacity = max(needed, 2 * self._visit.shape[0])
+        grown = np.zeros(capacity, dtype=np.int64)
+        grown[: self._visit.shape[0]] = self._visit
+        self._visit = grown
+        for name in ("_ov_out_flag", "_ov_in_flag"):
+            flags = getattr(self, name)
+            grown_flags = np.zeros(capacity, dtype=bool)
+            grown_flags[: flags.shape[0]] = flags
+            setattr(self, name, grown_flags)
+
+    def _effective_horizon(self, min_expiry: Optional[float]) -> float:
+        """Clamp the query horizon to ``t + 1``.
+
+        Every alive edge satisfies ``expiry >= t + 1`` (an edge alive at
+        ``t`` is removed at ``expiry > t``), so the clamp never hides a
+        traversable pair; it *does* hide every stale base/overlay entry,
+        whose recorded expiry is ``<= t``.  This is what makes expiries
+        O(1): lazy deletion with the horizon test as the filter.
+        """
+        floor = float(self._graph.time + 1)
+        if min_expiry is None or min_expiry < floor:
+            return floor
+        return min_expiry
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def reachable_count(
+        self, source_ids: Iterable[int], min_expiry: Optional[float] = None
+    ) -> int:
+        """Number of distinct nodes reachable from ``source_ids``."""
+        eff = self._effective_horizon(min_expiry)
+        if self.num_entries <= CSRSnapshot.SCALAR_PAIR_LIMIT:
+            return len(self._scalar_traverse(source_ids, eff, reverse=False))
+        frontier = self._seed_frontier(source_ids)
+        if frontier is None:
+            return 0
+        count = int(frontier.size)
+        for frontier in self._vector_frontiers(frontier, eff, reverse=False):
+            count += int(frontier.size)
+        return count
+
+    def reachable_ids(
+        self, source_ids: Iterable[int], min_expiry: Optional[float] = None
+    ) -> Set[int]:
+        """The reachable id set itself (weighted oracle, tests)."""
+        eff = self._effective_horizon(min_expiry)
+        if self.num_entries <= CSRSnapshot.SCALAR_PAIR_LIMIT:
+            return self._scalar_traverse(source_ids, eff, reverse=False)
+        frontier = self._seed_frontier(source_ids)
+        if frontier is None:
+            return set()
+        reached = set(frontier.tolist())
+        for frontier in self._vector_frontiers(frontier, eff, reverse=False):
+            reached.update(frontier.tolist())
+        return reached
+
+    def ancestor_ids(
+        self, target_ids: Iterable[int], min_expiry: Optional[float] = None
+    ) -> Set[int]:
+        """All ids that can reach ``target_ids`` (transpose-backed).
+
+        This is the engine behind ``changed_nodes``: the reverse BFS runs
+        on the lazily built transpose of the base plus the reverse overlay,
+        with the same array-visited stamping as the forward sweep.
+        """
+        eff = self._effective_horizon(min_expiry)
+        if self.num_entries <= CSRSnapshot.SCALAR_PAIR_LIMIT:
+            return self._scalar_traverse(target_ids, eff, reverse=True)
+        frontier = self._seed_frontier(target_ids)
+        if frontier is None:
+            return set()
+        reached = set(frontier.tolist())
+        for frontier in self._vector_frontiers(frontier, eff, reverse=True):
+            reached.update(frontier.tolist())
+        return reached
+
+    def spread_counts(
+        self,
+        id_sets: Sequence[Sequence[int]],
+        min_expiry: Optional[float] = None,
+    ) -> List[int]:
+        """Per-set reachable counts for a whole batch of candidate sets.
+
+        Semantically ``[self.reachable_count(s, min_expiry) for s in
+        id_sets]``, but the physical traversal is shared: up to
+        :attr:`PLANE_WIDTH` sets are packed into uint64 visited-mask
+        planes (bit *i* of ``masks[v]`` = "set *i* reaches *v*") and all
+        planes propagate to fixpoint in one multi-source sweep.  Callers
+        own the per-set *accounting*; this method only shares the physics.
+        """
+        eff = self._effective_horizon(min_expiry)
+        if self.num_entries <= CSRSnapshot.SCALAR_PAIR_LIMIT:
+            return [
+                len(self._scalar_traverse(ids, eff, reverse=False))
+                for ids in id_sets
+            ]
+        results = [0] * len(id_sets)
+        width = self.PLANE_WIDTH
+        for chunk_start in range(0, len(id_sets), width):
+            chunk = id_sets[chunk_start : chunk_start + width]
+            counts = self._bitplane_counts(chunk, eff)
+            results[chunk_start : chunk_start + len(chunk)] = counts
+        return results
+
+    # ------------------------------------------------------------------
+    # Traversal internals
+    # ------------------------------------------------------------------
+    def _seed_frontier(self, source_ids: Iterable[int]) -> Optional[np.ndarray]:
+        frontier = np.unique(np.asarray(list(source_ids), dtype=np.int64))
+        if frontier.size == 0:
+            return None
+        if frontier[0] < 0 or frontier[-1] >= self.num_nodes:
+            raise IndexError(
+                f"source id out of range [0, {self.num_nodes}) in {frontier}"
+            )
+        self._stamp += 1
+        self._visit[frontier] = self._stamp
+        return frontier
+
+    def _direction(self, reverse: bool):
+        """(indptr, indices, expiries, overlay, overlay_flag) for a sweep."""
+        if reverse:
+            tindptr, tindices, texpiries = self._transpose_arrays()
+            return tindptr, tindices, texpiries, self._ov_in, self._ov_in_flag
+        base = self._base
+        return base.indptr, base.indices, base.expiries, self._ov_out, self._ov_out_flag
+
+    def _transpose_arrays(self):
+        """Lazily build the transpose of the base (overlay stays separate)."""
+        if self._tindptr is None:
+            base = self._base
+            base_n = base.num_nodes
+            if base.num_pairs:
+                order = np.argsort(base.indices, kind="stable")
+                counts = np.bincount(base.indices, minlength=base_n)
+                sources = np.repeat(
+                    np.arange(base_n, dtype=np.int64), np.diff(base.indptr)
+                )
+                self._tindices = sources[order]
+                self._texpiries = base.expiries[order]
+            else:
+                counts = np.zeros(base_n, dtype=np.int64)
+                self._tindices = np.empty(0, dtype=np.int64)
+                self._texpiries = np.empty(0, dtype=np.float64)
+            self._tindptr = np.zeros(base_n + 1, dtype=np.int64)
+            np.cumsum(counts, out=self._tindptr[1:])
+        return self._tindptr, self._tindices, self._texpiries
+
+    def _scalar_lists(self, reverse: bool):
+        """Plain-list mirrors of the directional arrays (small-graph path)."""
+        if not reverse:
+            return self._base._scalar_view()
+        if self._tscalar is None:
+            tindptr, tindices, texpiries = self._transpose_arrays()
+            self._tscalar = (
+                tindptr.tolist(),
+                tindices.tolist(),
+                texpiries.tolist(),
+            )
+        return self._tscalar
+
+    def _scalar_traverse(
+        self, source_ids: Iterable[int], eff: float, reverse: bool
+    ) -> Set[int]:
+        """Plain-Python DFS over base-plus-overlay (small-graph path)."""
+        indptr, indices, expiries = self._scalar_lists(reverse)
+        overlay = self._ov_in if reverse else self._ov_out
+        base_n = len(indptr) - 1
+        num_nodes = self.num_nodes
+        visited = set()
+        stack = []
+        for node_id in source_ids:
+            if node_id < 0 or node_id >= num_nodes:
+                raise IndexError(
+                    f"source id {node_id} out of range [0, {num_nodes})"
+                )
+            if node_id not in visited:
+                visited.add(node_id)
+                stack.append(node_id)
+        while stack:
+            node_id = stack.pop()
+            if node_id < base_n:
+                for slot in range(indptr[node_id], indptr[node_id + 1]):
+                    if expiries[slot] < eff:
+                        continue
+                    successor = indices[slot]
+                    if successor not in visited:
+                        visited.add(successor)
+                        stack.append(successor)
+            entries = overlay.get(node_id)
+            if entries:
+                for successor, expiry in entries:
+                    if expiry >= eff and successor not in visited:
+                        visited.add(successor)
+                        stack.append(successor)
+        return visited
+
+    def _vector_frontiers(self, frontier: np.ndarray, eff: float, reverse: bool):
+        """Yield successive stamped BFS frontiers over base-plus-overlay."""
+        indptr, indices, expiries, overlay, ov_flag = self._direction(reverse)
+        base_n = indptr.shape[0] - 1
+        visit = self._visit
+        stamp = self._stamp
+        while frontier.size:
+            parts = []
+            in_base = frontier[frontier < base_n] if base_n < self.num_nodes else frontier
+            if in_base.size:
+                starts = indptr[in_base]
+                counts = indptr[in_base + 1] - starts
+                total = int(counts.sum())
+                if total:
+                    ends = np.cumsum(counts)
+                    slots = np.repeat(starts - ends + counts, counts) + np.arange(total)
+                    slots = slots[expiries[slots] >= eff]
+                    neighbors = indices[slots]
+                    neighbors = neighbors[visit[neighbors] != stamp]
+                    if neighbors.size:
+                        parts.append(neighbors)
+            overlay_nodes = frontier[ov_flag[frontier]]
+            if overlay_nodes.size:
+                extra = []
+                for node_id in overlay_nodes.tolist():
+                    for successor, expiry in overlay[node_id]:
+                        if expiry >= eff and visit[successor] != stamp:
+                            extra.append(successor)
+                if extra:
+                    parts.append(np.asarray(extra, dtype=np.int64))
+            if not parts:
+                return
+            frontier = np.unique(np.concatenate(parts) if len(parts) > 1 else parts[0])
+            visit[frontier] = stamp
+            yield frontier
+
+    def _bitplane_counts(self, chunk: Sequence[Sequence[int]], eff: float) -> List[int]:
+        """One shared multi-source fixpoint sweep for up to 64 seed sets."""
+        num_nodes = self.num_nodes
+        masks = np.zeros(num_nodes, dtype=np.uint64)
+        seed_parts = []
+        for plane, ids in enumerate(chunk):
+            seeds = np.asarray(list(ids), dtype=np.int64)
+            if seeds.size == 0:
+                continue
+            if seeds.min() < 0 or seeds.max() >= num_nodes:
+                raise IndexError(
+                    f"source id out of range [0, {num_nodes}) in {seeds}"
+                )
+            masks[seeds] |= np.uint64(1 << plane)
+            seed_parts.append(seeds)
+        if not seed_parts:
+            return [0] * len(chunk)
+        indptr, indices, expiries, overlay, ov_flag = self._direction(False)
+        base_n = indptr.shape[0] - 1
+        frontier = np.unique(np.concatenate(seed_parts))
+        while frontier.size:
+            changed_parts = []
+            in_base = frontier[frontier < base_n] if base_n < num_nodes else frontier
+            if in_base.size:
+                starts = indptr[in_base]
+                counts = indptr[in_base + 1] - starts
+                nonzero = counts > 0
+                in_base = in_base[nonzero]
+                starts = starts[nonzero]
+                counts = counts[nonzero]
+                total = int(counts.sum())
+                if total:
+                    ends = np.cumsum(counts)
+                    slots = np.repeat(starts - ends + counts, counts) + np.arange(total)
+                    sources = np.repeat(in_base, counts)
+                    keep = expiries[slots] >= eff
+                    slots = slots[keep]
+                    sources = sources[keep]
+                    if slots.size:
+                        targets = indices[slots]
+                        contrib = masks[sources]
+                        before = masks[targets]
+                        np.bitwise_or.at(masks, targets, contrib)
+                        changed = targets[masks[targets] != before]
+                        if changed.size:
+                            changed_parts.append(changed)
+            overlay_nodes = frontier[ov_flag[frontier]]
+            if overlay_nodes.size:
+                extra = []
+                for node_id in overlay_nodes.tolist():
+                    node_mask = int(masks[node_id])
+                    for successor, expiry in overlay[node_id]:
+                        if expiry < eff:
+                            continue
+                        old = int(masks[successor])
+                        new = old | node_mask
+                        if new != old:
+                            masks[successor] = new
+                            extra.append(successor)
+                if extra:
+                    changed_parts.append(np.asarray(extra, dtype=np.int64))
+            if not changed_parts:
+                break
+            frontier = np.unique(
+                np.concatenate(changed_parts)
+                if len(changed_parts) > 1
+                else changed_parts[0]
+            )
+        reached = masks[masks != np.uint64(0)]
+        return [
+            int(np.count_nonzero(reached & np.uint64(1 << plane)))
+            for plane in range(len(chunk))
+        ]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DeltaCSR(mode={self.mode!r}, nodes={self.num_nodes}, "
+            f"base_pairs={self._base.num_pairs}, overlay={self._ov_entries}, "
+            f"tombstones={self._tombstones}, compactions={self.compactions})"
         )

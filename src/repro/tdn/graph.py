@@ -30,8 +30,15 @@ Bookkeeping
   (:meth:`node_id`); ids are stable for the graph's lifetime and are what
   the CSR reachability engine (:mod:`repro.tdn.csr`) indexes by.
 * ``version`` increments on every structural change; the influence oracle
-  keys its memoization on it and :meth:`csr` caches one snapshot per
-  version.
+  keys its memoization on it.
+* alive-node and alive-pair counters are maintained inline by
+  :meth:`add_interaction` / :meth:`_remove_one_edge`, so :attr:`num_nodes`
+  and :attr:`num_pairs` are O(1) property reads instead of full adjacency
+  scans.
+* :meth:`csr` owns the incrementally maintained :class:`~repro.tdn.csr.
+  DeltaCSR` engine: every mutation feeds its overlay/tombstone deltas
+  directly (O(1) per edge), so evaluation-heavy ingestion never pays a
+  per-version O(V + P) snapshot rebuild.
 """
 
 from __future__ import annotations
@@ -87,6 +94,10 @@ class TDNGraph:
 
     Args:
         start_time: the initial clock value (default 0).
+        csr_mode: maintenance policy of the CSR reachability engine —
+            ``"delta"`` (default; incremental overlay + lazy compaction)
+            or ``"rebuild"`` (full snapshot rebuild per version, the PR 1
+            cost model, kept for benchmarking the incremental engine).
 
     Typical usage mirrors the paper's processing loop::
 
@@ -101,7 +112,13 @@ class TDNGraph:
     invalidate precisely.
     """
 
-    def __init__(self, start_time: int = 0) -> None:
+    def __init__(self, start_time: int = 0, csr_mode: str = "delta") -> None:
+        from repro.tdn.csr import CSR_MODES
+
+        if csr_mode not in CSR_MODES:
+            raise ValueError(
+                f"csr_mode must be one of {CSR_MODES}, got {csr_mode!r}"
+            )
         self._time = start_time
         self._out: Dict[Node, Dict[Node, _PairEdges]] = {}
         self._in: Dict[Node, Dict[Node, _PairEdges]] = {}
@@ -116,9 +133,11 @@ class TDNGraph:
         self._node_ids: Dict[Node, int] = {}
         self._id_nodes: List[Node] = []
         self._num_edges = 0
+        self._alive_nodes = 0
+        self._alive_pairs = 0
         self._removal_listeners: List = []
-        self._csr_cache = None
-        self._csr_version = -1
+        self._csr_mode = csr_mode
+        self._delta = None  # DeltaCSR engine, created lazily by csr()
         self.version = 0
 
     def add_removal_listener(self, callback) -> None:
@@ -201,13 +220,21 @@ class TDNGraph:
         if v not in self._node_ids:
             self._node_ids[v] = len(self._id_nodes)
             self._id_nodes.append(v)
-        pair = self._out.setdefault(u, {}).get(v)
+        out_u = self._out.setdefault(u, {})
+        pair = out_u.get(v)
         if pair is None:
+            # New alive pair: maintain the O(1) counters before inserting
+            # (aliveness of u/v is read off the pre-insert adjacency).
+            u_alive = bool(out_u) or bool(self._in.get(u))
+            v_alive = bool(self._out.get(v)) or bool(self._in.get(v))
             pair = _PairEdges()
-            self._out[u][v] = pair
+            out_u[v] = pair
             self._in.setdefault(v, {})[u] = pair
-        else:
-            self._in.setdefault(v, {}).setdefault(u, pair)
+            self._alive_pairs += 1
+            if not u_alive:
+                self._alive_nodes += 1
+            if not v_alive:
+                self._alive_nodes += 1
         pair.add(expiry)
         if expiry != INFINITE_EXPIRY:
             step = int(expiry)
@@ -219,6 +246,8 @@ class TDNGraph:
                 bucket.append((u, v))
         self._num_edges += 1
         self.version += 1
+        if self._delta is not None:
+            self._delta.record_arrival(self._node_ids[u], self._node_ids[v], expiry)
 
     def add_batch(self, interactions: Iterable[Interaction]) -> int:
         """Insert several interactions; returns how many were added."""
@@ -243,6 +272,13 @@ class TDNGraph:
             if not self._in.get(v) and not self._out.get(v):
                 self._in.pop(v, None)
                 self._out.pop(v, None)
+            self._alive_pairs -= 1
+            if not self._out.get(u) and not self._in.get(u):
+                self._alive_nodes -= 1
+            if not self._out.get(v) and not self._in.get(v):
+                self._alive_nodes -= 1
+            if self._delta is not None:
+                self._delta.record_pair_death()
 
     # ------------------------------------------------------------------
     # Inspection
@@ -254,13 +290,13 @@ class TDNGraph:
 
     @property
     def num_pairs(self) -> int:
-        """Number of distinct alive directed pairs ``(u, v)``."""
-        return sum(len(nbrs) for nbrs in self._out.values())
+        """Number of distinct alive directed pairs ``(u, v)`` (O(1))."""
+        return self._alive_pairs
 
     @property
     def num_nodes(self) -> int:
-        """Number of nodes with at least one alive edge."""
-        return len(self.node_set())
+        """Number of nodes with at least one alive edge (O(1))."""
+        return self._alive_nodes
 
     def node_set(self) -> set:
         """Return the alive node set ``V_t``."""
@@ -324,18 +360,23 @@ class TDNGraph:
         return ids, unknown
 
     def csr(self):
-        """The CSR adjacency snapshot for the current ``version`` (cached).
+        """The incrementally maintained CSR engine, synced to this version.
 
-        Lazily (re)built on first use after any structural change; every
-        consumer of the current version shares one snapshot, so a whole
-        batch of oracle evaluations amortizes a single O(V + P) build.
+        The first call builds the :class:`~repro.tdn.csr.DeltaCSR` engine
+        (one O(V + P) base compaction); from then on every mutation feeds
+        the engine's overlay/tombstone deltas in O(1) via the hooks in
+        :meth:`add_interaction` / :meth:`_remove_one_edge`, and this
+        accessor merely checks the compaction threshold.  Under
+        ``csr_mode="rebuild"`` the engine instead compacts on every
+        version change (the PR 1 cost model, kept for benchmarking).
         """
-        if self._csr_cache is None or self._csr_version != self.version:
-            from repro.tdn.csr import CSRSnapshot
+        if self._delta is None:
+            from repro.tdn.csr import DeltaCSR
 
-            self._csr_cache = CSRSnapshot.build(self)
-            self._csr_version = self.version
-        return self._csr_cache
+            self._delta = DeltaCSR(self, mode=self._csr_mode)
+        else:
+            self._delta.sync()
+        return self._delta
 
     def out_neighbors(self, node: Node, min_expiry: Optional[float] = None) -> Iterator[Node]:
         """Iterate successors of ``node`` traversable at the given horizon.

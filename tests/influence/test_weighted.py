@@ -73,6 +73,48 @@ class TestBasics:
         assert oracle.marginal_gain(["hub"], "hub") == 0.0
 
 
+class TestBackends:
+    def test_invalid_backend_rejected(self):
+        with pytest.raises(ValueError, match="backend"):
+            WeightedInfluenceOracle(star_graph(), backend="sparse")
+
+    def test_csr_and_dict_backends_agree_on_random_streams(self):
+        rng = random.Random(31)
+        graph = TDNGraph()
+        graph.csr()  # live engine: spreads run on base + overlay
+        t = 0
+        weights = {f"n{i}": rng.uniform(0.0, 9.0) for i in range(12)}
+        csr = WeightedInfluenceOracle(graph, weights, backend="csr")
+        ref = WeightedInfluenceOracle(graph, weights, backend="dict")
+        for _ in range(100):
+            if rng.random() < 0.2:
+                t += rng.randint(1, 3)
+                graph.advance_to(t)
+            u, v = rng.sample(range(12), 2)
+            graph.add_interaction(Interaction(f"n{u}", f"n{v}", t, rng.randint(1, 10)))
+            seeds = [f"n{i}" for i in rng.sample(range(12), rng.randint(1, 3))]
+            for horizon in (None, t + 2):
+                assert csr.spread(seeds, horizon) == pytest.approx(
+                    ref.spread(seeds, horizon)
+                )
+        assert csr.calls == ref.calls
+
+    def test_csr_path_handles_uninterned_seeds(self):
+        graph = star_graph()
+        oracle = WeightedInfluenceOracle(graph, {"ghost": 4.0}, backend="csr")
+        # "ghost" was never interned: it reaches only itself.
+        assert oracle.spread(["ghost"]) == 4.0
+        assert oracle.spread(["ghost", "hub"]) == 8.0  # 4 + hub's 4 unit reach
+
+    def test_csr_path_rejects_negative_callable_weight(self):
+        graph = star_graph()
+        oracle = WeightedInfluenceOracle(
+            graph, lambda n: -1.0 if n == "leaf2" else 1.0, backend="csr"
+        )
+        with pytest.raises(ValueError, match="negative"):
+            oracle.spread(["hub"])
+
+
 class TestSubmodularityProperties:
     @given(
         seed=st.integers(min_value=0, max_value=5_000),

@@ -64,11 +64,24 @@ def replay(tracker_name, events, backend):
     oracle = InfluenceOracle(graph, counter, backend=backend)
     tracker = make_tracker(tracker_name, graph, oracle)
     solutions = []
+    versions = 0
     for t, batch in MemoryStream(events, fill_gaps=True):
         graph.advance_to(t)
         graph.add_batch(batch)
         tracker.on_batch(t, batch)
         solutions.append(tracker.query())
+        versions = graph.version
+    if backend == "csr" and versions:
+        # The delta-CSR path must have carried the replay: the engine was
+        # exercised, and it absorbed the stream's many versions with far
+        # fewer full base compactions than graph versions (no
+        # rebuild-per-version behavior).
+        engine = graph.csr()
+        assert engine.compactions >= 1
+        assert engine.compactions < max(2, versions // 4), (
+            engine.compactions,
+            versions,
+        )
     return solutions, counter.total
 
 

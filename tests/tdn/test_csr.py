@@ -66,15 +66,21 @@ class TestBuild:
 
 
 class TestGraphCaching:
-    def test_snapshot_cached_per_version(self):
+    def test_engine_is_persistent_and_incremental(self):
         graph = TDNGraph()
         graph.add_interaction(Interaction("a", "b", 0, 5))
-        first = graph.csr()
-        assert graph.csr() is first  # same version -> same snapshot
+        engine = graph.csr()
+        assert graph.csr() is engine  # one engine for the graph's lifetime
+        assert engine.compactions == 1  # the initial base build
         graph.add_interaction(Interaction("b", "c", 0, 5))
-        second = graph.csr()
-        assert second is not first
-        assert second.version == graph.version
+        synced = graph.csr()
+        assert synced is engine  # mutation feeds the overlay, no rebuild
+        assert engine.compactions == 1
+        assert engine.overlay_entries == 1
+        assert synced.version == graph.version
+        # The overlay edge is immediately traversable.
+        a = graph.node_id("a")
+        assert engine.reachable_count([a]) == 3
 
     def test_stamped_visits_do_not_leak_across_queries(self):
         graph = TDNGraph()

@@ -354,3 +354,54 @@ class TestNodeInterning:
         assert graph.advance_to(8) == 1  # (b, c) expires cleanly afterwards
         assert graph.advance_to(100) == 1  # and so does the reinserted edge
         assert graph.num_edges == 0
+
+
+class TestO1Inventories:
+    """num_nodes / num_pairs are maintained counters, not full scans."""
+
+    def test_counters_track_full_recomputation(self):
+        import random
+
+        rng = random.Random(29)
+        graph = TDNGraph()
+        t = 0
+        for _ in range(400):
+            if rng.random() < 0.2:
+                t += rng.randint(1, 4)
+                graph.advance_to(t)
+            u, v = rng.sample(range(18), 2)
+            lifetime = None if rng.random() < 0.1 else rng.randint(1, 15)
+            graph.add_interaction(Interaction(f"n{u}", f"n{v}", t, lifetime))
+            assert graph.num_nodes == len(graph.node_set())
+            assert graph.num_pairs == sum(
+                len(nbrs) for nbrs in graph._out.values()
+            )
+        # After a deep advance only the infinite-lifetime edges remain, and
+        # the counters still agree with full recomputation.
+        graph.advance_to(t + 1_000)
+        assert graph.num_nodes == len(graph.node_set())
+        assert graph.num_pairs == sum(len(nbrs) for nbrs in graph._out.values())
+        assert graph.num_edges == len(graph.alive_interactions())
+
+    def test_parallel_edges_do_not_double_count(self):
+        graph = TDNGraph()
+        graph.add_interaction(Interaction("a", "b", 0, 5))
+        graph.add_interaction(Interaction("a", "b", 0, 9))
+        assert graph.num_pairs == 1
+        assert graph.num_nodes == 2
+        graph.advance_to(5)  # first parallel edge expires; pair survives
+        assert graph.num_pairs == 1
+        assert graph.num_nodes == 2
+        graph.advance_to(9)  # pair dies, both nodes decay
+        assert graph.num_pairs == 0
+        assert graph.num_nodes == 0
+
+    def test_shared_endpoint_decay(self):
+        graph = TDNGraph()
+        graph.add_interaction(Interaction("a", "b", 0, 3))
+        graph.add_interaction(Interaction("b", "c", 0, 7))
+        assert (graph.num_nodes, graph.num_pairs) == (3, 2)
+        graph.advance_to(3)  # a->b dies; b survives via b->c
+        assert (graph.num_nodes, graph.num_pairs) == (2, 1)
+        graph.advance_to(7)
+        assert (graph.num_nodes, graph.num_pairs) == (0, 0)
