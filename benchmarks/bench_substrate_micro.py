@@ -79,8 +79,6 @@ def test_changed_nodes_reverse_bfs(benchmark):
 
 def test_fast_spread_vs_bfs_sweep(benchmark):
     """SCC batch engine must beat one-BFS-per-node by a wide margin."""
-    import time
-
     graph = build_graph(build_events())
 
     fast = benchmark(lambda: all_singleton_spreads(graph))
@@ -183,9 +181,7 @@ def test_oracle_throughput_dict_vs_csr(benchmark):
     # SIEVEADN candidate sweep per backend, same candidates, same horizon.
     solutions = {}
     for backend in ("dict", "csr"):
-        sieve = SieveADN(
-            5, 0.25, graph, InfluenceOracle(graph, backend=backend)
-        )
+        sieve = SieveADN(5, 0.25, graph, InfluenceOracle(graph, backend=backend))
         sieve.process_candidates(nodes[:80])
         solutions[backend] = sieve.query()
     assert solutions["csr"] == solutions["dict"]
@@ -262,6 +258,90 @@ def test_ingestion_delta_vs_rebuild(benchmark):
         f"({speedup:.1f}x)"
     )
     assert speedup >= 3.0, f"delta-CSR speedup {speedup:.2f}x below the 3x floor"
+
+
+def build_cascade_forest_events(num_events=50_000, num_trees=256, seed=13):
+    """A 50k-edge addition-only cascade forest (Twitter-thread style).
+
+    Each event attaches a fresh retweeter under a uniformly random existing
+    member of a random cascade tree, so forward cones (subtree spreads) are
+    large and multi-hop while *reverse* cones (the path back to the root)
+    stay short — the regime the delta-aware memo exploits: a batch touches
+    a handful of cascades and every other cascade's spreads provably keep
+    their cached values.
+    """
+    rng = random.Random(seed)
+    members = [[f"c{i}r"] for i in range(num_trees)]
+    events = []
+    for t in range(num_events):
+        tree_index = rng.randrange(num_trees)
+        tree = members[tree_index]
+        parent = tree[rng.randrange(len(tree))]
+        child = f"c{tree_index}n{t}"
+        events.append(Interaction(parent, child, t, None))
+        tree.append(child)
+    return events
+
+
+def test_memo_retention_delta_vs_wholesale_clear(benchmark):
+    """Delta-aware memoization must beat wholesale clearing by >= 2x.
+
+    The scenario is a monitoring workload on the 50k-edge cascade-forest
+    stream: after the bulk of the stream has been ingested, small batches
+    keep arriving (8 edges each) and after every batch a fixed watchlist of
+    192 cascade roots is re-evaluated through ``oracle.spread`` — the
+    pattern of a tracker's query path re-reading its sieve sets.  Under
+    ``memo_mode="version"`` every batch clears the memo table and all 192
+    spreads re-traverse; under ``memo_mode="delta"`` only roots whose
+    cascade the batch touched are evicted (the dirty-cone contract), so a
+    handful of re-evaluations per batch replaces the full sweep.  Values
+    must be identical; the 2x floor is deliberately far below the observed
+    margin so a noisy runner cannot flip it.
+    """
+    events = build_cascade_forest_events()
+    warmup, tail = events[:49_680], events[49_680:]
+    batch_size, pool_size = 8, 192
+
+    def replay(memo_mode):
+        graph = TDNGraph()
+        for event in warmup:
+            graph.advance_to(event.time)
+            graph.add_interaction(event)
+        oracle = InfluenceOracle(graph, memo_mode=memo_mode)
+        roots = [f"c{i}r" for i in range(pool_size)]
+        per_round_values = []
+        for i in range(0, len(tail), batch_size):
+            chunk = tail[i : i + batch_size]
+            graph.advance_to(chunk[-1].time)
+            for event in chunk:
+                graph.add_interaction(event)
+            per_round_values.append([oracle.spread([root]) for root in roots])
+        return per_round_values, oracle.calls
+
+    (delta_values, delta_calls), delta_seconds = _best_of(2, lambda: replay("delta"))
+    (version_values, version_calls), version_seconds = _best_of(
+        2, lambda: replay("version")
+    )
+    # One recorded round so the timing lands in the JSON export.
+    benchmark.pedantic(lambda: replay("delta"), rounds=1, iterations=1)
+
+    assert delta_values == version_values
+    assert delta_calls < version_calls
+
+    speedup = version_seconds / delta_seconds
+    benchmark.extra_info["delta_seconds"] = round(delta_seconds, 4)
+    benchmark.extra_info["version_seconds"] = round(version_seconds, 4)
+    benchmark.extra_info["delta_calls"] = delta_calls
+    benchmark.extra_info["version_calls"] = version_calls
+    benchmark.extra_info["speedup"] = round(speedup, 2)
+    rounds = len(tail) // batch_size
+    print(
+        f"\nwatchlist monitoring ({rounds} rounds x {pool_size} spreads): "
+        f"version-clear {version_seconds:.3f}s ({version_calls} calls), "
+        f"delta-retain {delta_seconds:.3f}s ({delta_calls} calls) "
+        f"({speedup:.1f}x)"
+    )
+    assert speedup >= 2.0, f"retained-memo speedup {speedup:.2f}x below the 2x floor"
 
 
 def test_bitplane_vs_sequential_singleton_sweep(benchmark):

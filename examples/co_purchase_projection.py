@@ -40,7 +40,8 @@ def synthesize_adoptions(seed: int):
         else:
             # Background noise: unrelated adoptions.
             for _ in range(rng.randint(1, 3)):
-                events.append((f"user{rng.randrange(NUM_USERS)}", item, t + rng.randint(0, 3)))
+                shopper = f"user{rng.randrange(NUM_USERS)}"
+                events.append((shopper, item, t + rng.randint(0, 3)))
         t += rng.randint(1, 3)
     events.sort(key=lambda e: e[2])
     return events

@@ -39,9 +39,7 @@ def main() -> None:
     report = run_tracking(
         stream,
         {
-            "basic": lambda graph: BasicReduction(
-                K, EPSILON, MAX_LIFETIME, graph
-            ),
+            "basic": lambda graph: BasicReduction(K, EPSILON, MAX_LIFETIME, graph),
             "hist": lambda graph: HistApprox(K, EPSILON, graph),
         },
         lifetime_policy=policy,

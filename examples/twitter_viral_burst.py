@@ -40,7 +40,8 @@ def main() -> None:
     tracker = HistApprox(K, 0.2, graph)
     static_seeds = None
 
-    print(f"{'time':>5}  {'tracked value':>13}  {'static value':>12}  tracked influencers")
+    columns = f"{'time':>5}  {'tracked value':>13}  {'static value':>12}"
+    print(f"{columns}  tracked influencers")
     for t, batch in MemoryStream(events):
         graph.advance_to(t)
         lifed = [policy.assign(i) for i in batch]

@@ -77,13 +77,18 @@ def main() -> None:
         f"  premium users reached by plain pick:    "
         f"{len(set(_reached(oracle, plain_solution.nodes)) & premium)}"
     )
-    print(f"\nsolution stability (mean Jaccard between reports)")
+    print("\nsolution stability (mean Jaccard between reports)")
     print(f"  plain:    {plain_history.mean_stability():.3f}")
     print(f"  weighted: {weighted_history.mean_stability():.3f}")
 
     # On restore, re-supply the custom objective: persistence stores graph
     # and sieve state, never objectives or RNGs (see repro.persistence docs).
-    from repro.persistence import algorithm_from_dict, algorithm_to_dict, graph_from_dict, graph_to_dict
+    from repro.persistence import (
+        algorithm_from_dict,
+        algorithm_to_dict,
+        graph_from_dict,
+        graph_to_dict,
+    )
 
     restored_graph = graph_from_dict(graph_to_dict(graph_weighted))
     restored = algorithm_from_dict(

@@ -75,9 +75,7 @@ def mean_jaccard_stability(solutions: Sequence[Sequence[Node]]) -> float:
     """Mean Jaccard similarity of consecutive solutions (1.0 if < 2)."""
     if len(solutions) < 2:
         return 1.0
-    total = sum(
-        jaccard(a, b) for a, b in zip(solutions, solutions[1:])
-    )
+    total = sum(jaccard(a, b) for a, b in zip(solutions, solutions[1:]))
     return total / (len(solutions) - 1)
 
 

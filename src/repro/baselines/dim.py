@@ -93,7 +93,9 @@ class DIMIndex:
             return
         affected_targets = set()
         for u, v in self._dirty_pairs:
-            probability = interactions_to_probability(self.graph.interaction_count(u, v))
+            probability = interactions_to_probability(
+                self.graph.interaction_count(u, v)
+            )
             if probability > 0.0:
                 self._in_prob.setdefault(v, {})[u] = probability
             else:

@@ -94,7 +94,9 @@ class InterchangeGreedy:
         """Swap sweeps until no ``(1 + gamma)``-improving exchange exists."""
         for _ in range(self.max_passes):
             improved = False
-            current_value = self.oracle.spread(self._solution) if self._solution else 0.0
+            current_value = (
+                self.oracle.spread(self._solution) if self._solution else 0.0
+            )
             for position in range(len(self._solution)):
                 without = self._solution[:position] + self._solution[position + 1 :]
                 in_solution = set(self._solution)
@@ -102,7 +104,10 @@ class InterchangeGreedy:
                     if node in in_solution:
                         continue
                     trial = self.oracle.spread(without + [node])
-                    if trial >= (1.0 + self.gamma) * current_value and trial > current_value:
+                    if (
+                        trial >= (1.0 + self.gamma) * current_value
+                        and trial > current_value
+                    ):
                         self._solution = without + [node]
                         current_value = trial
                         improved = True

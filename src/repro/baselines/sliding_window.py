@@ -61,7 +61,9 @@ class SlidingWindowSSO:
         self._position += 1
         # A new instance starts at every element; redundancy removal keeps
         # the set logarithmic.
-        self._instances.append((start, SieveStreaming(self._factory(), self.k, self.epsilon)))
+        self._instances.append(
+            (start, SieveStreaming(self._factory(), self.k, self.epsilon))
+        )
         for _, sieve in self._instances:
             sieve.process(element)
         self._evict_expired()

@@ -130,7 +130,9 @@ class BasicReduction:
             return Solution.empty(self._last_time)
         head_horizon, head = self._instances[0]
         solution = head.query()
-        return Solution(nodes=solution.nodes, value=solution.value, time=self._last_time)
+        return Solution(
+            nodes=solution.nodes, value=solution.value, time=self._last_time
+        )
 
     # ------------------------------------------------------------------
     @property

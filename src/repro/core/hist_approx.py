@@ -96,7 +96,7 @@ class HistApprox:
         if not batch:
             return
         groups = group_by_lifetime(batch)
-        for lifetime in sorted(groups, key=lambda l: math.inf if l is None else l):
+        for lifetime in sorted(groups, key=lambda g: math.inf if g is None else g):
             self._process_group(t, lifetime, groups[lifetime])
 
     def _process_group(
@@ -216,7 +216,9 @@ class HistApprox:
                 refined.on_batch(t, fill)
             head = refined
         solution = head.query()
-        return Solution(nodes=solution.nodes, value=solution.value, time=self._last_time)
+        return Solution(
+            nodes=solution.nodes, value=solution.value, time=self._last_time
+        )
 
     # ------------------------------------------------------------------
     @property

@@ -25,7 +25,7 @@ from typing import Hashable, Iterable, List, Optional, Sequence
 
 from repro.core.thresholds import ThresholdSet
 from repro.core.tracker import Solution
-from repro.influence.changed import changed_nodes
+from repro.influence.changed import changed_nodes, nodes_in_id_order
 from repro.influence.oracle import InfluenceOracle
 from repro.tdn.graph import TDNGraph
 from repro.tdn.interaction import Interaction
@@ -79,22 +79,56 @@ class SieveADN:
         invisible in its subgraph.
         """
         self._last_time = t
+        # One dirty sync per batch, before the horizon filter: the oracle's
+        # delta-aware memo table must observe every structural change (even
+        # edges this instance's horizon hides), and doing it here lets the
+        # eviction sweep double as the changed-node sweep below.
+        sync = getattr(self.oracle, "sync_dirty", None)
+        cone = sync() if sync is not None else None
         if self.min_expiry is not None:
             batch = [e for e in batch if e.expiry >= self.min_expiry]
         if not batch:
             return
-        # The changed-node sweep runs on the same engine family as the
-        # oracle: array-visited transpose sweep for "csr", reference dict
-        # walk for "dict" (identical sets and ordering either way).
-        # Duck-typed oracles without a backend attribute get the dict walk.
-        candidates = changed_nodes(
-            self.graph,
-            batch,
-            self.min_expiry,
-            self.changed_mode,
-            backend=getattr(self.oracle, "backend", "dict"),
-        )
+        candidates = self._candidates_from_cone(batch, cone)
+        if candidates is None:
+            # The changed-node sweep runs on the same engine family as the
+            # oracle: array-visited transpose sweep for "csr", reference
+            # dict walk for "dict" (identical sets and ordering either
+            # way).  Duck-typed oracles without a backend attribute get
+            # the dict walk.
+            candidates = changed_nodes(
+                self.graph,
+                batch,
+                self.min_expiry,
+                self.changed_mode,
+                backend=getattr(self.oracle, "backend", "dict"),
+            )
         self.process_candidates(candidates)
+
+    def _candidates_from_cone(self, batch, cone) -> Optional[List[Node]]:
+        """Reuse the oracle's dirty-cone closure as ``V_t-bar`` when exact.
+
+        The memo sync already closed the journaled dirty sources under the
+        reverse ancestor sweep at the widest live horizon.  That closure
+        *is* ``changed_nodes(graph, batch)`` precisely when this instance
+        sees every alive edge (``min_expiry is None``), wants the ancestor
+        superset, and the journaled seeds are exactly this batch's sources
+        (no interleaved expiry or foreign arrival widened the cone) — then
+        one sweep has served both eviction and candidate derivation.
+        Returns ``None`` when the closure is not reusable and the regular
+        :func:`changed_nodes` sweep must run.
+        """
+        if (
+            cone is None
+            or self.min_expiry is not None
+            or self.changed_mode != "ancestors"
+        ):
+            return None
+        node_id = self.graph.node_id
+        source_ids = {node_id(interaction.source) for interaction in batch}
+        if None in source_ids or source_ids != set(cone.seed_ids):
+            return None
+        return nodes_in_id_order(self.graph, cone.cone_ids)
 
     def process_candidates(self, candidates: Iterable[Node]) -> None:
         """Feed the node stream directly (Alg. 1 lines 4-11).
@@ -151,7 +185,9 @@ class SieveADN:
             if value > best_value:
                 best_value = value
                 best_nodes = list(sieve.nodes)
-        return Solution(nodes=tuple(best_nodes), value=float(best_value), time=self._last_time)
+        return Solution(
+            nodes=tuple(best_nodes), value=float(best_value), time=self._last_time
+        )
 
     def query_value(self) -> float:
         """The solution value only, evaluated exactly at the current time."""

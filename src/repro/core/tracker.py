@@ -218,7 +218,12 @@ def _build_algorithm(
         if L is None:
             raise ValueError("basic-reduction requires the maximum lifetime L")
         return BasicReduction(
-            k=k, epsilon=epsilon, L=L, graph=graph, oracle=oracle, changed_mode=changed_mode
+            k=k,
+            epsilon=epsilon,
+            L=L,
+            graph=graph,
+            oracle=oracle,
+            changed_mode=changed_mode,
         )
     if key in ("sieve-adn", "sieve", "sieveadn"):
         from repro.core.sieve_adn import SieveADN

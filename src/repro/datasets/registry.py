@@ -42,7 +42,9 @@ class DatasetSpec:
     generator: Callable[..., List[Interaction]]
 
 
-def _brightkite(num_events: int, seed: SeedLike, events_per_step: int) -> List[Interaction]:
+def _brightkite(
+    num_events: int, seed: SeedLike, events_per_step: int
+) -> List[Interaction]:
     return lbsn_stream(
         num_places=1200,
         num_users=900,
@@ -55,7 +57,9 @@ def _brightkite(num_events: int, seed: SeedLike, events_per_step: int) -> List[I
     )
 
 
-def _gowalla(num_events: int, seed: SeedLike, events_per_step: int) -> List[Interaction]:
+def _gowalla(
+    num_events: int, seed: SeedLike, events_per_step: int
+) -> List[Interaction]:
     return lbsn_stream(
         num_places=1600,
         num_users=1100,
@@ -68,7 +72,9 @@ def _gowalla(num_events: int, seed: SeedLike, events_per_step: int) -> List[Inte
     )
 
 
-def _twitter_higgs(num_events: int, seed: SeedLike, events_per_step: int) -> List[Interaction]:
+def _twitter_higgs(
+    num_events: int, seed: SeedLike, events_per_step: int
+) -> List[Interaction]:
     # Higgs: one giant announcement burst dominating the trace.
     return retweet_stream(
         num_users=2000,
@@ -83,7 +89,9 @@ def _twitter_higgs(num_events: int, seed: SeedLike, events_per_step: int) -> Lis
     )
 
 
-def _twitter_hk(num_events: int, seed: SeedLike, events_per_step: int) -> List[Interaction]:
+def _twitter_hk(
+    num_events: int, seed: SeedLike, events_per_step: int
+) -> List[Interaction]:
     # HK: smaller user base, many repeated interactions, rolling bursts.
     return retweet_stream(
         num_users=700,
@@ -98,7 +106,9 @@ def _twitter_hk(num_events: int, seed: SeedLike, events_per_step: int) -> List[I
     )
 
 
-def _stackoverflow_c2q(num_events: int, seed: SeedLike, events_per_step: int) -> List[Interaction]:
+def _stackoverflow_c2q(
+    num_events: int, seed: SeedLike, events_per_step: int
+) -> List[Interaction]:
     return qa_stream(
         num_users=2500,
         num_events=num_events,
@@ -110,7 +120,9 @@ def _stackoverflow_c2q(num_events: int, seed: SeedLike, events_per_step: int) ->
     )
 
 
-def _stackoverflow_c2a(num_events: int, seed: SeedLike, events_per_step: int) -> List[Interaction]:
+def _stackoverflow_c2a(
+    num_events: int, seed: SeedLike, events_per_step: int
+) -> List[Interaction]:
     return qa_stream(
         num_users=2500,
         num_events=num_events,

@@ -47,7 +47,9 @@ def main(argv=None) -> int:
         choices=sorted(RUNNERS) + ["all"],
         help="which artifact to regenerate ('all' runs everything)",
     )
-    parser.add_argument("--events", type=int, default=None, help="stream length override")
+    parser.add_argument(
+        "--events", type=int, default=None, help="stream length override"
+    )
     parser.add_argument("--seed", type=int, default=0, help="RNG seed")
     parser.add_argument(
         "--datasets", nargs="+", default=None, help="dataset subset override"

@@ -153,7 +153,9 @@ def fig7(
                     "calls_basic": basic.total_calls,
                     "calls_hist": hist.total_calls,
                     "calls_ratio": (
-                        hist.total_calls / basic.total_calls if basic.total_calls else 0.0
+                        hist.total_calls / basic.total_calls
+                        if basic.total_calls
+                        else 0.0
                     ),
                 }
             )
@@ -260,7 +262,9 @@ def fig9(
         greedy = report["greedy"]
         row: Dict[str, object] = {"dataset": dataset}
         for eps in epsilons:
-            row[f"ratio(eps={eps})"] = mean_value_ratio(report[f"hist(eps={eps})"], greedy)
+            row[f"ratio(eps={eps})"] = mean_value_ratio(
+                report[f"hist(eps={eps})"], greedy
+            )
         rows.append(row)
     return FigureResult(
         figure_id="Fig. 9",

@@ -22,19 +22,31 @@ from repro.experiments.metrics import mean_value_ratio
 from repro.tdn.lifetimes import GeometricLifetime
 
 
-def imm_factory(k: int, *, epsilon: float = 0.3, seed: int = 0, max_rr_sets: int = 2_000) -> Callable:
+def imm_factory(
+    k: int, *, epsilon: float = 0.3, seed: int = 0, max_rr_sets: int = 2_000
+) -> Callable:
     """Factory for the IMM baseline with a tractable RR-set cap."""
-    return lambda graph: IMM(k, graph, epsilon=epsilon, seed=seed, max_rr_sets=max_rr_sets)
+    return lambda graph: IMM(
+        k, graph, epsilon=epsilon, seed=seed, max_rr_sets=max_rr_sets
+    )
 
 
-def tim_factory(k: int, *, epsilon: float = 0.3, seed: int = 0, max_rr_sets: int = 2_000) -> Callable:
+def tim_factory(
+    k: int, *, epsilon: float = 0.3, seed: int = 0, max_rr_sets: int = 2_000
+) -> Callable:
     """Factory for the TIM+ baseline with a tractable RR-set cap."""
-    return lambda graph: TIMPlus(k, graph, epsilon=epsilon, seed=seed, max_rr_sets=max_rr_sets)
+    return lambda graph: TIMPlus(
+        k, graph, epsilon=epsilon, seed=seed, max_rr_sets=max_rr_sets
+    )
 
 
-def dim_factory(k: int, *, beta: float = 4.0, seed: int = 0, max_sketches: int = 600) -> Callable:
+def dim_factory(
+    k: int, *, beta: float = 4.0, seed: int = 0, max_sketches: int = 600
+) -> Callable:
     """Factory for the DIM-style index with a tractable pool cap."""
-    return lambda graph: DIMIndex(k, graph, beta=beta, seed=seed, max_sketches=max_sketches)
+    return lambda graph: DIMIndex(
+        k, graph, beta=beta, seed=seed, max_sketches=max_sketches
+    )
 
 
 def _comparison_algorithms(k: int, epsilon: float, seed: int) -> Dict[str, Callable]:
@@ -69,11 +81,33 @@ def fig13(
     for dataset in datasets:
         for k in k_values:
             rows.append(
-                _quality_row(dataset, "k", k, num_events, k, L_fixed, epsilon, p, seed, query_interval)
+                _quality_row(
+                    dataset,
+                    "k",
+                    k,
+                    num_events,
+                    k,
+                    L_fixed,
+                    epsilon,
+                    p,
+                    seed,
+                    query_interval,
+                )
             )
         for L in L_values:
             rows.append(
-                _quality_row(dataset, "L", L, num_events, k_fixed, L, epsilon, p, seed, query_interval)
+                _quality_row(
+                    dataset,
+                    "L",
+                    L,
+                    num_events,
+                    k_fixed,
+                    L,
+                    epsilon,
+                    p,
+                    seed,
+                    query_interval,
+                )
             )
     return FigureResult(
         figure_id="Fig. 13",
@@ -140,11 +174,33 @@ def fig14(
     for dataset in datasets:
         for k in k_values:
             rows.append(
-                _throughput_row(dataset, "k", k, num_events, k, L_fixed, epsilon, p, seed, query_interval)
+                _throughput_row(
+                    dataset,
+                    "k",
+                    k,
+                    num_events,
+                    k,
+                    L_fixed,
+                    epsilon,
+                    p,
+                    seed,
+                    query_interval,
+                )
             )
         for L in L_values:
             rows.append(
-                _throughput_row(dataset, "L", L, num_events, k_fixed, L, epsilon, p, seed, query_interval)
+                _throughput_row(
+                    dataset,
+                    "L",
+                    L,
+                    num_events,
+                    k_fixed,
+                    L,
+                    epsilon,
+                    p,
+                    seed,
+                    query_interval,
+                )
             )
     return FigureResult(
         figure_id="Fig. 14",

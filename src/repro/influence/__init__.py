@@ -8,7 +8,12 @@ DIM) the paper compares against.
 """
 
 from repro.influence.reachability import ancestors, reachable_set
-from repro.influence.oracle import ORACLE_BACKENDS, InfluenceOracle
+from repro.influence.oracle import (
+    MEMO_MODES,
+    ORACLE_BACKENDS,
+    InfluenceOracle,
+    MemoTable,
+)
 from repro.influence.changed import changed_nodes
 from repro.influence.fast_spread import (
     all_singleton_spreads,
@@ -25,6 +30,8 @@ __all__ = [
     "reachable_set",
     "ancestors",
     "InfluenceOracle",
+    "MemoTable",
+    "MEMO_MODES",
     "ORACLE_BACKENDS",
     "changed_nodes",
     "interactions_to_probability",

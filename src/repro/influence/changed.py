@@ -99,6 +99,19 @@ def changed_nodes(
     return sorted(result, key=order_key)
 
 
+def nodes_in_id_order(graph: TDNGraph, ids: Iterable[int]) -> List[Node]:
+    """Materialize interned ids as nodes, sorted by id (canonical order).
+
+    This is the deterministic changed-node ordering: interned id equals
+    first-appearance order, so the output is stable across runs regardless
+    of set iteration order.  Shared by the CSR sweep below and by
+    SIEVEADN's reuse of the oracle's dirty-cone closure, so the two paths
+    can never order candidates differently.
+    """
+    node_of_id = graph.node_of_id
+    return [node_of_id(i) for i in sorted(ids)]
+
+
 def _csr_ancestors_ordered(
     graph: TDNGraph, sources: Set[Node], min_expiry: Optional[float]
 ) -> List[Node]:
@@ -118,11 +131,9 @@ def _csr_ancestors_ordered(
             extra.append(source)
         else:
             ids.append(source_id)
-    node_of_id = graph.node_of_id
     ordered: List[Node] = []
     if ids:
-        ordered.extend(
-            node_of_id(i) for i in sorted(graph.csr().ancestor_ids(ids, min_expiry))
-        )
+        ancestor_ids = graph.csr().ancestor_ids(ids, min_expiry)
+        ordered.extend(nodes_in_id_order(graph, ancestor_ids))
     ordered.extend(sorted(extra, key=repr))
     return ordered

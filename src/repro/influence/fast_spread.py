@@ -64,9 +64,8 @@ def strongly_connected_components(
                     counter[0] += 1
                     stack.append(nxt)
                     on_stack[nxt] = True
-                    work.append(
-                        (nxt, iter(sorted(graph.out_neighbors(nxt, min_expiry), key=repr)))
-                    )
+                    successors = sorted(graph.out_neighbors(nxt, min_expiry), key=repr)
+                    work.append((nxt, iter(successors)))
                     advanced = True
                     break
                 if on_stack.get(nxt):

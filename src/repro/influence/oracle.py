@@ -6,10 +6,11 @@ runtime and is hardware independent.  :class:`InfluenceOracle` is the single
 gateway through which all algorithms evaluate spreads:
 
 * it counts real evaluations into a shared :class:`CallCounter`;
-* it memoizes results per graph version, so repeated evaluation of the same
-  set within one time step (e.g. the current sieve set ``S_theta`` while a
-  batch of candidates streams past) costs one call, mirroring how any
-  sensible implementation caches ``f(S)`` when computing marginal gains;
+* it memoizes results in a delta-aware table, so repeated evaluation of the
+  same set (e.g. the current sieve set ``S_theta`` while a batch of
+  candidates streams past, or across batches that provably did not touch
+  the set's reachable cone) costs one call, mirroring how any sensible
+  implementation caches ``f(S)`` when computing marginal gains;
 * it accepts a ``min_expiry`` horizon so each SIEVEADN instance evaluates on
   its own addition-only subgraph while sharing the one TDN.
 
@@ -23,6 +24,40 @@ Two interchangeable reachability engines sit behind the same API:
   frontier BFS, the same per-pair max-expiry horizon test.
 * ``"dict"``: the reference pure-Python BFS over the graph's dict-of-dict
   adjacency (:func:`repro.influence.reachability.reachable_set`).
+
+Dirty-cone invalidation (``memo_mode``)
+---------------------------------------
+The memo table survives graph version bumps.  Under the default
+``memo_mode="delta"`` the oracle reads, at each sync, the graph's
+dirty-source journal — the interned ids whose forward cone the structural
+changes since its last sync touched (arrival sources plus dead-pair
+sources; see :meth:`repro.tdn.graph.TDNGraph.dirty_source_ids_since`) —
+closes it under the engine's reverse-transpose sweep
+(:meth:`repro.tdn.csr.DeltaCSR.touched_cone_ids`), and evicts exactly the
+memo entries whose key-set intersects that closed dirty set.  The contract
+behind retaining the rest:
+
+* an arrival ``u -> v`` can only change ``f_t(S)`` if some node of ``S``
+  reaches ``u`` in the *post-batch* graph, so post-batch ancestors of
+  arrival sources cover every affected key;
+* an expiry can only change ``f_t(S)`` if ``S`` reached the dead pair's
+  source when the entry was cached; the first dead pair along any such
+  path has its source journaled and the path prefix ahead of it is still
+  alive, so post-expiry ancestors of dead-pair sources cover every
+  affected key (non-final parallel-edge removals never change a pair's
+  maximum alive expiry — expiries drain in increasing order — and are not
+  journaled);
+* clock advances that expire nothing change no live-horizon value (every
+  surviving pair's max expiry still clears the new ``t + 1`` floor), and
+  bump no version.
+
+Eviction preserves the table's FIFO insertion order, so cache-pressure
+eviction (oldest first) behaves identically in both modes, and a retained
+entry is always equal to a from-scratch evaluation (property-tested).
+``memo_mode="version"`` keeps the historical wholesale-clear-per-version
+behavior for equivalence testing and benchmarking.  Both memo modes
+produce identical spread values and solutions; ``"delta"`` simply spends
+fewer oracle calls when consecutive batches leave most cones untouched.
 
 Bit-plane batching
 ------------------
@@ -39,14 +74,29 @@ costs one multi-BFS per 64 sets.
 
 Both backends return identical values and spend identical oracle calls —
 the cross-backend equivalence suite pins this on seeded streams — so the
-accounting shown in the paper's figures is backend independent.
+accounting shown in the paper's figures is backend independent.  The
+dirty-cone closure runs on the owning backend's own sweep (transpose CSR
+for ``"csr"``, the reference dict ancestor walk for ``"dict"`` — a dict
+oracle never forces a CSR engine build just to evict); both sweeps
+produce the identical closure, so memo semantics are backend independent
+too.
 """
 
 from __future__ import annotations
 
-from typing import FrozenSet, Hashable, Iterable, List, Optional, Sequence, Tuple
+from typing import (
+    FrozenSet,
+    Hashable,
+    Iterable,
+    List,
+    NamedTuple,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
-from repro.influence.reachability import reachable_set
+from repro.influence.reachability import ancestors, reachable_set
 from repro.tdn.graph import TDNGraph
 from repro.utils.counters import CallCounter
 
@@ -57,6 +107,9 @@ _CacheKey = Tuple[Optional[float], FrozenSet[Node]]
 #: Selectable reachability engines.
 ORACLE_BACKENDS = ("csr", "dict")
 
+#: Selectable memo invalidation policies.
+MEMO_MODES = ("delta", "version")
+
 #: In-batch placeholder for a cache slot whose value is still being
 #: evaluated by the shared bit-plane sweep.  Reserving the slot up front
 #: keeps FIFO insertion (and eviction) order identical to a sequential
@@ -64,21 +117,200 @@ ORACLE_BACKENDS = ("csr", "dict")
 _PENDING = object()
 
 
-def fifo_cache_put(cache: dict, key, value, max_entries: int) -> None:
-    """Insert into a FIFO-bounded memo table.
+class DirtyCone(NamedTuple):
+    """One delta sync's dirty set: journaled seeds and their closure.
 
-    Dicts preserve insertion order, so the first key is the oldest memo;
-    evicting it keeps recent spreads hot under cache pressure instead of
-    disabling memoization outright.  ``max_entries=0`` disables the table
-    (nothing is ever stored).  Shared by :class:`InfluenceOracle` and
-    :class:`~repro.influence.weighted.WeightedInfluenceOracle` so the two
-    cache policies can never drift apart.
+    ``seed_ids`` are the raw dirty sources read off the graph journal;
+    ``cone_ids`` is their closure under the reverse-transpose ancestor
+    sweep — the ids whose forward cone the deltas touched.  SIEVEADN
+    reuses the closure as its changed-node set when the seeds coincide
+    with the batch it is processing, so eviction and candidate derivation
+    share one sweep per batch.
     """
-    if max_entries <= 0:
-        return
-    if len(cache) >= max_entries:
-        del cache[next(iter(cache))]
-    cache[key] = value
+
+    seed_ids: FrozenSet[int]
+    cone_ids: Set[int]
+
+
+class MemoTable:
+    """FIFO-bounded memo table with delta-aware dirty-cone invalidation.
+
+    One instance backs each oracle (shared by :class:`InfluenceOracle` and
+    :class:`~repro.influence.weighted.WeightedInfluenceOracle`, so the two
+    cache policies can never drift apart).  The table tracks, per key, the
+    nodes the key mentions (an inverted index), which makes evicting every
+    entry that intersects a dirty-node set proportional to the entries
+    actually evicted rather than to the table size.
+
+    Dicts preserve insertion order, so the first key is always the oldest
+    memo; evicting it under capacity pressure keeps recent spreads hot
+    instead of disabling memoization outright, and dirty-cone eviction
+    (plain deletes) never reorders the survivors.  ``max_entries=0``
+    disables the table entirely.
+    """
+
+    __slots__ = (
+        "graph",
+        "data",
+        "max_entries",
+        "memo_mode",
+        "cone_backend",
+        "_index",
+        "_version",
+        "_cursor",
+    )
+
+    def __init__(
+        self,
+        graph: TDNGraph,
+        max_entries: int,
+        memo_mode: str,
+        cone_backend: str = "csr",
+    ) -> None:
+        if memo_mode not in MEMO_MODES:
+            raise ValueError(
+                f"memo_mode must be one of {MEMO_MODES}, got {memo_mode!r}"
+            )
+        if max_entries < 0:
+            raise ValueError(f"max_entries must be >= 0, got {max_entries}")
+        if cone_backend not in ORACLE_BACKENDS:
+            raise ValueError(
+                f"cone_backend must be one of {ORACLE_BACKENDS}, got {cone_backend!r}"
+            )
+        self.graph = graph
+        self.data: dict = {}
+        self.max_entries = max_entries
+        self.memo_mode = memo_mode
+        self.cone_backend = cone_backend
+        self._index: dict = {}  # node -> set of live keys mentioning it
+        self._version = graph.version
+        self._cursor = graph.dirty_cursor
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    # ------------------------------------------------------------------
+    # Entry maintenance
+    # ------------------------------------------------------------------
+    def get(self, key: _CacheKey):
+        """The cached value (``None`` when absent; may be ``_PENDING``)."""
+        return self.data.get(key)
+
+    def put(self, key: _CacheKey, value) -> None:
+        """Insert under FIFO capacity; overwriting never reorders."""
+        if self.max_entries <= 0:
+            return
+        data = self.data
+        if key in data:
+            data[key] = value
+            return
+        if len(data) >= self.max_entries:
+            self.delete(next(iter(data)))
+        data[key] = value
+        index = self._index
+        for node in key[1]:
+            index.setdefault(node, set()).add(key)
+
+    def fulfill(self, key: _CacheKey, value) -> None:
+        """Replace a reserved ``_PENDING`` placeholder with its value.
+
+        No-op when the reservation was already evicted mid-batch under
+        capacity pressure (a sequential run would have lost that slot the
+        same way).  The slot was indexed at reservation time, so this
+        write never touches FIFO order or the inverted index.
+        """
+        if self.data.get(key) is _PENDING:
+            self.data[key] = value
+
+    def delete(self, key: _CacheKey) -> None:
+        """Drop one entry (no-op when absent), keeping the index exact."""
+        if key not in self.data:
+            return
+        del self.data[key]
+        index = self._index
+        for node in key[1]:
+            keys = index.get(node)
+            if keys is not None:
+                keys.discard(key)
+                if not keys:
+                    del index[node]
+
+    def clear(self) -> None:
+        self.data.clear()
+        self._index.clear()
+
+    def evict_nodes(self, dirty_nodes: Set[Node]) -> int:
+        """Evict every entry whose key-set intersects ``dirty_nodes``."""
+        index = self._index
+        if not index or not dirty_nodes:
+            return 0
+        victims: Set[_CacheKey] = set()
+        for node in index.keys() & dirty_nodes:
+            victims.update(index[node])
+        for key in victims:
+            self.delete(key)
+        return len(victims)
+
+    # ------------------------------------------------------------------
+    # Version sync
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Drop everything and fast-forward to the graph's current state."""
+        self.clear()
+        self._version = self.graph.version
+        self._cursor = self.graph.dirty_cursor
+
+    def sync(self, want_cone: bool = False) -> Optional[DirtyCone]:
+        """Bring the table up to date with the graph.
+
+        Under ``memo_mode="delta"`` this reads the dirty-source journal
+        suffix since the last sync, closes it under the owning backend's
+        reverse ancestor sweep, and evicts only the intersecting entries;
+        the computed :class:`DirtyCone` is returned when ``want_cone`` is
+        set (or when entries were at stake), so one sweep can serve both
+        eviction and SIEVEADN's changed-node derivation.  Returns ``None``
+        when nothing was stale, when the journal had been trimmed past the
+        cursor (wholesale clear), or under ``memo_mode="version"`` (the
+        historical clear-per-version policy).
+        """
+        graph = self.graph
+        if graph.version == self._version:
+            return None
+        record = None
+        if self.memo_mode == "delta" and (self.data or want_cone):
+            seeds = graph.dirty_source_ids_since(self._cursor)
+            if seeds is None:
+                self.clear()
+            else:
+                cone_ids = self._closed_cone(seeds) if seeds else set()
+                if self.data and cone_ids:
+                    node_of_id = graph.node_of_id
+                    self.evict_nodes({node_of_id(i) for i in cone_ids})
+                record = DirtyCone(frozenset(seeds), cone_ids)
+        else:
+            self.clear()
+        self._version = graph.version
+        self._cursor = graph.dirty_cursor
+        return record
+
+    def _closed_cone(self, seed_ids: Set[int]) -> Set[int]:
+        """Ancestor closure of the dirty seeds, on the owning backend.
+
+        A ``"csr"`` oracle rides the engine's transpose sweep; a
+        ``"dict"`` oracle keeps its pure-dict profile by closing through
+        the reference :func:`~repro.influence.reachability.ancestors`
+        walk instead of forcing a CSR engine build just for eviction.
+        Both sweeps produce the identical set (pinned by the equivalence
+        suites), so memo semantics — and with them call counts — stay
+        backend independent either way.
+        """
+        graph = self.graph
+        if self.cone_backend == "dict":
+            node_of_id = graph.node_of_id
+            seed_nodes = [node_of_id(i) for i in seed_ids]
+            node_id = graph.node_id
+            return {node_id(n) for n in ancestors(graph, seed_nodes, None)}
+        return graph.csr().touched_cone_ids(seed_ids)
 
 
 class InfluenceOracle:
@@ -90,15 +322,17 @@ class InfluenceOracle:
             (cache hits are free — they would be cached in any realistic
             implementation and the paper's counts assume as much for the
             lazy-greedy baseline).
-        max_cache_entries: bound on the per-version memo table.  When the
-            table is full the *oldest* entry is evicted to admit the new
-            one (FIFO), so memoization keeps working through long
-            query-heavy phases instead of silently shutting off.
+        max_cache_entries: bound on the memo table.  When the table is
+            full the *oldest* entry is evicted to admit the new one
+            (FIFO), so memoization keeps working through long query-heavy
+            phases instead of silently shutting off.
         backend: ``"csr"`` (compact flat-array engine, default) or
             ``"dict"`` (reference dict-of-dict BFS).
-
-    The memo table is invalidated wholesale whenever ``graph.version``
-    changes, so stale spreads can never leak across structural updates.
+        memo_mode: ``"delta"`` (default) retains memo entries across graph
+            versions, evicting only those whose reachable cone the changes
+            touched (see the module docstring for the invalidation
+            contract); ``"version"`` restores the historical wholesale
+            clear on every ``graph.version`` bump.
     """
 
     def __init__(
@@ -108,21 +342,30 @@ class InfluenceOracle:
         *,
         max_cache_entries: int = 200_000,
         backend: str = "csr",
+        memo_mode: str = "delta",
     ) -> None:
         if backend not in ORACLE_BACKENDS:
             raise ValueError(
                 f"backend must be one of {ORACLE_BACKENDS}, got {backend!r}"
             )
         if max_cache_entries < 0:
-            raise ValueError(
-                f"max_cache_entries must be >= 0, got {max_cache_entries}"
-            )
+            raise ValueError(f"max_cache_entries must be >= 0, got {max_cache_entries}")
         self.graph = graph
         self.backend = backend
         self.counter = counter if counter is not None else CallCounter("oracle")
-        self._max_cache_entries = max_cache_entries
-        self._cache: dict = {}
-        self._cache_version = graph.version
+        self._memo = MemoTable(
+            graph, max_cache_entries, memo_mode, cone_backend=backend
+        )
+
+    @property
+    def memo_mode(self) -> str:
+        """The active memo invalidation policy (``"delta"`` | ``"version"``)."""
+        return self._memo.memo_mode
+
+    @property
+    def max_cache_entries(self) -> int:
+        """The memo table's FIFO capacity bound."""
+        return self._memo.max_entries
 
     # ------------------------------------------------------------------
     def spread(self, nodes: Iterable[Node], min_expiry: Optional[float] = None) -> int:
@@ -134,8 +377,20 @@ class InfluenceOracle:
         key_nodes = frozenset(nodes)
         if not key_nodes:
             return 0
-        self._sync_version()
+        self._memo.sync()
         return self._spread_cached(key_nodes, min_expiry)
+
+    def sync_dirty(self) -> Optional[DirtyCone]:
+        """Sync the memo table now; returns the dirty cone when one ran.
+
+        SIEVEADN calls this at the top of each batch so that memo eviction
+        and its own changed-node derivation share a single ancestor sweep:
+        when the returned cone's seeds coincide with the batch's sources,
+        the closure *is* the changed-node set.  Returns ``None`` when the
+        table was already in sync, was cleared wholesale, or runs under
+        ``memo_mode="version"``.
+        """
+        return self._memo.sync(want_cone=True)
 
     def spread_many(
         self,
@@ -146,14 +401,16 @@ class InfluenceOracle:
 
         Semantically identical to ``[self.spread(s, min_expiry) for s in
         sets]`` — same values, same cache behavior, same call counting in
-        the same order.  On the CSR backend the cache protocol is replayed
-        sequentially (hits, per-miss counting, FIFO slot reservation) but
-        the distinct misses are then evaluated together through the
-        engine's bit-plane multi-source sweep — one shared traversal per
-        64 sets instead of one BFS per set — which is what makes feeding a
-        SIEVEADN candidate sweep through the oracle cheap.
+        the same order (under either memo mode; the table is synced once
+        before the batch replays the sequential protocol).  On the CSR
+        backend the cache protocol is replayed sequentially (hits,
+        per-miss counting, FIFO slot reservation) but the distinct misses
+        are then evaluated together through the engine's bit-plane
+        multi-source sweep — one shared traversal per 64 sets instead of
+        one BFS per set — which is what makes feeding a SIEVEADN candidate
+        sweep through the oracle cheap.
         """
-        self._sync_version()
+        self._memo.sync()
         if self.backend == "dict":
             reference: List[int] = []
             for nodes in sets:
@@ -163,7 +420,7 @@ class InfluenceOracle:
                 )
             return reference
         results: List[Optional[int]] = [None] * len(sets)
-        cache = self._cache
+        memo = self._memo
         miss_keys: List[_CacheKey] = []  # first-miss order, mirrors sequential
         miss_sets: List[FrozenSet[Node]] = []
         slot_of: dict = {}
@@ -174,7 +431,7 @@ class InfluenceOracle:
                 results[i] = 0
                 continue
             key: _CacheKey = (min_expiry, key_nodes)
-            hit = cache.get(key)
+            hit = memo.get(key)
             if hit is _PENDING:
                 # Duplicate of an in-batch miss: a sequential run would hit
                 # the (by then populated) cache entry — no call counted.
@@ -194,19 +451,18 @@ class InfluenceOracle:
             # would have inserted the computed value (a re-counted miss —
             # its reservation evicted mid-batch — re-inserts, as it would
             # sequentially).
-            fifo_cache_put(cache, key, _PENDING, self._max_cache_entries)
+            memo.put(key, _PENDING)
             placements.append((i, slot))
         if miss_sets:
             try:
                 values = self._evaluate_batch(miss_sets, min_expiry)
             except BaseException:
                 for key in miss_keys:
-                    if cache.get(key) is _PENDING:
-                        del cache[key]
+                    if memo.get(key) is _PENDING:
+                        memo.delete(key)
                 raise
             for key, value in zip(miss_keys, values):
-                if cache.get(key) is _PENDING:
-                    cache[key] = value
+                memo.fulfill(key, value)
             for i, slot in placements:
                 results[i] = values[slot]
         return results
@@ -227,24 +483,21 @@ class InfluenceOracle:
         with_candidate = base_set | {candidate}
         if len(with_candidate) == len(base_set):
             return 0
-        return self.spread(with_candidate, min_expiry) - self.spread(base_set, min_expiry)
+        return self.spread(with_candidate, min_expiry) - self.spread(
+            base_set, min_expiry
+        )
 
     # ------------------------------------------------------------------
-    def _sync_version(self) -> None:
-        if self.graph.version != self._cache_version:
-            self._cache.clear()
-            self._cache_version = self.graph.version
-
     def _spread_cached(
         self, key_nodes: FrozenSet[Node], min_expiry: Optional[float]
     ) -> int:
         key: _CacheKey = (min_expiry, key_nodes)
-        hit = self._cache.get(key)
+        hit = self._memo.get(key)
         if hit is not None and hit is not _PENDING:
             return hit
         self.counter.increment()
         value = self._evaluate(key_nodes, min_expiry)
-        fifo_cache_put(self._cache, key, value, self._max_cache_entries)
+        self._memo.put(key, value)
         return value
 
     def _evaluate(
@@ -288,11 +541,11 @@ class InfluenceOracle:
 
     def invalidate(self) -> None:
         """Drop the memo table (tests use this to force recomputation)."""
-        self._cache.clear()
-        self._cache_version = self.graph.version
+        self._memo.reset()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"InfluenceOracle(backend={self.backend!r}, "
-            f"calls={self.counter.total}, cached={len(self._cache)})"
+            f"memo_mode={self.memo_mode!r}, "
+            f"calls={self.counter.total}, cached={len(self._memo)})"
         )

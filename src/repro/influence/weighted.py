@@ -34,7 +34,7 @@ from typing import (
 
 import numpy as np
 
-from repro.influence.oracle import ORACLE_BACKENDS, fifo_cache_put
+from repro.influence.oracle import ORACLE_BACKENDS, MemoTable
 from repro.influence.reachability import reachable_set
 from repro.tdn.graph import TDNGraph
 from repro.utils.counters import CallCounter
@@ -63,6 +63,12 @@ class WeightedInfluenceOracle:
             may be partial or stateful, so it is never pre-evaluated for
             unreached nodes).  ``"dict"`` is the reference dict BFS.  Both
             return identical values and spend identical calls.
+        memo_mode: ``"delta"`` (default) retains memo entries across graph
+            versions, evicting only keys whose reachable cone the changes
+            touched (weighted values obey the same contract: a cone no
+            delta touched reaches the same nodes, hence sums the same
+            weights); ``"version"`` restores the wholesale per-version
+            clear.  See :mod:`repro.influence.oracle` for the contract.
 
     The interface matches :class:`InfluenceOracle` (``spread``,
     ``marginal_gain``, ``calls``), so it can be injected into any
@@ -81,20 +87,21 @@ class WeightedInfluenceOracle:
         counter: Optional[CallCounter] = None,
         max_cache_entries: int = 200_000,
         backend: str = "csr",
+        memo_mode: str = "delta",
     ) -> None:
         if default_weight < 0:
             raise ValueError(f"default_weight must be >= 0, got {default_weight}")
         if max_cache_entries < 0:
-            raise ValueError(
-                f"max_cache_entries must be >= 0, got {max_cache_entries}"
-            )
+            raise ValueError(f"max_cache_entries must be >= 0, got {max_cache_entries}")
         if backend not in ORACLE_BACKENDS:
             raise ValueError(
                 f"backend must be one of {ORACLE_BACKENDS}, got {backend!r}"
             )
         self.graph = graph
         self.backend = backend
-        self.counter = counter if counter is not None else CallCounter("weighted-oracle")
+        self.counter = (
+            counter if counter is not None else CallCounter("weighted-oracle")
+        )
         self._default = float(default_weight)
         # Dense per-interned-id weight cache, extended lazily as new nodes
         # appear (ids are append-only, so prefixes never go stale).  Only
@@ -119,21 +126,35 @@ class WeightedInfluenceOracle:
                         "spread requires non-negative weights to stay monotone"
                     )
             self._weight_of = lambda node: mapping.get(node, self._default)
-        self._max_cache_entries = max_cache_entries
-        self._cache: dict = {}
-        self._cache_version = graph.version
+        self._memo = MemoTable(
+            graph, max_cache_entries, memo_mode, cone_backend=backend
+        )
 
     # ------------------------------------------------------------------
-    def spread(self, nodes: Iterable[Node], min_expiry: Optional[float] = None) -> float:
+    @property
+    def memo_mode(self) -> str:
+        """The active memo invalidation policy (``"delta"`` | ``"version"``)."""
+        return self._memo.memo_mode
+
+    def sync_dirty(self):
+        """Sync the memo table now; returns the dirty cone when one ran.
+
+        Interface parity with :meth:`InfluenceOracle.sync_dirty`, so
+        SIEVEADN shares one ancestor sweep per batch with a weighted
+        oracle too.
+        """
+        return self._memo.sync(want_cone=True)
+
+    def spread(
+        self, nodes: Iterable[Node], min_expiry: Optional[float] = None
+    ) -> float:
         """Total weight of nodes reachable from ``nodes``."""
         key_nodes = frozenset(nodes)
         if not key_nodes:
             return 0.0
-        if self.graph.version != self._cache_version:
-            self._cache.clear()
-            self._cache_version = self.graph.version
+        self._memo.sync()
         key: Tuple[Optional[float], FrozenSet[Node]] = (min_expiry, key_nodes)
-        hit = self._cache.get(key)
+        hit = self._memo.get(key)
         if hit is not None:
             return hit
         self.counter.increment()
@@ -143,18 +164,18 @@ class WeightedInfluenceOracle:
                 value += self._checked_weight(node)
         else:
             value = self._csr_spread(key_nodes, min_expiry)
-        fifo_cache_put(self._cache, key, value, self._max_cache_entries)
+        self._memo.put(key, value)
         return value
 
     def _checked_weight(self, node: Node) -> float:
         weight = self._weight_of(node)
         if weight < 0:
-            raise ValueError(
-                f"weight callable returned negative value for {node!r}"
-            )
+            raise ValueError(f"weight callable returned negative value for {node!r}")
         return weight
 
-    def _csr_spread(self, key_nodes: FrozenSet[Node], min_expiry: Optional[float]) -> float:
+    def _csr_spread(
+        self, key_nodes: FrozenSet[Node], min_expiry: Optional[float]
+    ) -> float:
         """Sum the dense weight array over the engine's reachable id set."""
         graph = self.graph
         ids: List[int] = []
@@ -212,7 +233,9 @@ class WeightedInfluenceOracle:
         with_candidate = base_set | {candidate}
         if len(with_candidate) == len(base_set):
             return 0.0
-        return self.spread(with_candidate, min_expiry) - self.spread(base_set, min_expiry)
+        return self.spread(with_candidate, min_expiry) - self.spread(
+            base_set, min_expiry
+        )
 
     @property
     def calls(self) -> int:
@@ -221,5 +244,4 @@ class WeightedInfluenceOracle:
 
     def invalidate(self) -> None:
         """Drop the memo table."""
-        self._cache.clear()
-        self._cache_version = self.graph.version
+        self._memo.reset()

@@ -13,11 +13,19 @@ JSON-able dictionaries:
   every node at its original id even if the node's edges have expired;
 * a SIEVEADN instance serializes its threshold grid (delta + per-exponent
   sieve sets with their cached values) and horizon;
-* BASICREDUCTION / HISTAPPROX serialize their horizon-keyed instances.
+* BASICREDUCTION / HISTAPPROX serialize their horizon-keyed instances;
+* every algorithm payload carries its oracle's *configuration* (backend,
+  memo mode, cache bound) — not the memo contents, which are a pure
+  cache — so a restored run keeps the same evaluation engine and
+  invalidation policy.
 
 Restoring reconnects everything to a freshly rebuilt graph and a fresh
-oracle; resumed runs produce *identical* results to uninterrupted ones
-(verified in ``tests/test_persistence.py``).
+oracle; resumed runs produce *identical solutions and spread values* to
+uninterrupted ones (verified in ``tests/test_persistence.py``).  Oracle
+*call counts* after a restore can exceed the uninterrupted run's under
+``memo_mode="delta"``: the memo table restarts cold (it is deliberately
+not serialized) and re-pays evaluations the warm table would have
+retained, until it re-warms.
 
 Node labels must be JSON-compatible (strings, numbers); the loader refuses
 graphs whose serialized labels would not round-trip.  This applies to
@@ -36,7 +44,7 @@ from __future__ import annotations
 import json
 import math
 from pathlib import Path
-from typing import Dict, Union
+from typing import Dict, Optional, Union
 
 from repro.core.basic_reduction import BasicReduction
 from repro.core.hist_approx import HistApprox
@@ -99,6 +107,44 @@ def graph_from_dict(payload: Dict) -> TDNGraph:
 
 
 # ----------------------------------------------------------------------
+# Oracle configuration
+# ----------------------------------------------------------------------
+def _maybe_oracle_to_dict(oracle) -> Optional[Dict]:
+    """Config dict for real oracles; ``None`` for duck-typed stand-ins."""
+    if isinstance(oracle, InfluenceOracle):
+        return oracle_to_dict(oracle)
+    return None
+
+
+def oracle_to_dict(oracle: InfluenceOracle) -> Dict:
+    """Serialize an oracle's configuration (never its memo contents)."""
+    return {
+        "backend": oracle.backend,
+        "memo_mode": oracle.memo_mode,
+        "max_cache_entries": oracle.max_cache_entries,
+    }
+
+
+def oracle_from_dict(payload: Optional[Dict], graph: TDNGraph) -> InfluenceOracle:
+    """Rebuild an oracle for a restored graph.
+
+    Checkpoints from before the oracle configuration was serialized (or a
+    missing key) fall back to a *current-defaults* oracle: solutions and
+    spread values are unaffected by the memo policy, but post-restore
+    call accounting follows today's ``memo_mode="delta"`` rather than the
+    wholesale clear the original run used.
+    """
+    if not payload:
+        return InfluenceOracle(graph)
+    return InfluenceOracle(
+        graph,
+        backend=payload.get("backend", "csr"),
+        memo_mode=payload.get("memo_mode", "delta"),
+        max_cache_entries=payload.get("max_cache_entries", 200_000),
+    )
+
+
+# ----------------------------------------------------------------------
 # Threshold grids and sieve instances
 # ----------------------------------------------------------------------
 def _thresholds_to_dict(grid: ThresholdSet) -> Dict:
@@ -128,12 +174,18 @@ def _thresholds_from_dict(payload: Dict) -> ThresholdSet:
     return grid
 
 
-def sieve_adn_to_dict(sieve: SieveADN) -> Dict:
-    """Serialize one SIEVEADN instance (graph stored separately)."""
+def sieve_adn_to_dict(sieve: SieveADN, include_oracle: bool = True) -> Dict:
+    """Serialize one SIEVEADN instance (graph stored separately).
+
+    Composite serializers pass ``include_oracle=False``: their instances
+    all share the one top-level oracle, so repeating its configuration in
+    every nested payload would be redundant (and misleading, suggesting
+    per-instance oracles).
+    """
     min_expiry = sieve.min_expiry
     if min_expiry == math.inf:
         min_expiry = "inf"
-    return {
+    payload = {
         "format_version": _FORMAT_VERSION,
         "type": "SieveADN",
         "k": sieve.k,
@@ -143,6 +195,9 @@ def sieve_adn_to_dict(sieve: SieveADN) -> Dict:
         "last_time": sieve._last_time,  # noqa: SLF001
         "thresholds": _thresholds_to_dict(sieve.thresholds),
     }
+    if include_oracle:
+        payload["oracle"] = _maybe_oracle_to_dict(sieve.oracle)
+    return payload
 
 
 def sieve_adn_from_dict(
@@ -182,8 +237,12 @@ def algorithm_to_dict(algorithm) -> Dict:
             "L": algorithm.L,
             "changed_mode": algorithm.changed_mode,
             "last_time": algorithm._last_time,  # noqa: SLF001
+            "oracle": _maybe_oracle_to_dict(algorithm.oracle),
             "instances": [
-                {"horizon": horizon, "state": sieve_adn_to_dict(instance)}
+                {
+                    "horizon": horizon,
+                    "state": sieve_adn_to_dict(instance, include_oracle=False),
+                }
                 for horizon, instance in algorithm._instances  # noqa: SLF001
             ],
         }
@@ -196,10 +255,14 @@ def algorithm_to_dict(algorithm) -> Dict:
             "changed_mode": algorithm.changed_mode,
             "refine_head": algorithm.refine_head,
             "last_time": algorithm._last_time,  # noqa: SLF001
+            "oracle": _maybe_oracle_to_dict(algorithm.oracle),
             "instances": [
                 {
                     "horizon": "inf" if horizon == math.inf else horizon,
-                    "state": sieve_adn_to_dict(algorithm._instances[horizon]),  # noqa: SLF001
+                    "state": sieve_adn_to_dict(
+                        algorithm._instances[horizon],  # noqa: SLF001
+                        include_oracle=False,
+                    ),
                 }
                 for horizon in algorithm._horizons  # noqa: SLF001
             ],
@@ -211,8 +274,13 @@ def algorithm_to_dict(algorithm) -> Dict:
 
 
 def algorithm_from_dict(payload: Dict, graph: TDNGraph, oracle=None):
-    """Rebuild an algorithm serialized by :func:`algorithm_to_dict`."""
-    oracle = oracle if oracle is not None else InfluenceOracle(graph)
+    """Rebuild an algorithm serialized by :func:`algorithm_to_dict`.
+
+    When no ``oracle`` is supplied, one is rebuilt from the payload's
+    serialized oracle configuration (backend / memo mode / cache bound).
+    """
+    if oracle is None:
+        oracle = oracle_from_dict(payload.get("oracle"), graph)
     kind = payload.get("type")
     if kind == "SieveADN":
         return sieve_adn_from_dict(payload, graph, oracle)

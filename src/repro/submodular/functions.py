@@ -54,7 +54,9 @@ class CoverageFunction:
     candidate's membership count, not to ``m``.
     """
 
-    def __init__(self, sets: Sequence[Set[Node]], weights: Optional[Sequence[float]] = None) -> None:
+    def __init__(
+        self, sets: Sequence[Set[Node]], weights: Optional[Sequence[float]] = None
+    ) -> None:
         if weights is not None and len(weights) != len(sets):
             raise ValueError(
                 f"weights length {len(weights)} != number of sets {len(sets)}"

@@ -48,7 +48,9 @@ class GreedyResult:
     evaluations: int = 0
 
 
-def greedy_max(function: SetFunction, candidates: Iterable[Node], k: int) -> GreedyResult:
+def greedy_max(
+    function: SetFunction, candidates: Iterable[Node], k: int
+) -> GreedyResult:
     """Plain greedy: ``k`` rounds of best-marginal-gain selection."""
     if k < 0:
         raise ValueError(f"k must be >= 0, got {k}")
@@ -78,7 +80,9 @@ def greedy_max(function: SetFunction, candidates: Iterable[Node], k: int) -> Gre
     return GreedyResult(nodes=chosen, value=current_value, evaluations=evaluations)
 
 
-def lazy_greedy_max(function: SetFunction, candidates: Iterable[Node], k: int) -> GreedyResult:
+def lazy_greedy_max(
+    function: SetFunction, candidates: Iterable[Node], k: int
+) -> GreedyResult:
     """Lazy (CELF) greedy: identical output to :func:`greedy_max`.
 
     Maintains a max-heap of stale marginal-gain bounds.  In each round the

@@ -501,6 +501,21 @@ class DeltaCSR:
             reached.update(frontier.tolist())
         return reached
 
+    def touched_cone_ids(self, seed_ids: Iterable[int]) -> Set[int]:
+        """Ids whose forward cone a batch of deltas touched (seeds closed).
+
+        ``seed_ids`` are the dirty sources journaled by the graph since a
+        consumer's last sync: the sources of overlay arrivals plus the
+        sources of tombstoned pairs.  Inserting or expiring an edge
+        ``u -> v`` can only change the reachable set of nodes that can
+        reach ``u`` *now*, so closing the seeds under the reverse-transpose
+        :meth:`ancestor_ids` sweep (at the widest live horizon, ``t + 1``)
+        yields a superset of every node whose spread may have changed —
+        the delta-aware oracle memo evicts exactly the entries whose key
+        intersects this set and provably keeps everything else.
+        """
+        return self.ancestor_ids(seed_ids, None)
+
     def spread_counts(
         self,
         id_sets: Sequence[Sequence[int]],
@@ -598,9 +613,7 @@ class DeltaCSR:
         stack = []
         for node_id in source_ids:
             if node_id < 0 or node_id >= num_nodes:
-                raise IndexError(
-                    f"source id {node_id} out of range [0, {num_nodes})"
-                )
+                raise IndexError(f"source id {node_id} out of range [0, {num_nodes})")
             if node_id not in visited:
                 visited.add(node_id)
                 stack.append(node_id)
@@ -630,7 +643,9 @@ class DeltaCSR:
         stamp = self._stamp
         while frontier.size:
             parts = []
-            in_base = frontier[frontier < base_n] if base_n < self.num_nodes else frontier
+            in_base = (
+                frontier[frontier < base_n] if base_n < self.num_nodes else frontier
+            )
             if in_base.size:
                 starts = indptr[in_base]
                 counts = indptr[in_base + 1] - starts
@@ -668,9 +683,7 @@ class DeltaCSR:
             if seeds.size == 0:
                 continue
             if seeds.min() < 0 or seeds.max() >= num_nodes:
-                raise IndexError(
-                    f"source id out of range [0, {num_nodes}) in {seeds}"
-                )
+                raise IndexError(f"source id out of range [0, {num_nodes}) in {seeds}")
             masks[seeds] |= np.uint64(1 << plane)
             seed_parts.append(seeds)
         if not seed_parts:

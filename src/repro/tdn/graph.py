@@ -31,6 +31,13 @@ Bookkeeping
   the CSR reachability engine (:mod:`repro.tdn.csr`) indexes by.
 * ``version`` increments on every structural change; the influence oracle
   keys its memoization on it.
+* a bounded *dirty-source journal* records, per structural change, the
+  interned id whose forward cone the change touched — an arrival's source,
+  or the source of a directed pair whose last alive edge expired.  Memo
+  consumers (the delta-aware oracle caches) read the journal suffix since
+  their last sync through :meth:`dirty_source_ids_since` and evict only
+  entries whose key intersects the ancestor closure of those ids, instead
+  of dropping their whole table on every version bump.
 * alive-node and alive-pair counters are maintained inline by
   :meth:`add_interaction` / :meth:`_remove_one_edge`, so :attr:`num_nodes`
   and :attr:`num_pairs` are O(1) property reads instead of full adjacency
@@ -116,9 +123,7 @@ class TDNGraph:
         from repro.tdn.csr import CSR_MODES
 
         if csr_mode not in CSR_MODES:
-            raise ValueError(
-                f"csr_mode must be one of {CSR_MODES}, got {csr_mode!r}"
-            )
+            raise ValueError(f"csr_mode must be one of {CSR_MODES}, got {csr_mode!r}")
         self._time = start_time
         self._out: Dict[Node, Dict[Node, _PairEdges]] = {}
         self._in: Dict[Node, Dict[Node, _PairEdges]] = {}
@@ -138,7 +143,19 @@ class TDNGraph:
         self._removal_listeners: List = []
         self._csr_mode = csr_mode
         self._delta = None  # DeltaCSR engine, created lazily by csr()
+        # Dirty-source journal: interned ids of nodes whose forward cone a
+        # structural change touched, in mutation order.  ``_dirty_trimmed``
+        # counts entries dropped by trimming, so journal positions (cursors)
+        # stay monotone for the graph's lifetime.
+        self._dirty_log: List[int] = []
+        self._dirty_trimmed = 0
         self.version = 0
+
+    #: Journal length bound: when the log exceeds this many entries it is
+    #: dropped wholesale (consumers behind the trim point fall back to a
+    #: full memo clear).  Oracles sync on every query, so in practice the
+    #: log stays far below the cap between consumer reads.
+    DIRTY_LOG_MAX = 1 << 17
 
     def add_removal_listener(self, callback) -> None:
         """Register ``callback(u, v, remaining_count)`` fired on edge expiry.
@@ -246,6 +263,7 @@ class TDNGraph:
                 bucket.append((u, v))
         self._num_edges += 1
         self.version += 1
+        self._log_dirty(self._node_ids[u])
         if self._delta is not None:
             self._delta.record_arrival(self._node_ids[u], self._node_ids[v], expiry)
 
@@ -277,8 +295,44 @@ class TDNGraph:
                 self._alive_nodes -= 1
             if not self._out.get(v) and not self._in.get(v):
                 self._alive_nodes -= 1
+            self._log_dirty(self._node_ids[u])
             if self._delta is not None:
                 self._delta.record_pair_death()
+
+    # ------------------------------------------------------------------
+    # Dirty-source journal
+    # ------------------------------------------------------------------
+    def _log_dirty(self, uid: int) -> None:
+        """Record that ``uid``'s forward cone was touched by a mutation.
+
+        Called once per arrival (the new edge's source) and once per pair
+        death (the dead pair's source).  Non-final parallel-edge removals
+        are *not* logged: expiries drain in increasing order, so removing
+        one of several parallel edges can never lower the pair's maximum
+        alive expiry, and no cached spread at a live horizon can change.
+        """
+        log = self._dirty_log
+        log.append(uid)
+        if len(log) > self.DIRTY_LOG_MAX:
+            self._dirty_trimmed += len(log)
+            log.clear()
+
+    @property
+    def dirty_cursor(self) -> int:
+        """Monotone journal position; pass it back to read the suffix."""
+        return self._dirty_trimmed + len(self._dirty_log)
+
+    def dirty_source_ids_since(self, cursor: int) -> Optional[set]:
+        """Distinct dirty source ids journaled at or after ``cursor``.
+
+        Returns ``None`` when ``cursor`` predates the retained journal
+        (entries were trimmed away), in which case the caller cannot
+        reconstruct the delta and must invalidate wholesale.
+        """
+        trimmed = self._dirty_trimmed
+        if cursor < trimmed:
+            return None
+        return set(self._dirty_log[cursor - trimmed :])
 
     # ------------------------------------------------------------------
     # Inspection
@@ -378,7 +432,9 @@ class TDNGraph:
             self._delta.sync()
         return self._delta
 
-    def out_neighbors(self, node: Node, min_expiry: Optional[float] = None) -> Iterator[Node]:
+    def out_neighbors(
+        self, node: Node, min_expiry: Optional[float] = None
+    ) -> Iterator[Node]:
         """Iterate successors of ``node`` traversable at the given horizon.
 
         With ``min_expiry=None`` every alive pair qualifies; otherwise only
@@ -395,7 +451,9 @@ class TDNGraph:
                 if pair.max_expiry >= min_expiry:
                     yield v
 
-    def in_neighbors(self, node: Node, min_expiry: Optional[float] = None) -> Iterator[Node]:
+    def in_neighbors(
+        self, node: Node, min_expiry: Optional[float] = None
+    ) -> Iterator[Node]:
         """Iterate predecessors of ``node`` traversable at the given horizon."""
         nbrs = self._in.get(node)
         if not nbrs:
@@ -448,7 +506,9 @@ class TDNGraph:
             for v, pair in nbrs.items():
                 yield (u, v, pair.count)
 
-    def edges_with_expiry_in(self, lo: float, hi: float) -> Iterator[Tuple[Node, Node, int]]:
+    def edges_with_expiry_in(
+        self, lo: float, hi: float
+    ) -> Iterator[Tuple[Node, Node, int]]:
         """Iterate edge instances with expiry in ``[lo, hi)``.
 
         Used by HISTAPPROX when a newly created instance is copied from its

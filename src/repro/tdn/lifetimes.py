@@ -88,7 +88,9 @@ class GeometricLifetime(LifetimePolicy):
     interactions cheap to generate.
     """
 
-    def __init__(self, p: float, max_lifetime: Optional[int] = None, *, seed: SeedLike = None) -> None:
+    def __init__(
+        self, p: float, max_lifetime: Optional[int] = None, *, seed: SeedLike = None
+    ) -> None:
         self.p = check_fraction(p, "p")
         if max_lifetime is not None:
             max_lifetime = check_positive_int(max_lifetime, "max_lifetime")
@@ -144,13 +146,15 @@ class PowerLawLifetime(LifetimePolicy):
     the ablation benchmarks.
     """
 
-    def __init__(self, alpha: float, max_lifetime: int, *, seed: SeedLike = None) -> None:
+    def __init__(
+        self, alpha: float, max_lifetime: int, *, seed: SeedLike = None
+    ) -> None:
         self.alpha = check_positive(alpha, "alpha")
         self.max_lifetime = check_positive_int(max_lifetime, "max_lifetime")
         self._rng = make_rng(seed)
         # Build the CDF once; L is at most ~100K in the paper's experiments
         # so a table is fine and makes draws O(log L).
-        weights = [l ** -self.alpha for l in range(1, self.max_lifetime + 1)]
+        weights = [n ** -self.alpha for n in range(1, self.max_lifetime + 1)]
         total = sum(weights)
         acc = 0.0
         self._cdf = []
@@ -183,7 +187,11 @@ class FunctionLifetime(LifetimePolicy):
     framework.
     """
 
-    def __init__(self, func: Callable[[Interaction], Optional[int]], max_lifetime: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        func: Callable[[Interaction], Optional[int]],
+        max_lifetime: Optional[int] = None,
+    ) -> None:
         if not callable(func):
             raise TypeError("func must be callable")
         self._func = func
@@ -194,7 +202,9 @@ class FunctionLifetime(LifetimePolicy):
     def draw(self, interaction: Interaction) -> Optional[int]:
         value = self._func(interaction)
         if value is not None and value < 1:
-            raise ValueError(f"lifetime function returned {value}; must be >= 1 or None")
+            raise ValueError(
+                f"lifetime function returned {value}; must be >= 1 or None"
+            )
         if value is not None and self.max_lifetime is not None:
             value = min(value, self.max_lifetime)
         return value

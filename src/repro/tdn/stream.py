@@ -55,7 +55,9 @@ class MemoryStream(InteractionStream):
     tick so that expiries alone can change the solution).
     """
 
-    def __init__(self, interactions: Iterable[Interaction], *, fill_gaps: bool = False) -> None:
+    def __init__(
+        self, interactions: Iterable[Interaction], *, fill_gaps: bool = False
+    ) -> None:
         by_time: Dict[int, Batch] = {}
         for interaction in interactions:
             by_time.setdefault(interaction.time, []).append(interaction)
@@ -92,7 +94,9 @@ class BatchedStream(InteractionStream):
     preserving order while compressing the clock.
     """
 
-    def __init__(self, interactions: Sequence[Interaction], batch_size: int = 1) -> None:
+    def __init__(
+        self, interactions: Sequence[Interaction], batch_size: int = 1
+    ) -> None:
         if batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
         self._interactions = list(interactions)

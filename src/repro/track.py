@@ -81,9 +81,7 @@ def make_policy(args):
         return InfiniteLifetime()
     if args.lifetime == "constant":
         return ConstantLifetime(args.max_lifetime)
-    return GeometricLifetime(
-        args.lifetime_p, args.max_lifetime, seed=args.seed + 1
-    )
+    return GeometricLifetime(args.lifetime_p, args.max_lifetime, seed=args.seed + 1)
 
 
 def load_interactions(args):

@@ -2,8 +2,6 @@
 
 import random
 
-import pytest
-
 from repro.baselines.interchange import InterchangeGreedy
 from repro.baselines.sliding_window import SlidingWindowSSO
 from repro.submodular.functions import CoverageFunction
@@ -39,14 +37,15 @@ class TestSlidingWindowSSO:
         """(1/3 - eps) of the window optimum (Epasto et al. guarantee)."""
         rng = random.Random(9)
         for _ in range(10):
-            universe = list(range(8))
             sets = [
                 {rng.randrange(12) for _ in range(rng.randint(1, 4))}
                 for _ in range(10)
             ]
             window, k, eps = 5, 2, 0.1
             cover = CoverageFunction(sets)
-            sso = SlidingWindowSSO(lambda: CoverageFunction(sets), k=k, epsilon=eps, window=window)
+            sso = SlidingWindowSSO(
+                lambda: CoverageFunction(sets), k=k, epsilon=eps, window=window
+            )
             stream = [rng.randrange(12) for _ in range(15)]
             for element in stream:
                 sso.process(element)
@@ -56,7 +55,9 @@ class TestSlidingWindowSSO:
             assert value >= (1.0 / 3.0 - eps) * optimum - 1e-9
 
     def test_empty_query(self):
-        sso = SlidingWindowSSO(lambda: CoverageFunction([{1}]), k=1, epsilon=0.1, window=5)
+        sso = SlidingWindowSSO(
+            lambda: CoverageFunction([{1}]), k=1, epsilon=0.1, window=5
+        )
         assert sso.query() == ([], 0.0)
 
 

@@ -48,7 +48,8 @@ class TestSampleRRSet:
         assert sample_rr_set(snapshot, rng, root=root) == {root}
 
     def test_empty_snapshot(self):
-        assert sample_rr_set(WeightedGraphSnapshot(TDNGraph()), random.Random(0)) == set()
+        empty = sample_rr_set(WeightedGraphSnapshot(TDNGraph()), random.Random(0))
+        assert empty == set()
 
 
 class TestRRCollection:

@@ -1,7 +1,5 @@
 """Unit tests for the Random and Greedy baselines."""
 
-import pytest
-
 from repro.baselines.greedy_recompute import GreedyRecompute
 from repro.baselines.random_baseline import RandomBaseline
 from repro.tdn.graph import TDNGraph

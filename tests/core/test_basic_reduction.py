@@ -85,8 +85,8 @@ class TestPaperExample6:
             ("u5", "u3", 3), ("u6", "u4", 1), ("u6", "u7", 1),
         ]
         edges_t1 = [("u5", "u2", 1), ("u7", "u4", 2), ("u7", "u6", 3)]
-        events = [Interaction(u, v, 0, l) for u, v, l in edges_t]
-        events += [Interaction(u, v, 1, l) for u, v, l in edges_t1]
+        events = [Interaction(u, v, 0, lt) for u, v, lt in edges_t]
+        events += [Interaction(u, v, 1, lt) for u, v, lt in edges_t1]
         graph, basic = drive(events, k=2, L=3)
         solution = basic.query()
         # At t=1 the alive graph is {u1->u4, u5->u3, u5->u2, u7->u4, u7->u6};
@@ -116,7 +116,9 @@ class TestApproximationGuarantee:
                 for _ in range(rng.randint(1, 3)):
                     u, v = rng.randrange(6), rng.randrange(6)
                     if u != v:
-                        events.append(Interaction(f"n{u}", f"n{v}", t, rng.randint(1, L)))
+                        events.append(
+                            Interaction(f"n{u}", f"n{v}", t, rng.randint(1, L))
+                        )
             drive(events, k=k, epsilon=eps, L=L, check=check)
 
 

@@ -3,8 +3,6 @@
 import math
 import random
 
-import pytest
-
 from repro.core.basic_reduction import BasicReduction
 from repro.core.hist_approx import HistApprox
 from repro.influence.oracle import InfluenceOracle

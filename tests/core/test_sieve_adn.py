@@ -2,8 +2,6 @@
 
 import random
 
-import pytest
-
 from repro.core.sieve_adn import SieveADN
 from repro.influence.oracle import InfluenceOracle
 from repro.submodular.functions import SpreadFunction

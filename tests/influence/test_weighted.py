@@ -129,9 +129,7 @@ class TestSubmodularityProperties:
         graph = TDNGraph()
         for _ in range(rng.randint(1, 12)):
             u, v = rng.sample(range(len(NODES)), 2)
-            graph.add_interaction(
-                Interaction(NODES[u], NODES[v], 0, rng.randint(1, 9))
-            )
+            graph.add_interaction(Interaction(NODES[u], NODES[v], 0, rng.randint(1, 9)))
         weights = {node: rng.uniform(0.0, 5.0) for node in NODES}
         oracle = WeightedInfluenceOracle(graph, weights)
         large = small | extra
@@ -166,9 +164,7 @@ class TestTrackersWithWeightedObjective:
                 events.append(Interaction(NODES[u], NODES[v], t, rng.randint(1, 6)))
         graph_a, graph_b = TDNGraph(), TDNGraph()
         plain = HistApprox(2, 0.2, graph_a)
-        weighted = HistApprox(
-            2, 0.2, graph_b, WeightedInfluenceOracle(graph_b)
-        )
+        weighted = HistApprox(2, 0.2, graph_b, WeightedInfluenceOracle(graph_b))
         by_time = {}
         for e in events:
             by_time.setdefault(e.time, []).append(e)

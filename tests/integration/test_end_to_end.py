@@ -6,8 +6,6 @@ harness — and assert the cross-cutting behaviours the paper's evaluation
 depends on.
 """
 
-import pytest
-
 from repro.baselines.greedy_recompute import GreedyRecompute
 from repro.baselines.random_baseline import RandomBaseline
 from repro.core.basic_reduction import BasicReduction
@@ -17,7 +15,6 @@ from repro.datasets.registry import make_stream
 from repro.experiments.harness import run_tracking
 from repro.tdn.graph import TDNGraph
 from repro.tdn.lifetimes import ConstantLifetime, GeometricLifetime
-from repro.tdn.stream import MemoryStream
 
 
 class TestQualityOrdering:

@@ -17,9 +17,7 @@ E_INV = 1.0 - 1.0 / 2.718281828459045
 def coverage_instance(draw):
     num_sets = draw(st.integers(min_value=1, max_value=8))
     sets = [
-        draw(
-            st.sets(st.integers(min_value=0, max_value=9), min_size=1, max_size=4)
-        )
+        draw(st.sets(st.integers(min_value=0, max_value=9), min_size=1, max_size=4))
         for _ in range(num_sets)
     ]
     universe = sorted({x for s in sets for x in s})

@@ -32,9 +32,7 @@ def trace_and_cut(draw):
                     lambda p: p[0] != p[1]
                 )
             )
-            lifetime = draw(
-                st.one_of(st.integers(min_value=1, max_value=8), st.none())
-            )
+            lifetime = draw(st.one_of(st.integers(min_value=1, max_value=8), st.none()))
             batch.append(Interaction(u, v, t, lifetime))
         trace.append((t, batch))
     cut = draw(st.integers(min_value=1, max_value=steps - 1))

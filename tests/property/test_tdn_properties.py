@@ -26,9 +26,7 @@ def event_trace(draw):
             )
         )
         t = draw(st.integers(min_value=0, max_value=8))
-        lifetime = draw(
-            st.one_of(st.integers(min_value=1, max_value=10), st.none())
-        )
+        lifetime = draw(st.one_of(st.integers(min_value=1, max_value=10), st.none()))
         events.append(Interaction(u, v, t, lifetime))
     events.sort(key=lambda e: e.time)
     return events

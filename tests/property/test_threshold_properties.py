@@ -15,9 +15,7 @@ EVENT = Interaction("a", "b", 0)
 @given(
     k=st.integers(min_value=1, max_value=50),
     epsilon=st.floats(min_value=0.01, max_value=0.9),
-    deltas=st.lists(
-        st.floats(min_value=0.5, max_value=1e6), min_size=1, max_size=10
-    ),
+    deltas=st.lists(st.floats(min_value=0.5, max_value=1e6), min_size=1, max_size=10),
 )
 @settings(max_examples=100, deadline=None)
 def test_grid_window_invariant(k, epsilon, deltas):

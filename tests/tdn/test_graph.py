@@ -123,8 +123,8 @@ class TestPaperFig2Example:
     ]
 
     def build(self, upto):
-        events = [Interaction(u, v, 0, l) for u, v, l in self.EDGES_T]
-        events += [Interaction(u, v, 1, l) for u, v, l in self.EDGES_T1]
+        events = [Interaction(u, v, 0, lt) for u, v, lt in self.EDGES_T]
+        events += [Interaction(u, v, 1, lt) for u, v, lt in self.EDGES_T1]
         return make_graph(events, upto)
 
     def test_time_t_edges(self):
@@ -373,9 +373,7 @@ class TestO1Inventories:
             lifetime = None if rng.random() < 0.1 else rng.randint(1, 15)
             graph.add_interaction(Interaction(f"n{u}", f"n{v}", t, lifetime))
             assert graph.num_nodes == len(graph.node_set())
-            assert graph.num_pairs == sum(
-                len(nbrs) for nbrs in graph._out.values()
-            )
+            assert graph.num_pairs == sum(len(nbrs) for nbrs in graph._out.values())
         # After a deep advance only the infinite-lifetime edges remain, and
         # the counters still agree with full recomputation.
         graph.advance_to(t + 1_000)

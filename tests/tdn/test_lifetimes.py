@@ -1,6 +1,5 @@
 """Unit and statistical tests for lifetime policies (paper Examples 3-5)."""
 
-import math
 import random
 
 import pytest
@@ -123,7 +122,7 @@ class TestPowerLawLifetime:
         policy = PowerLawLifetime(2.0, 20, seed=3)
         draws = [policy.draw(EVENT) for _ in range(20_000)]
         frac_one = sum(1 for d in draws if d == 1) / len(draws)
-        expected = 1.0 / sum(l**-2.0 for l in range(1, 21))
+        expected = 1.0 / sum(n**-2.0 for n in range(1, 21))
         assert abs(frac_one - expected) < 0.02
 
 

@@ -12,6 +12,7 @@ import pytest
 from repro.core.basic_reduction import BasicReduction
 from repro.core.hist_approx import HistApprox
 from repro.core.sieve_adn import SieveADN
+from repro.influence.oracle import InfluenceOracle
 from repro.persistence import (
     algorithm_from_dict,
     algorithm_to_dict,
@@ -91,9 +92,7 @@ class TestResumeEquivalence:
         probe = factory(TDNGraph())
         is_sieve = isinstance(probe, SieveADN)
         allows_infinite = isinstance(probe, (SieveADN, HistApprox))
-        events = random_events(
-            7, infinite_fraction=0.1 if allows_infinite else 0.0
-        )
+        events = random_events(7, infinite_fraction=0.1 if allows_infinite else 0.0)
         if is_sieve:
             events = [e.with_lifetime(None) for e in events]
         batches = list(MemoryStream(events, fill_gaps=True))
@@ -137,11 +136,61 @@ class TestResumeEquivalence:
             graph.add_batch(batch)
             algorithm.on_batch(t, batch)
         restored_graph = graph_from_dict(graph_to_dict(graph))
-        restored = algorithm_from_dict(
-            algorithm_to_dict(algorithm), restored_graph
-        )
+        restored = algorithm_from_dict(algorithm_to_dict(algorithm), restored_graph)
         assert restored.query().value == algorithm.query().value
         assert restored.query().nodes == algorithm.query().nodes
+
+
+class TestOracleConfigRoundTrip:
+    def test_memo_mode_and_backend_survive_restore(self):
+        graph = TDNGraph()
+        batch = [Interaction("a", "b", 0, 9)]
+        graph.add_batch(batch)
+        oracle = InfluenceOracle(
+            graph, backend="dict", memo_mode="version", max_cache_entries=17
+        )
+        sieve = SieveADN(2, 0.2, graph, oracle)
+        sieve.on_batch(0, batch)
+        payload = algorithm_to_dict(sieve)
+        assert payload["oracle"] == {
+            "backend": "dict",
+            "memo_mode": "version",
+            "max_cache_entries": 17,
+        }
+        restored_graph = graph_from_dict(graph_to_dict(graph))
+        restored = algorithm_from_dict(payload, restored_graph)
+        assert restored.oracle.backend == "dict"
+        assert restored.oracle.memo_mode == "version"
+        assert restored.oracle.max_cache_entries == 17
+        assert restored.query() == sieve.query()
+
+    def test_missing_oracle_config_defaults(self):
+        """Checkpoints predating oracle serialization restore with defaults."""
+        graph = TDNGraph()
+        batch = [Interaction("a", "b", 0, 9)]
+        graph.add_batch(batch)
+        sieve = SieveADN(2, 0.2, graph)
+        sieve.on_batch(0, batch)
+        payload = algorithm_to_dict(sieve)
+        del payload["oracle"]
+        restored = algorithm_from_dict(payload, graph_from_dict(graph_to_dict(graph)))
+        assert restored.oracle.backend == "csr"
+        assert restored.oracle.memo_mode == "delta"
+
+    def test_shared_oracle_config_on_composite_algorithms(self):
+        graph = TDNGraph()
+        oracle = InfluenceOracle(graph, memo_mode="version")
+        hist = HistApprox(2, 0.2, graph, oracle)
+        batch = [Interaction("a", "b", 0, 3)]
+        graph.add_batch(batch)
+        hist.on_batch(0, batch)
+        payload = algorithm_to_dict(hist)
+        restored = algorithm_from_dict(payload, graph_from_dict(graph_to_dict(graph)))
+        assert restored.oracle.memo_mode == "version"
+        # Instances share the one restored oracle.
+        assert all(
+            inst.oracle is restored.oracle for inst in restored._instances.values()
+        )
 
 
 class TestErrorHandling:
