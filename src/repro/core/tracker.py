@@ -88,6 +88,11 @@ class InfluenceTracker:
         changed_mode: ``"ancestors"`` (paper-faithful) or ``"sources"``.
         refine_head: enable HISTAPPROX's (1/2 - eps) head refinement.
         seed: RNG seed (used by the ``"random"`` baseline).
+        workers: evaluation worker count for the oracle's sharded
+            parallel engine (1 = serial; ``N > 1`` shards batched spread
+            sweeps across N processes over the shared-memory CSR plane
+            with bit-identical results).  Call :meth:`close` when done to
+            release the pool.
 
     Example:
         >>> from repro.tdn.lifetimes import GeometricLifetime
@@ -111,9 +116,12 @@ class InfluenceTracker:
         refine_head: bool = False,
         seed=None,
         graph: Optional[TDNGraph] = None,
+        workers: int = 1,
     ) -> None:
         self.graph = graph if graph is not None else TDNGraph()
-        self.oracle = InfluenceOracle(self.graph)
+        self.oracle = InfluenceOracle(
+            self.graph, parallel=workers if workers > 1 else None
+        )
         self.lifetime_policy = lifetime_policy
         self._last_time: Optional[int] = None
         if callable(algorithm):
@@ -170,6 +178,16 @@ class InfluenceTracker:
     def oracle_calls(self) -> int:
         """Total influence-oracle evaluations spent so far."""
         return self.oracle.calls
+
+    def close(self) -> None:
+        """Release the oracle's worker pool, if any (idempotent)."""
+        self.oracle.close()
+
+    def __enter__(self) -> "InfluenceTracker":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     @staticmethod

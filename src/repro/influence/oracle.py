@@ -80,6 +80,21 @@ for ``"csr"``, the reference dict ancestor walk for ``"dict"`` — a dict
 oracle never forces a CSR engine build just to evict); both sweeps
 produce the identical closure, so memo semantics are backend independent
 too.
+
+Sharded parallel evaluation (``parallel``)
+------------------------------------------
+``parallel`` plugs a :class:`~repro.parallel.executor.
+ShardedOracleExecutor` under the CSR backend: batched miss evaluations
+and the dirty-cone ancestor sweep are partitioned across a persistent
+worker pool that maps the published shared-memory CSR plane, while every
+bit of accounting (cache protocol, call counting, FIFO order) stays in
+this layer — so the sharded oracle is bit-for-bit equivalent to the
+serial one, merely faster on multi-core hosts.  Pass a worker count (an
+executor is created and owned by this oracle; close it via
+:meth:`InfluenceOracle.close`) or share one executor instance across
+oracles.  The executor degrades to serial on its own (single worker,
+shared memory unavailable, small batches, worker death), so ``parallel``
+never changes results, only wall-clock.
 """
 
 from __future__ import annotations
@@ -115,6 +130,98 @@ MEMO_MODES = ("delta", "version")
 #: keeps FIFO insertion (and eviction) order identical to a sequential
 #: evaluation of the batch.
 _PENDING = object()
+
+
+def replay_batch_protocol(memo, counter, sets, min_expiry, evaluate, zero):
+    """The sequential-replay cache protocol behind batched ``spread_many``.
+
+    Shared by :class:`InfluenceOracle` and :class:`~repro.influence.
+    weighted.WeightedInfluenceOracle` so the two can never drift: walk
+    the batch in submission order taking hits, count one oracle call per
+    miss, reserve each miss's FIFO cache slot with ``_PENDING`` (so
+    in-batch duplicates replay as the cache hits they would sequentially
+    be), then evaluate the distinct misses together through ``evaluate``
+    and fulfill the reservations.  Values, call counts and eviction order
+    are exactly those of ``[spread(s) for s in sets]``.
+
+    Every set is frozen *before* the first cache mutation: a bad input
+    (unhashable member, exhausted iterator) must raise while the memo
+    still holds no ``_PENDING`` reservation to leak, and reservations are
+    likewise rolled back when ``evaluate`` itself raises.
+    """
+    frozen_sets = [frozenset(nodes) for nodes in sets]
+    results: list = [None] * len(sets)
+    miss_keys: list = []  # first-miss order, mirrors sequential
+    miss_sets: list = []
+    slot_of: dict = {}
+    placements: list = []  # (result index, miss slot)
+    for i, key_nodes in enumerate(frozen_sets):
+        if not key_nodes:
+            results[i] = zero
+            continue
+        key = (min_expiry, key_nodes)
+        hit = memo.get(key)
+        if hit is _PENDING:
+            # Duplicate of an in-batch miss: a sequential run would hit
+            # the (by then populated) cache entry — no call counted.
+            placements.append((i, slot_of[key]))
+            continue
+        if hit is not None:
+            results[i] = hit
+            continue
+        counter.increment()
+        slot = slot_of.get(key)
+        if slot is None:
+            slot = len(miss_keys)
+            slot_of[key] = slot
+            miss_keys.append(key)
+            miss_sets.append(key_nodes)
+        # Reserve the FIFO slot exactly where a sequential evaluation
+        # would have inserted the computed value (a re-counted miss —
+        # its reservation evicted mid-batch — re-inserts, as it would
+        # sequentially).
+        memo.put(key, _PENDING)
+        placements.append((i, slot))
+    if miss_sets:
+        try:
+            values = evaluate(miss_sets, min_expiry)
+        except BaseException:
+            for key in miss_keys:
+                if memo.get(key) is _PENDING:
+                    memo.delete(key)
+            raise
+        for key, value in zip(miss_keys, values):
+            memo.fulfill(key, value)
+        for i, slot in placements:
+            results[i] = values[slot]
+    return results
+
+
+def resolve_executor(parallel, backend: str):
+    """Normalize an oracle's ``parallel`` argument.
+
+    Returns ``(executor, owns_executor)``: ``None`` for serial operation,
+    a fresh owned :class:`~repro.parallel.executor.ShardedOracleExecutor`
+    for an integer worker count above 1, or the caller's shared executor
+    instance (not owned — the caller closes it).  Sharding requires the
+    flat-array plane, so the ``"dict"`` backend rejects it outright
+    rather than silently ignoring the request.
+    """
+    if parallel is None:
+        return None, False
+    if isinstance(parallel, bool):
+        raise TypeError("parallel must be None, an int worker count, or an executor")
+    if backend != "csr":
+        raise ValueError(
+            f"parallel evaluation requires backend='csr', got {backend!r}"
+        )
+    if isinstance(parallel, int):
+        if parallel <= 1:
+            return None, False
+        from repro.parallel.executor import ShardedOracleExecutor
+
+        return ShardedOracleExecutor(parallel), True
+    return parallel, False
 
 
 class DirtyCone(NamedTuple):
@@ -155,6 +262,7 @@ class MemoTable:
         "max_entries",
         "memo_mode",
         "cone_backend",
+        "executor",
         "_index",
         "_version",
         "_cursor",
@@ -182,6 +290,7 @@ class MemoTable:
         self.max_entries = max_entries
         self.memo_mode = memo_mode
         self.cone_backend = cone_backend
+        self.executor = None  # optional ShardedOracleExecutor (csr cones)
         self._index: dict = {}  # node -> set of live keys mentioning it
         self._version = graph.version
         self._cursor = graph.dirty_cursor
@@ -310,6 +419,10 @@ class MemoTable:
             seed_nodes = [node_of_id(i) for i in seed_ids]
             node_id = graph.node_id
             return {node_id(n) for n in ancestors(graph, seed_nodes, None)}
+        if self.executor is not None:
+            # Shard-merged reverse sweep; identical closure (reachability
+            # distributes over seed union), serial fallback inside.
+            return self.executor.touched_cone_ids(graph, seed_ids)
         return graph.csr().touched_cone_ids(seed_ids)
 
 
@@ -333,6 +446,12 @@ class InfluenceOracle:
             touched (see the module docstring for the invalidation
             contract); ``"version"`` restores the historical wholesale
             clear on every ``graph.version`` bump.
+        parallel: sharded evaluation over the CSR backend — ``None``
+            (serial, default), a worker count (the oracle creates and
+            owns a :class:`~repro.parallel.executor.ShardedOracleExecutor`;
+            release it with :meth:`close`), or an executor instance to
+            share across oracles.  Values, solutions and call counts are
+            bit-identical to serial evaluation.
     """
 
     def __init__(
@@ -343,6 +462,7 @@ class InfluenceOracle:
         max_cache_entries: int = 200_000,
         backend: str = "csr",
         memo_mode: str = "delta",
+        parallel=None,
     ) -> None:
         if backend not in ORACLE_BACKENDS:
             raise ValueError(
@@ -353,9 +473,11 @@ class InfluenceOracle:
         self.graph = graph
         self.backend = backend
         self.counter = counter if counter is not None else CallCounter("oracle")
+        self._executor, self._owns_executor = resolve_executor(parallel, backend)
         self._memo = MemoTable(
             graph, max_cache_entries, memo_mode, cone_backend=backend
         )
+        self._memo.executor = self._executor
 
     @property
     def memo_mode(self) -> str:
@@ -366,6 +488,21 @@ class InfluenceOracle:
     def max_cache_entries(self) -> int:
         """The memo table's FIFO capacity bound."""
         return self._memo.max_entries
+
+    @property
+    def executor(self):
+        """The sharded executor behind this oracle (``None`` = serial)."""
+        return self._executor
+
+    @property
+    def workers(self) -> int:
+        """Configured evaluation worker count (1 = serial)."""
+        return self._executor.workers if self._executor is not None else 1
+
+    def close(self) -> None:
+        """Release the worker pool if this oracle owns one (idempotent)."""
+        if self._owns_executor and self._executor is not None:
+            self._executor.close()
 
     # ------------------------------------------------------------------
     def spread(self, nodes: Iterable[Node], min_expiry: Optional[float] = None) -> int:
@@ -419,53 +556,9 @@ class InfluenceOracle:
                     self._spread_cached(key_nodes, min_expiry) if key_nodes else 0
                 )
             return reference
-        results: List[Optional[int]] = [None] * len(sets)
-        memo = self._memo
-        miss_keys: List[_CacheKey] = []  # first-miss order, mirrors sequential
-        miss_sets: List[FrozenSet[Node]] = []
-        slot_of: dict = {}
-        placements: List[Tuple[int, int]] = []  # (result index, miss slot)
-        for i, nodes in enumerate(sets):
-            key_nodes = frozenset(nodes)
-            if not key_nodes:
-                results[i] = 0
-                continue
-            key: _CacheKey = (min_expiry, key_nodes)
-            hit = memo.get(key)
-            if hit is _PENDING:
-                # Duplicate of an in-batch miss: a sequential run would hit
-                # the (by then populated) cache entry — no call counted.
-                placements.append((i, slot_of[key]))
-                continue
-            if hit is not None:
-                results[i] = hit
-                continue
-            self.counter.increment()
-            slot = slot_of.get(key)
-            if slot is None:
-                slot = len(miss_keys)
-                slot_of[key] = slot
-                miss_keys.append(key)
-                miss_sets.append(key_nodes)
-            # Reserve the FIFO slot exactly where a sequential evaluation
-            # would have inserted the computed value (a re-counted miss —
-            # its reservation evicted mid-batch — re-inserts, as it would
-            # sequentially).
-            memo.put(key, _PENDING)
-            placements.append((i, slot))
-        if miss_sets:
-            try:
-                values = self._evaluate_batch(miss_sets, min_expiry)
-            except BaseException:
-                for key in miss_keys:
-                    if memo.get(key) is _PENDING:
-                        memo.delete(key)
-                raise
-            for key, value in zip(miss_keys, values):
-                memo.fulfill(key, value)
-            for i, slot in placements:
-                results[i] = values[slot]
-        return results
+        return replay_batch_protocol(
+            self._memo, self.counter, sets, min_expiry, self._evaluate_batch, 0
+        )
 
     def marginal_gain(
         self,
@@ -528,7 +621,10 @@ class InfluenceOracle:
             else:
                 values[j] = unknown
         if id_sets:
-            counts = graph.csr().spread_counts(id_sets, min_expiry)
+            if self._executor is not None:
+                counts = self._executor.spread_counts(graph, id_sets, min_expiry)
+            else:
+                counts = graph.csr().spread_counts(id_sets, min_expiry)
             for j, count, unknown in zip(pending, counts, unknowns):
                 values[j] = count + unknown
         return values

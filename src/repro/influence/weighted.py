@@ -34,13 +34,20 @@ from typing import (
 
 import numpy as np
 
-from repro.influence.oracle import ORACLE_BACKENDS, MemoTable
+from repro.influence.oracle import (
+    _PENDING,
+    ORACLE_BACKENDS,
+    MemoTable,
+    replay_batch_protocol,
+    resolve_executor,
+)
 from repro.influence.reachability import reachable_set
 from repro.tdn.graph import TDNGraph
 from repro.utils.counters import CallCounter
 
 Node = Hashable
 WeightSpec = Union[Dict[Node, float], Callable[[Node], float]]
+_CacheKey = Tuple[Optional[float], FrozenSet[Node]]
 
 
 class WeightedInfluenceOracle:
@@ -69,6 +76,12 @@ class WeightedInfluenceOracle:
             delta touched reaches the same nodes, hence sums the same
             weights); ``"version"`` restores the wholesale per-version
             clear.  See :mod:`repro.influence.oracle` for the contract.
+        parallel: sharded evaluation over the CSR backend (``None``, a
+            worker count, or a shared executor — the same contract as
+            :class:`InfluenceOracle`).  Workers return per-set reachable
+            *id sets* over the shared plane; weights are summed in this
+            process, so weight callables never cross a process boundary
+            and values stay bit-identical to serial evaluation.
 
     The interface matches :class:`InfluenceOracle` (``spread``,
     ``marginal_gain``, ``calls``), so it can be injected into any
@@ -88,6 +101,7 @@ class WeightedInfluenceOracle:
         max_cache_entries: int = 200_000,
         backend: str = "csr",
         memo_mode: str = "delta",
+        parallel=None,
     ) -> None:
         if default_weight < 0:
             raise ValueError(f"default_weight must be >= 0, got {default_weight}")
@@ -126,15 +140,32 @@ class WeightedInfluenceOracle:
                         "spread requires non-negative weights to stay monotone"
                     )
             self._weight_of = lambda node: mapping.get(node, self._default)
+        self._executor, self._owns_executor = resolve_executor(parallel, backend)
         self._memo = MemoTable(
             graph, max_cache_entries, memo_mode, cone_backend=backend
         )
+        self._memo.executor = self._executor
 
     # ------------------------------------------------------------------
     @property
     def memo_mode(self) -> str:
         """The active memo invalidation policy (``"delta"`` | ``"version"``)."""
         return self._memo.memo_mode
+
+    @property
+    def executor(self):
+        """The sharded executor behind this oracle (``None`` = serial)."""
+        return self._executor
+
+    @property
+    def workers(self) -> int:
+        """Configured evaluation worker count (1 = serial)."""
+        return self._executor.workers if self._executor is not None else 1
+
+    def close(self) -> None:
+        """Release the worker pool if this oracle owns one (idempotent)."""
+        if self._owns_executor and self._executor is not None:
+            self._executor.close()
 
     def sync_dirty(self):
         """Sync the memo table now; returns the dirty cone when one ran.
@@ -153,9 +184,9 @@ class WeightedInfluenceOracle:
         if not key_nodes:
             return 0.0
         self._memo.sync()
-        key: Tuple[Optional[float], FrozenSet[Node]] = (min_expiry, key_nodes)
+        key: _CacheKey = (min_expiry, key_nodes)
         hit = self._memo.get(key)
-        if hit is not None:
+        if hit is not None and hit is not _PENDING:
             return hit
         self.counter.increment()
         if self.backend == "dict":
@@ -173,34 +204,49 @@ class WeightedInfluenceOracle:
             raise ValueError(f"weight callable returned negative value for {node!r}")
         return weight
 
+    def _split_seeds(self, key_nodes: FrozenSet[Node]) -> Tuple[List[int], float]:
+        """Interned seed ids plus the weight of never-interned seeds.
+
+        A never-interned seed has no edges and reaches only itself, so it
+        contributes its own weight directly.
+        """
+        node_id = self.graph.node_id
+        ids: List[int] = []
+        value = 0.0
+        for node in key_nodes:
+            interned = node_id(node)
+            if interned is None:
+                value += self._checked_weight(node)
+            else:
+                ids.append(interned)
+        return ids, value
+
+    def _weight_of_reached(self, reached) -> float:
+        """Total weight of a reached id set (dense gather when possible)."""
+        if not reached:
+            return 0.0
+        if self._uniform_default:
+            # No mapping at all: every node weighs default_weight.
+            return self._default * len(reached)
+        if not self._dense_weights:
+            node_of_id = self.graph.node_of_id
+            return sum(
+                self._checked_weight(node_of_id(reached_id))
+                for reached_id in reached
+            )
+        weights = self._weights_upto(self.graph.num_interned)
+        reached_ids = np.fromiter(reached, dtype=np.int64, count=len(reached))
+        return float(weights[reached_ids].sum())
+
     def _csr_spread(
         self, key_nodes: FrozenSet[Node], min_expiry: Optional[float]
     ) -> float:
         """Sum the dense weight array over the engine's reachable id set."""
-        graph = self.graph
-        ids: List[int] = []
-        value = 0.0
-        for node in key_nodes:
-            node_id = graph.node_id(node)
-            if node_id is None:
-                # Never-interned seed: reaches only itself.
-                value += self._checked_weight(node)
-            else:
-                ids.append(node_id)
+        ids, value = self._split_seeds(key_nodes)
         if not ids:
             return value
-        reached = graph.csr().reachable_ids(ids, min_expiry)
-        if self._uniform_default:
-            # No mapping at all: every node weighs default_weight.
-            return value + self._default * len(reached)
-        if not self._dense_weights:
-            node_of_id = graph.node_of_id
-            for reached_id in reached:
-                value += self._checked_weight(node_of_id(reached_id))
-            return value
-        weights = self._weights_upto(graph.num_interned)
-        reached_ids = np.fromiter(reached, dtype=np.int64, count=len(reached))
-        return value + float(weights[reached_ids].sum())
+        reached = self.graph.csr().reachable_ids(ids, min_expiry)
+        return value + self._weight_of_reached(reached)
 
     def _weights_upto(self, count: int) -> np.ndarray:
         """The dense id-indexed weight array, extended to ``count`` entries."""
@@ -219,8 +265,48 @@ class WeightedInfluenceOracle:
         sets: Sequence[Iterable[Node]],
         min_expiry: Optional[float] = None,
     ) -> List[float]:
-        """Batched :meth:`spread` (interface parity with InfluenceOracle)."""
-        return [self.spread(nodes, min_expiry) for nodes in sets]
+        """Evaluate the weighted spread for a whole batch of sets.
+
+        Same sequential-replay protocol as :meth:`InfluenceOracle.
+        spread_many` — identical values, cache behavior and call counts
+        as a loop of :meth:`spread` — but distinct misses are evaluated
+        together on the CSR backend: the engine (or, under ``parallel``,
+        the sharded worker pool) returns each miss's reachable id set and
+        the weights are summed here, so weight callables stay in-process.
+        """
+        if self.backend == "dict":
+            return [self.spread(nodes, min_expiry) for nodes in sets]
+        self._memo.sync()
+        return replay_batch_protocol(
+            self._memo, self.counter, sets, min_expiry, self._evaluate_batch, 0.0
+        )
+
+    def _evaluate_batch(
+        self, key_sets: Sequence[FrozenSet[Node]], min_expiry: Optional[float]
+    ) -> List[float]:
+        """Evaluate distinct misses; reachable sets sharded when parallel."""
+        values: List[float] = [0.0] * len(key_sets)
+        id_sets: List[List[int]] = []
+        pending: List[int] = []
+        for j, key_nodes in enumerate(key_sets):
+            ids, base_value = self._split_seeds(key_nodes)
+            values[j] = base_value
+            if ids:
+                pending.append(j)
+                id_sets.append(ids)
+        if id_sets:
+            if self._executor is not None:
+                reached_sets = self._executor.reachable_ids_many(
+                    self.graph, id_sets, min_expiry
+                )
+            else:
+                engine = self.graph.csr()
+                reached_sets = [
+                    engine.reachable_ids(ids, min_expiry) for ids in id_sets
+                ]
+            for j, reached in zip(pending, reached_sets):
+                values[j] += self._weight_of_reached(reached)
+        return values
 
     def marginal_gain(
         self,

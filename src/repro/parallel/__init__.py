@@ -1,0 +1,39 @@
+"""Sharded parallel influence engine.
+
+The scaling seam of the library: a shared-memory **CSR plane** publishes
+the graph's flat reachability arrays per epoch (:mod:`repro.parallel.
+plane`), a persistent worker pool shards batched spread / ancestor sweeps
+across processes with a graceful serial fallback (:mod:`repro.parallel.
+executor`), and an asyncio **ingest service** applies interaction batches
+with backpressure while serving top-k queries against the last consistent
+epoch (:mod:`repro.parallel.service`).
+
+Everything is wired in through ``InfluenceOracle(parallel=...)`` /
+``WeightedInfluenceOracle(parallel=...)`` — SieveADN, BasicReduction and
+HistApprox inherit the parallel substrate untouched, and the sharded
+engine is bit-for-bit equivalent to the serial one (same solutions, same
+spread values, same oracle-call counts; pinned by the equivalence suite).
+"""
+
+from repro.parallel.executor import (
+    ShardedOracleExecutor,
+    merge_shard_counts,
+    shard_slices,
+)
+from repro.parallel.plane import (
+    PlaneEngine,
+    SharedCSRPlane,
+    shared_memory_available,
+)
+from repro.parallel.service import IngestService, TopKAnswer
+
+__all__ = [
+    "IngestService",
+    "PlaneEngine",
+    "ShardedOracleExecutor",
+    "SharedCSRPlane",
+    "TopKAnswer",
+    "merge_shard_counts",
+    "shard_slices",
+    "shared_memory_available",
+]

@@ -1,0 +1,453 @@
+"""Sharded oracle executor: a persistent worker pool over the CSR plane.
+
+:class:`ShardedOracleExecutor` partitions the oracle's batched sweeps —
+``spread_many`` bit-plane batches, per-set reachable-id evaluations for
+the weighted oracle, and the ``ancestor_ids`` / ``touched_cone_ids``
+reverse sweeps behind memo eviction — across a pool of long-lived worker
+processes that all map the same shared-memory CSR plane
+(:mod:`repro.parallel.plane`).
+
+Correctness contract
+--------------------
+Sharding is *value-transparent*: per-set spread counts are independent, so
+splitting a batch across workers and splicing the per-shard results back
+in submission order reproduces the serial output exactly; and reachability
+distributes over seed union (``ancestors(A | B) = ancestors(A) |
+ancestors(B)``), so shard-merged ancestor sweeps equal the single sweep.
+Oracle *call accounting* lives entirely in the oracle layer and is never
+touched here.  The equivalence suite pins all three trackers to
+bit-identical solutions, values and call counts under ``workers=2``.
+
+Fallback ladder
+---------------
+The executor degrades gracefully, never silently changing results:
+
+* ``workers <= 1`` — pure serial: every query routes to the owning
+  graph's :class:`~repro.tdn.csr.DeltaCSR` engine.
+* shared memory unavailable (locked-down container, no ``/dev/shm``) —
+  probed once at first use; serial thereafter.
+* batches smaller than ``min_batch`` — dispatch overhead would dominate;
+  served serially (identical values either way).
+* a worker dies or errors mid-request — the pool is torn down, the
+  request is answered serially, and the executor stays in serial mode
+  (``degraded``) with one warning.
+
+Lifecycle
+---------
+The pool and plane are created lazily on the first parallel-eligible
+request and torn down by :meth:`close` (also registered via
+``weakref.finalize``, so an abandoned executor cannot leak segments or
+processes).  Publishing is amortized per graph *epoch*:
+:meth:`ensure_plane` republishes only when the owning graph's version
+moved since the last publish.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import warnings
+import weakref
+from typing import Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.parallel import worker as worker_mod
+from repro.parallel.plane import SharedCSRPlane, shared_memory_available
+
+__all__ = ["ShardedOracleExecutor", "shard_slices", "merge_shard_counts"]
+
+#: Default per-request floor below which dispatch is not worth the IPC.
+DEFAULT_MIN_BATCH = 8
+
+#: Default seed-count floor for sharding *reverse* sweeps.  Much higher
+#: than the forward floor: every worker must lazily build the plane
+#: transpose (O(P log P)) once per generation before its first reverse
+#: BFS, and per-epoch dirty-cone syncs journal only a handful of seeds —
+#: sharding those would spend N transpose builds to split a sweep the
+#: serial engine finishes in one.  Only genuinely wide seed sets clear
+#: this bar.
+DEFAULT_ANCESTOR_MIN_BATCH = 64
+
+#: Default seconds without *any* shard result before declaring the pool
+#: dead — whether the workers exited or merely wedged.  The clock
+#: restarts on every received result, so a request making steady
+#: progress never trips it; raise the bound (constructor or
+#: ``REPRO_RESULT_TIMEOUT``) for graphs whose single-shard sweeps
+#: legitimately run longer than this.
+RESULT_TIMEOUT = 60.0
+
+
+def shard_slices(num_items: int, num_shards: int) -> List[Tuple[int, int]]:
+    """Contiguous, balanced ``[start, stop)`` slices covering ``num_items``.
+
+    Pure so the hypothesis shard-merge property can drive it directly:
+    the slices are disjoint, ordered, cover every item exactly once, and
+    sizes differ by at most one.  Empty slices are dropped.
+    """
+    if num_items <= 0 or num_shards <= 0:
+        return []
+    num_shards = min(num_shards, num_items)
+    base, extra = divmod(num_items, num_shards)
+    slices = []
+    start = 0
+    for shard in range(num_shards):
+        stop = start + base + (1 if shard < extra else 0)
+        slices.append((start, stop))
+        start = stop
+    return slices
+
+
+def merge_shard_counts(
+    slices: Sequence[Tuple[int, int]],
+    shard_results: Sequence[Sequence],
+    total: int,
+) -> List:
+    """Splice per-shard result lists back into submission order."""
+    merged: List = [None] * total
+    for (start, stop), counts in zip(slices, shard_results):
+        if len(counts) != stop - start:
+            raise ValueError(
+                f"shard [{start}, {stop}) returned {len(counts)} results"
+            )
+        merged[start:stop] = counts
+    return merged
+
+
+class ShardedOracleExecutor:
+    """Partition batched oracle sweeps across a persistent worker pool.
+
+    Args:
+        workers: worker process count.  ``<= 1`` means serial (no pool,
+            no shared memory; the executor is then a thin pass-through to
+            the graph's own engine).
+        min_batch: smallest batch dispatched to the pool; smaller requests
+            are served serially (values are identical either way).
+        ancestor_min_batch: separate, higher floor for reverse
+            (ancestor / dirty-cone) sweeps — sharding those makes every
+            worker build the plane transpose first, which only pays off
+            for wide seed sets.
+        mp_context: multiprocessing start method (``"spawn"`` default:
+            safe under threads and asyncio; ``"fork"`` starts faster).
+            Override via ``REPRO_MP_CONTEXT`` as well.
+        plane_prefix: shared-memory segment name prefix (random default).
+    """
+
+    def __init__(
+        self,
+        workers: int,
+        *,
+        min_batch: int = DEFAULT_MIN_BATCH,
+        ancestor_min_batch: int = DEFAULT_ANCESTOR_MIN_BATCH,
+        result_timeout: Optional[float] = None,
+        mp_context: Optional[str] = None,
+        plane_prefix: Optional[str] = None,
+    ) -> None:
+        if workers < 0:
+            raise ValueError(f"workers must be >= 0, got {workers}")
+        self.workers = workers
+        self.min_batch = max(1, min_batch)
+        self.ancestor_min_batch = max(1, ancestor_min_batch)
+        if result_timeout is None:
+            result_timeout = float(
+                os.environ.get("REPRO_RESULT_TIMEOUT", RESULT_TIMEOUT)
+            )
+        self.result_timeout = max(1.0, result_timeout)
+        self._mp_method = mp_context or os.environ.get("REPRO_MP_CONTEXT", "spawn")
+        self._plane_prefix = plane_prefix
+        self._plane: Optional[SharedCSRPlane] = None
+        self._procs: List = []
+        self._task_queue = None
+        self._result_queue = None
+        self._started = False
+        self.degraded: Optional[str] = None  # reason we fell back to serial
+        # Published-epoch stamp: a weakref (not id()) keeps graph identity
+        # honest — CPython reuses id()s after collection, and a stale
+        # plane served for a look-alike graph would be silently wrong.
+        self._published_graph = None
+        self._published_version: Optional[int] = None
+        self._request_seq = 0
+        self._finalizer = weakref.finalize(self, _noop)
+
+    # ------------------------------------------------------------------
+    # Pool lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def parallel_available(self) -> bool:
+        """Whether requests can currently be served by the pool."""
+        return self.workers > 1 and self.degraded is None
+
+    @property
+    def pool_running(self) -> bool:
+        """Whether worker processes are actually up (pool started, live)."""
+        return bool(self._procs) and self.degraded is None
+
+    def _ensure_pool(self) -> bool:
+        """Start plane + workers on first use; returns pool usability."""
+        if self._started:
+            return self.degraded is None
+        self._started = True
+        if self.workers <= 1:
+            self.degraded = "workers <= 1"
+            return False
+        if not shared_memory_available():
+            self.degraded = "shared memory unavailable"
+            warnings.warn(
+                "shared memory unavailable; sharded executor running serially",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            return False
+        import multiprocessing
+
+        try:
+            ctx = multiprocessing.get_context(self._mp_method)
+            self._plane = SharedCSRPlane(self._plane_prefix)
+            self._task_queue = ctx.Queue()
+            self._result_queue = ctx.Queue()
+            for _ in range(self.workers):
+                proc = ctx.Process(
+                    target=worker_mod.worker_main,
+                    args=(self._task_queue, self._result_queue, self._plane.prefix),
+                    daemon=True,
+                )
+                proc.start()
+                self._procs.append(proc)
+        except Exception as exc:  # pragma: no cover - depends on host
+            self._mark_degraded(f"pool startup failed: {exc}")
+            return False
+        # Real teardown work is registered only once resources exist.
+        self._finalizer.detach()
+        self._finalizer = weakref.finalize(
+            self,
+            _teardown,
+            self._plane,
+            self._task_queue,
+            list(self._procs),
+            self.workers,
+        )
+        return True
+
+    def _mark_degraded(self, reason: str) -> None:
+        if self.degraded is None:
+            self.degraded = reason
+            warnings.warn(
+                f"sharded executor falling back to serial: {reason}",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+        self._shutdown_pool()
+
+    def _shutdown_pool(self) -> None:
+        self._finalizer.detach()
+        _teardown(self._plane, self._task_queue, self._procs, self.workers)
+        self._plane = None
+        self._task_queue = None
+        self._result_queue = None
+        self._procs = []
+        self._published_graph = None
+        self._published_version = None
+        self._finalizer = weakref.finalize(self, _noop)
+
+    def close(self) -> None:
+        """Stop the workers and unlink the plane (idempotent)."""
+        self._shutdown_pool()
+        if self.degraded is None:
+            self.degraded = "closed"
+        self._started = True
+
+    # ------------------------------------------------------------------
+    # Plane publication
+    # ------------------------------------------------------------------
+    def ensure_plane(self, graph) -> bool:
+        """Publish ``graph``'s current epoch if the plane is stale.
+
+        Returns whether the plane is usable.  Republishing happens at
+        most once per graph version — the executor's epoch — so a stream
+        of queries against an unchanged graph pays one O(V + P) snapshot
+        build total, exactly like the serial engine's compaction.
+        """
+        if not self._ensure_pool():
+            return False
+        if (
+            self._published_graph is not None
+            and self._published_graph() is graph
+            and self._published_version == graph.version
+        ):
+            return True
+        try:
+            self._plane.publish(graph)
+        except OSError as exc:
+            self._mark_degraded(f"plane publish failed: {exc}")
+            return False
+        self._published_graph = weakref.ref(graph)
+        self._published_version = graph.version
+        return True
+
+    # ------------------------------------------------------------------
+    # Dispatch machinery
+    # ------------------------------------------------------------------
+    def _dispatch(self, op: str, shards: Sequence) -> Optional[List]:
+        """Send one task per shard, gather results in shard order.
+
+        Returns ``None`` (after degrading to serial) when any worker
+        errored or died; the caller then recomputes serially so the
+        request never observes a partial answer.
+        """
+        self._request_seq += 1
+        request_id = self._request_seq
+        generation = self._plane.generation
+        for shard_index, payload_eff in enumerate(shards):
+            payload, eff = payload_eff
+            self._task_queue.put(
+                (op, request_id, shard_index, generation, payload, eff)
+            )
+        results: List = [None] * len(shards)
+        pending = len(shards)
+        deadline = time.monotonic() + self.result_timeout
+        while pending:
+            try:
+                got_id, shard_index, outcome = self._result_queue.get(timeout=1.0)
+            except Exception:
+                if not self._alive():
+                    self._mark_degraded("worker process died mid-request")
+                    return None
+                if time.monotonic() > deadline:
+                    # Alive but wedged (stuck attach, lost message):
+                    # abandon the request rather than hang the owner —
+                    # teardown terminates the stuck processes.
+                    self._mark_degraded(
+                        f"no worker result within {self.result_timeout:.0f}s "
+                        "(raise result_timeout / REPRO_RESULT_TIMEOUT for "
+                        "legitimately long sweeps)"
+                    )
+                    return None
+                continue
+            if got_id != request_id:
+                continue  # stale result from an abandoned request
+            status, value = outcome
+            if status != "ok":
+                self._mark_degraded(f"worker error: {value}")
+                return None
+            results[shard_index] = value
+            pending -= 1
+            deadline = time.monotonic() + self.result_timeout  # progress resets
+        return results
+
+    def _alive(self) -> bool:
+        return bool(self._procs) and all(proc.is_alive() for proc in self._procs)
+
+    @staticmethod
+    def _effective_horizon(graph, min_expiry: Optional[float]) -> float:
+        """The serial engine's ``t + 1`` clamp, resolved owner-side."""
+        floor = float(graph.time + 1)
+        if min_expiry is None or min_expiry < floor:
+            return floor
+        return min_expiry
+
+    def _parallel_ready(self, graph, batch_size: int) -> bool:
+        return (
+            self.workers > 1
+            and self.degraded is None
+            and batch_size >= self.min_batch
+            and self.ensure_plane(graph)
+        )
+
+    # ------------------------------------------------------------------
+    # Query API (mirrors the serial DeltaCSR surface)
+    # ------------------------------------------------------------------
+    def spread_counts(
+        self,
+        graph,
+        id_sets: Sequence[Sequence[int]],
+        min_expiry: Optional[float] = None,
+    ) -> List[int]:
+        """Per-set reachable counts; sharded when profitable, exact always."""
+        if not id_sets:
+            return []
+        if self._parallel_ready(graph, len(id_sets)):
+            eff = self._effective_horizon(graph, min_expiry)
+            slices = shard_slices(len(id_sets), self.workers)
+            shards = [(list(id_sets[start:stop]), eff) for start, stop in slices]
+            results = self._dispatch(worker_mod.OP_SPREAD, shards)
+            if results is not None:
+                return merge_shard_counts(slices, results, len(id_sets))
+        return graph.csr().spread_counts(id_sets, min_expiry)
+
+    def reachable_ids_many(
+        self,
+        graph,
+        id_sets: Sequence[Sequence[int]],
+        min_expiry: Optional[float] = None,
+    ) -> List[Set[int]]:
+        """Per-set reachable id sets (weighted oracle's batch evaluation)."""
+        if not id_sets:
+            return []
+        if self._parallel_ready(graph, len(id_sets)):
+            eff = self._effective_horizon(graph, min_expiry)
+            slices = shard_slices(len(id_sets), self.workers)
+            shards = [(list(id_sets[start:stop]), eff) for start, stop in slices]
+            results = self._dispatch(worker_mod.OP_REACH, shards)
+            if results is not None:
+                merged = merge_shard_counts(slices, results, len(id_sets))
+                return [set(ids) for ids in merged]
+        engine = graph.csr()
+        return [engine.reachable_ids(ids, min_expiry) for ids in id_sets]
+
+    def ancestor_ids(
+        self,
+        graph,
+        target_ids: Iterable[int],
+        min_expiry: Optional[float] = None,
+    ) -> Set[int]:
+        """Shard-merged reverse sweep: ancestors distribute over seed union."""
+        targets = sorted(set(target_ids))
+        if not targets:
+            return set()
+        if len(targets) >= self.ancestor_min_batch and self._parallel_ready(
+            graph, len(targets)
+        ):
+            eff = self._effective_horizon(graph, min_expiry)
+            slices = shard_slices(len(targets), self.workers)
+            shards = [(targets[start:stop], eff) for start, stop in slices]
+            results = self._dispatch(worker_mod.OP_ANCESTORS, shards)
+            if results is not None:
+                merged: Set[int] = set()
+                for shard_ids in results:
+                    merged.update(shard_ids)
+                return merged
+        return graph.csr().ancestor_ids(targets, min_expiry)
+
+    def touched_cone_ids(self, graph, seed_ids: Iterable[int]) -> Set[int]:
+        """Dirty-cone closure (memo eviction / SIEVEADN candidate reuse)."""
+        return self.ancestor_ids(graph, seed_ids, None)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = self.degraded or ("running" if self._procs else "idle")
+        return f"ShardedOracleExecutor(workers={self.workers}, state={state!r})"
+
+
+def _noop() -> None:
+    pass
+
+
+def _teardown(plane, task_queue, procs, workers) -> None:
+    """Best-effort pool shutdown shared by close() and the GC finalizer."""
+    if task_queue is not None:
+        for _ in range(max(workers, len(procs))):
+            try:
+                task_queue.put((worker_mod.OP_STOP,))
+            except Exception:  # pragma: no cover - queue already broken
+                break
+    for proc in procs:
+        proc.join(timeout=5.0)
+    for proc in procs:
+        if proc.is_alive():  # pragma: no cover - stuck worker
+            proc.terminate()
+            proc.join(timeout=5.0)
+    if task_queue is not None:
+        try:
+            task_queue.close()
+            task_queue.join_thread()
+        except Exception:  # pragma: no cover
+            pass
+    if plane is not None:
+        plane.close()

@@ -1,0 +1,442 @@
+"""Shared-memory CSR plane: zero-copy graph publication for worker pools.
+
+The sharded oracle executor (:mod:`repro.parallel.executor`) farms spread
+and ancestor sweeps out to a pool of worker processes.  Shipping the graph
+to those workers by pickling would cost O(V + P) serialization per query
+batch; instead the owner publishes the *flat CSR arrays* — the exact wire
+format the reachability engine already computes on — into POSIX shared
+memory once per graph epoch, and workers map them directly.
+
+Layout
+------
+A plane is a named family of ``multiprocessing.shared_memory`` segments:
+
+* ``{prefix}-hdr`` — one small int64 header array::
+
+      [generation, num_nodes, num_pairs, graph_time, ready]
+
+  ``generation`` increments on every publish; workers read it to learn
+  which data segments are current.  ``ready`` is written last (release
+  fence by program order), so a torn publish is never observable: a worker
+  that reads ``ready != generation`` simply re-reads.
+
+* ``{prefix}-g{generation}-ip`` / ``-ix`` / ``-ex`` — the snapshot's
+  ``indptr`` (int64), ``indices`` (int64) and per-pair max ``expiries``
+  (float64), indexed by the graph's interned node ids.
+
+Workers attach by *name* (derived from prefix + generation read off the
+header), so nothing but the few-byte task message ever crosses a pipe.
+The owner unlinks a generation's segments when the next one is published;
+on Linux, attached mappings stay valid until the worker drops them, so a
+worker holding the previous generation finishes its task unharmed (the
+executor's synchronous dispatch means this never happens in practice).
+
+:class:`PlaneEngine` is the worker-side query engine over the mapped
+arrays: forward bit-plane spread counts, reachable-id sets and the
+transpose-backed ancestor sweep, all bit-identical to the serial
+:class:`~repro.tdn.csr.DeltaCSR` results on the same graph state at the
+same effective horizon (the owner resolves the ``t + 1`` horizon clamp
+before dispatch, so workers never need the clock).
+"""
+
+from __future__ import annotations
+
+import secrets
+from typing import List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+__all__ = [
+    "PlaneEngine",
+    "SharedCSRPlane",
+    "attach_plane_engine",
+    "shared_memory_available",
+]
+
+_HEADER_SLOTS = 5
+_GEN, _NODES, _PAIRS, _TIME, _READY = range(_HEADER_SLOTS)
+
+
+def _shm_module():
+    from multiprocessing import shared_memory
+
+    return shared_memory
+
+
+def shared_memory_available() -> bool:
+    """Probe whether POSIX shared memory actually works on this host.
+
+    ``multiprocessing.shared_memory`` imports fine but fails at segment
+    creation on locked-down containers (no ``/dev/shm``); the executor
+    probes once and falls back to the serial engine when it does.
+    """
+    try:
+        shm = _shm_module().SharedMemory(create=True, size=16)
+    except (ImportError, OSError, PermissionError):
+        return False
+    try:
+        shm.close()
+        shm.unlink()
+    except OSError:  # pragma: no cover - cleanup best effort
+        pass
+    return True
+
+
+class PlaneEngine:
+    """Flat-array reachability engine over one published CSR plane.
+
+    Operates on plain numpy views — its arrays may live in an attached
+    shared-memory segment (worker side) or in ordinary process memory
+    (tests, the hypothesis shard-merge property).  There is no overlay and
+    no clock: callers pass the *effective* horizon (already clamped to
+    ``t + 1`` by the owner), which makes every query a pure function of
+    the arrays and keeps worker results bit-identical to the serial
+    engine's.
+    """
+
+    __slots__ = (
+        "num_nodes",
+        "num_pairs",
+        "indptr",
+        "indices",
+        "expiries",
+        "_visit",
+        "_stamp",
+        "_tindptr",
+        "_tindices",
+        "_texpiries",
+    )
+
+    #: Candidate sets packed per bit-plane sweep (uint64 mask width);
+    #: mirrors :attr:`repro.tdn.csr.DeltaCSR.PLANE_WIDTH`.
+    PLANE_WIDTH = 64
+
+    def __init__(
+        self, indptr: np.ndarray, indices: np.ndarray, expiries: np.ndarray
+    ) -> None:
+        self.num_nodes = int(indptr.shape[0]) - 1
+        self.num_pairs = int(indices.shape[0])
+        self.indptr = indptr
+        self.indices = indices
+        self.expiries = expiries
+        self._visit = np.zeros(self.num_nodes, dtype=np.int64)
+        self._stamp = 0
+        self._tindptr: Optional[np.ndarray] = None
+        self._tindices: Optional[np.ndarray] = None
+        self._texpiries: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    def _seed_frontier(self, ids: Sequence[int]) -> Optional[np.ndarray]:
+        frontier = np.unique(np.asarray(list(ids), dtype=np.int64))
+        if frontier.size == 0:
+            return None
+        if frontier[0] < 0 or frontier[-1] >= self.num_nodes:
+            raise IndexError(
+                f"source id out of range [0, {self.num_nodes}) in {frontier}"
+            )
+        self._stamp += 1
+        self._visit[frontier] = self._stamp
+        return frontier
+
+    def _expand(self, frontier: np.ndarray, eff: Optional[float], reverse: bool):
+        """Yield successive stamped BFS frontiers (same sweep as CSRSnapshot)."""
+        if reverse:
+            indptr, indices, expiries = self._transpose_arrays()
+        else:
+            indptr, indices, expiries = self.indptr, self.indices, self.expiries
+        visit = self._visit
+        stamp = self._stamp
+        while frontier.size:
+            starts = indptr[frontier]
+            counts = indptr[frontier + 1] - starts
+            total = int(counts.sum())
+            if total == 0:
+                return
+            ends = np.cumsum(counts)
+            slots = np.repeat(starts - ends + counts, counts) + np.arange(total)
+            if eff is not None:
+                slots = slots[expiries[slots] >= eff]
+            neighbors = indices[slots]
+            neighbors = neighbors[visit[neighbors] != stamp]
+            if neighbors.size == 0:
+                return
+            frontier = np.unique(neighbors)
+            visit[frontier] = stamp
+            yield frontier
+
+    def _transpose_arrays(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Lazily build the transpose (once per attached generation)."""
+        if self._tindptr is None:
+            n = self.num_nodes
+            if self.num_pairs:
+                order = np.argsort(self.indices, kind="stable")
+                counts = np.bincount(self.indices, minlength=n)
+                sources = np.repeat(
+                    np.arange(n, dtype=np.int64), np.diff(self.indptr)
+                )
+                self._tindices = sources[order]
+                self._texpiries = self.expiries[order]
+            else:
+                counts = np.zeros(n, dtype=np.int64)
+                self._tindices = np.empty(0, dtype=np.int64)
+                self._texpiries = np.empty(0, dtype=np.float64)
+            self._tindptr = np.zeros(n + 1, dtype=np.int64)
+            np.cumsum(counts, out=self._tindptr[1:])
+        return self._tindptr, self._tindices, self._texpiries
+
+    # ------------------------------------------------------------------
+    def reachable_ids(self, ids: Sequence[int], eff: Optional[float]) -> Set[int]:
+        """Forward reachable id set at the effective horizon."""
+        frontier = self._seed_frontier(ids)
+        if frontier is None:
+            return set()
+        reached = set(frontier.tolist())
+        for frontier in self._expand(frontier, eff, reverse=False):
+            reached.update(frontier.tolist())
+        return reached
+
+    def ancestor_ids(self, ids: Sequence[int], eff: Optional[float]) -> Set[int]:
+        """Transpose-backed reverse reachable id set (seeds included)."""
+        frontier = self._seed_frontier(ids)
+        if frontier is None:
+            return set()
+        reached = set(frontier.tolist())
+        for frontier in self._expand(frontier, eff, reverse=True):
+            reached.update(frontier.tolist())
+        return reached
+
+    def spread_counts(
+        self, id_sets: Sequence[Sequence[int]], eff: Optional[float]
+    ) -> List[int]:
+        """Per-set reachable counts via the shared bit-plane sweep.
+
+        Semantically ``[len(self.reachable_ids(s, eff)) for s in
+        id_sets]``; up to :attr:`PLANE_WIDTH` sets share each physical
+        traversal, exactly as in :meth:`repro.tdn.csr.DeltaCSR.
+        spread_counts` minus the (empty) overlay.
+        """
+        results = [0] * len(id_sets)
+        width = self.PLANE_WIDTH
+        for chunk_start in range(0, len(id_sets), width):
+            chunk = id_sets[chunk_start : chunk_start + width]
+            counts = self._bitplane_counts(chunk, eff)
+            results[chunk_start : chunk_start + len(chunk)] = counts
+        return results
+
+    def _bitplane_counts(
+        self, chunk: Sequence[Sequence[int]], eff: Optional[float]
+    ) -> List[int]:
+        num_nodes = self.num_nodes
+        masks = np.zeros(num_nodes, dtype=np.uint64)
+        seed_parts = []
+        for plane, ids in enumerate(chunk):
+            seeds = np.asarray(list(ids), dtype=np.int64)
+            if seeds.size == 0:
+                continue
+            if seeds.min() < 0 or seeds.max() >= num_nodes:
+                raise IndexError(
+                    f"source id out of range [0, {num_nodes}) in {seeds}"
+                )
+            masks[seeds] |= np.uint64(1 << plane)
+            seed_parts.append(seeds)
+        if not seed_parts:
+            return [0] * len(chunk)
+        indptr, indices, expiries = self.indptr, self.indices, self.expiries
+        frontier = np.unique(np.concatenate(seed_parts))
+        while frontier.size:
+            starts = indptr[frontier]
+            counts = indptr[frontier + 1] - starts
+            nonzero = counts > 0
+            frontier = frontier[nonzero]
+            starts = starts[nonzero]
+            counts = counts[nonzero]
+            total = int(counts.sum())
+            if not total:
+                break
+            ends = np.cumsum(counts)
+            slots = np.repeat(starts - ends + counts, counts) + np.arange(total)
+            sources = np.repeat(frontier, counts)
+            if eff is not None:
+                keep = expiries[slots] >= eff
+                slots = slots[keep]
+                sources = sources[keep]
+            if not slots.size:
+                break
+            targets = indices[slots]
+            contrib = masks[sources]
+            before = masks[targets]
+            np.bitwise_or.at(masks, targets, contrib)
+            changed = targets[masks[targets] != before]
+            if not changed.size:
+                break
+            frontier = np.unique(changed)
+        reached = masks[masks != np.uint64(0)]
+        return [
+            int(np.count_nonzero(reached & np.uint64(1 << plane)))
+            for plane in range(len(chunk))
+        ]
+
+
+class SharedCSRPlane:
+    """Owner side of the shared-memory CSR plane (publish / unlink).
+
+    One plane serves one executor.  :meth:`publish` flattens the graph's
+    alive pair adjacency (via :class:`~repro.tdn.csr.CSRSnapshot`, the
+    same builder the serial engine compacts with) into a fresh generation
+    of segments and flips the header; superseded generations are unlinked
+    immediately.  The owner must be the only publisher, and publishes must
+    not race in-flight worker tasks — the executor's synchronous dispatch
+    guarantees both.
+    """
+
+    def __init__(self, prefix: Optional[str] = None) -> None:
+        self.prefix = prefix or f"repro-plane-{secrets.token_hex(4)}"
+        shm = _shm_module()
+        self._hdr = shm.SharedMemory(
+            create=True, name=f"{self.prefix}-hdr", size=_HEADER_SLOTS * 8
+        )
+        self._header = np.ndarray(
+            (_HEADER_SLOTS,), dtype=np.int64, buffer=self._hdr.buf
+        )
+        self._header[:] = 0
+        self._segments: List = []  # live data segments of the current generation
+        self.generation = 0
+        self.closed = False
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def segment_names(prefix: str, generation: int) -> Tuple[str, str, str]:
+        """The data segment names of one generation (shared with workers)."""
+        stem = f"{prefix}-g{generation}"
+        return f"{stem}-ip", f"{stem}-ix", f"{stem}-ex"
+
+    def publish(self, graph) -> int:
+        """Publish ``graph``'s current alive adjacency; returns the generation.
+
+        Cost is one O(V + P log P) snapshot build plus three array copies.
+        Callers amortize it per *epoch* (graph version), not per query —
+        see :meth:`ShardedOracleExecutor.ensure_plane`.
+        """
+        if self.closed:
+            raise RuntimeError("plane is closed")
+        from repro.tdn.csr import CSRSnapshot
+
+        snapshot = CSRSnapshot.build(graph)
+        generation = self.generation + 1
+        names = self.segment_names(self.prefix, generation)
+        shm = _shm_module()
+        segments = []
+        arrays = (snapshot.indptr, snapshot.indices, snapshot.expiries)
+        try:
+            for name, array in zip(names, arrays):
+                segment = shm.SharedMemory(
+                    create=True, name=name, size=max(array.nbytes, 8)
+                )
+                segments.append(segment)
+                view = np.ndarray(array.shape, dtype=array.dtype, buffer=segment.buf)
+                view[:] = array
+        except OSError:
+            for segment in segments:
+                segment.close()
+                segment.unlink()
+            raise
+        header = self._header
+        header[_GEN] = generation
+        header[_NODES] = snapshot.num_nodes
+        header[_PAIRS] = snapshot.num_pairs
+        header[_TIME] = int(graph.time)
+        header[_READY] = generation  # written last: publish is now visible
+        previous = self._segments
+        self._segments = segments
+        self.generation = generation
+        for segment in previous:
+            segment.close()
+            try:
+                segment.unlink()
+            except OSError:  # pragma: no cover - already gone
+                pass
+        return generation
+
+    def close(self) -> None:
+        """Unlink every segment this plane owns (idempotent)."""
+        if self.closed:
+            return
+        self.closed = True
+        for segment in self._segments:
+            segment.close()
+            try:
+                segment.unlink()
+            except OSError:  # pragma: no cover
+                pass
+        self._segments = []
+        self._header = None
+        self._hdr.close()
+        try:
+            self._hdr.unlink()
+        except OSError:  # pragma: no cover
+            pass
+
+    def __del__(self):  # pragma: no cover - belt and braces
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+class _Attachment:
+    """Worker-side mapping of one plane generation (header + data)."""
+
+    def __init__(self, prefix: str, generation: int, num_nodes: int, num_pairs: int):
+        shm = _shm_module()
+        names = SharedCSRPlane.segment_names(prefix, generation)
+        self.generation = generation
+        self._segments = []
+        # Attaching re-registers the name with the (inherited, shared)
+        # resource tracker — a set no-op, since the owner registered it at
+        # creation.  The owner stays the single unlink authority; workers
+        # only ever close their mappings.
+        try:
+            for name in names:
+                self._segments.append(shm.SharedMemory(name=name))
+        except Exception:
+            self.detach()
+            raise
+        ip_seg, ix_seg, ex_seg = self._segments
+        indptr = np.ndarray((num_nodes + 1,), dtype=np.int64, buffer=ip_seg.buf)
+        indices = np.ndarray((num_pairs,), dtype=np.int64, buffer=ix_seg.buf)
+        expiries = np.ndarray((num_pairs,), dtype=np.float64, buffer=ex_seg.buf)
+        self.engine = PlaneEngine(indptr, indices, expiries)
+
+    def detach(self) -> None:
+        self.engine = None
+        for segment in self._segments:
+            try:
+                segment.close()
+            except OSError:  # pragma: no cover
+                pass
+        self._segments = []
+
+
+def attach_plane_engine(prefix: str, expected_generation: int):
+    """Attach the plane's current generation; returns an :class:`_Attachment`.
+
+    Raises ``RuntimeError`` when the header's ready generation does not
+    match ``expected_generation`` — the owner republished (or tore down)
+    between dispatch and attach, and the caller must report the task as
+    failed so the owner re-dispatches or falls back.
+    """
+    shm = _shm_module()
+    hdr = shm.SharedMemory(name=f"{prefix}-hdr")
+    try:
+        header = np.ndarray((_HEADER_SLOTS,), dtype=np.int64, buffer=hdr.buf)
+        ready = int(header[_READY])
+        num_nodes = int(header[_NODES])
+        num_pairs = int(header[_PAIRS])
+    finally:
+        hdr.close()
+    if ready != expected_generation:
+        raise RuntimeError(
+            f"plane generation skew: header ready={ready}, "
+            f"task expects {expected_generation}"
+        )
+    return _Attachment(prefix, expected_generation, num_nodes, num_pairs)

@@ -1,0 +1,219 @@
+"""Async ingestion front door: batched ingest, epoch publication, top-k serving.
+
+:class:`IngestService` turns a synchronous :class:`~repro.core.tracker.
+InfluenceTracker` into a small always-on service:
+
+* producers ``await submit(t, interactions)`` — batches land on a bounded
+  queue, so a slow tracker exerts *backpressure* on fast producers
+  instead of buffering unboundedly;
+* one consumer loop applies batches in order on a single worker thread
+  (the TDN graph and trackers are single-writer structures), advances the
+  service **epoch** after each batch, and republishes the shared-memory
+  CSR plane when the tracker's oracle runs a sharded executor — so pool
+  workers always map the last *consistent* graph;
+* ``await top_k()`` answers immediately from the last consistent epoch's
+  solution — queries never block behind ingestion and never observe a
+  half-applied batch.
+
+The apply thread is the only writer; the event loop only moves immutable
+:class:`TopKAnswer` records, so any number of concurrent producers and
+queriers is safe.  See ``examples/serve_topk.py`` for a runnable tour.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import ThreadPoolExecutor
+from typing import Iterable, NamedTuple, Optional, Tuple
+
+__all__ = ["IngestService", "TopKAnswer"]
+
+_STOP = object()
+
+
+class TopKAnswer(NamedTuple):
+    """One consistent query answer: the epoch it refers to and its solution."""
+
+    epoch: int
+    time: int
+    nodes: Tuple
+    value: float
+
+
+class IngestService:
+    """Asyncio wrapper that serves a tracker under concurrent load.
+
+    Args:
+        tracker: an :class:`~repro.core.tracker.InfluenceTracker` (or any
+            object with ``step(t, batch)`` returning a Solution, a
+            ``graph``, and an ``oracle``).  The service becomes its sole
+            driver — do not call ``step`` elsewhere while it runs.
+        max_pending: bound of the ingest queue; :meth:`submit` awaits
+            (backpressure) while the queue is full.
+
+    Usage::
+
+        service = IngestService(tracker, max_pending=32)
+        await service.start()
+        await service.submit(t, [("u", "v", 5), ...])
+        answer = await service.top_k()
+        await service.close()
+    """
+
+    def __init__(self, tracker, *, max_pending: int = 64) -> None:
+        if max_pending <= 0:
+            raise ValueError(f"max_pending must be positive, got {max_pending}")
+        self._tracker = tracker
+        self._max_pending = max_pending
+        self._queue: Optional[asyncio.Queue] = None
+        self._consumer: Optional[asyncio.Task] = None
+        # One thread = one writer: batches apply strictly in submit order.
+        self._apply_thread = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-ingest"
+        )
+        self._latest = TopKAnswer(epoch=0, time=0, nodes=(), value=0.0)
+        self._failure: Optional[BaseException] = None
+        self._closed = False
+        self.batches_applied = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def epoch(self) -> int:
+        """Epochs advance once per applied batch; 0 = nothing ingested."""
+        return self._latest.epoch
+
+    @property
+    def running(self) -> bool:
+        return self._consumer is not None and not self._consumer.done()
+
+    @property
+    def pending(self) -> int:
+        """Batches accepted but not yet applied."""
+        return self._queue.qsize() if self._queue is not None else 0
+
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Start the consumer loop (idempotent; refuses a closed service).
+
+        A closed service's single-writer apply thread is gone for good —
+        restarting would accept batches and then fail every one of them,
+        so the error is raised here, at the first wrong call.
+        """
+        if self._closed:
+            raise RuntimeError("service is closed; construct a new IngestService")
+        if self.running:
+            return
+        self._queue = asyncio.Queue(maxsize=self._max_pending)
+        self._consumer = asyncio.get_running_loop().create_task(self._consume())
+
+    async def submit(self, t: int, interactions: Iterable) -> None:
+        """Enqueue one batch; awaits while the queue is full (backpressure)."""
+        self._check_failure()
+        if self._closed:
+            raise RuntimeError("service is closed; batch rejected")
+        if not self.running:
+            raise RuntimeError("service is not running; call start() first")
+        await self._queue.put((t, list(interactions)))
+
+    async def top_k(self) -> TopKAnswer:
+        """The last consistent epoch's solution (never blocks on ingestion)."""
+        self._check_failure()
+        return self._latest
+
+    async def drain(self) -> TopKAnswer:
+        """Wait until every accepted batch is applied; returns the answer."""
+        self._check_failure()
+        if self._queue is not None:
+            await self._queue.join()
+        self._check_failure()
+        return self._latest
+
+    async def close(self) -> None:
+        """Drain, stop the consumer, release the apply thread.
+
+        Raises the recorded consumer failure (after releasing every
+        resource) so a ``submit ... close`` caller cannot mistake a run
+        whose tail batches were discarded for a successful one.
+        """
+        self._closed = True
+        if self._queue is not None and self.running:
+            await self._queue.put((_STOP, None))
+            await self._consumer
+        self._consumer = None
+        self._apply_thread.shutdown(wait=True)
+        self._check_failure()
+
+    # ------------------------------------------------------------------
+    async def _consume(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            t, batch = await self._queue.get()
+            try:
+                if t is _STOP:
+                    # Acknowledge anything racing in behind the sentinel
+                    # (a submit that passed its closed-check just before
+                    # close() set the flag) so queue.join() never hangs.
+                    while True:
+                        try:
+                            self._queue.get_nowait()
+                        except asyncio.QueueEmpty:
+                            break
+                        self._queue.task_done()
+                    return
+                if self._failure is not None:
+                    # Poisoned: discard the backlog (the finally still
+                    # acknowledges each item) so an in-flight drain()'s
+                    # queue.join() resolves and blocked submitters wake
+                    # up — both then observe the failure via
+                    # _check_failure instead of hanging forever.
+                    continue
+                try:
+                    answer = await loop.run_in_executor(
+                        self._apply_thread, self._apply, t, batch
+                    )
+                except asyncio.CancelledError:
+                    # Event-loop shutdown cancelling this task is not an
+                    # ingest failure — propagate so the loop can finish.
+                    raise
+                except BaseException as exc:
+                    # Surface the failure to every subsequent caller
+                    # instead of dying silently inside the task.
+                    self._failure = exc
+                    continue
+                self._latest = answer
+                self.batches_applied += 1
+            finally:
+                self._queue.task_done()
+
+    def _apply(self, t: int, batch) -> TopKAnswer:
+        """Apply one batch on the writer thread; returns the new epoch's answer."""
+        solution = self._tracker.step(t, batch)
+        self._republish()
+        return TopKAnswer(
+            epoch=self._latest.epoch + 1,
+            time=solution.time,
+            nodes=tuple(solution.nodes),
+            value=float(solution.value),
+        )
+
+    def _republish(self) -> None:
+        """Republish the CSR plane for the new epoch (sharded oracles only).
+
+        Only once the pool is actually running: eagerly spawning workers
+        (or publishing generations nobody maps) for a stream whose
+        sweeps all fall below the executor's dispatch floor would pay an
+        O(V + P) snapshot per batch for nothing.  Dispatch re-checks the
+        plane against ``graph.version`` anyway; this merely keeps a live
+        pool's plane warm so epoch-N query traffic never pays the
+        publish inside a query.
+        """
+        oracle = getattr(self._tracker, "oracle", None)
+        executor = getattr(oracle, "executor", None)
+        if executor is not None and executor.pool_running:
+            executor.ensure_plane(self._tracker.graph)
+
+    def _check_failure(self) -> None:
+        if self._failure is not None:
+            raise RuntimeError(
+                f"ingest consumer failed: {self._failure!r}"
+            ) from self._failure

@@ -1,0 +1,84 @@
+"""Worker-process entry point for the sharded oracle executor.
+
+Each worker runs :func:`worker_main` forever: pull a task message off the
+shared task queue, run the requested sweep against the shared-memory CSR
+plane, push the result.  Task messages are tiny (op name, request id,
+shard index, plane generation, id lists, horizon) — the graph itself never
+crosses the pipe; workers map the published plane segments directly
+(:func:`repro.parallel.plane.attach_plane_engine`) and cache the mapping
+until the owner publishes a newer generation.
+
+Every result is tagged with the request id and shard index so the owner
+can splice shard results back into submission order, and every failure is
+reported as an ``("error", message)`` payload instead of crashing the
+worker — the owner decides whether to retry serially.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = ["worker_main"]
+
+#: Task opcodes (module-level so owner and worker can never drift apart).
+OP_SPREAD = "spread"
+OP_REACH = "reach"
+OP_ANCESTORS = "ancestors"
+OP_PING = "ping"
+OP_STOP = "stop"
+
+
+def worker_main(task_queue, result_queue, prefix: str) -> None:
+    """Serve plane sweeps until an ``OP_STOP`` message arrives.
+
+    Args:
+        task_queue: multiprocessing queue of task tuples
+            ``(op, request_id, shard_index, generation, payload, eff)``.
+        result_queue: queue of ``(request_id, shard_index, outcome)``
+            tuples where ``outcome`` is ``("ok", value)`` or
+            ``("error", message)``.
+        prefix: the shared plane's segment-name prefix.
+    """
+    attachment = None  # current generation's mapping
+
+    def engine_for(generation: int):
+        nonlocal attachment
+        if attachment is None or attachment.generation != generation:
+            from repro.parallel.plane import attach_plane_engine
+
+            stale, attachment = attachment, None
+            if stale is not None:
+                stale.detach()
+            attachment = attach_plane_engine(prefix, generation)
+        return attachment.engine
+
+    while True:
+        task = task_queue.get()
+        op = task[0]
+        if op == OP_STOP:
+            break
+        if op == OP_PING:
+            result_queue.put((task[1], 0, ("ok", "pong")))
+            continue
+        _, request_id, shard_index, generation, payload, eff = task
+        try:
+            engine = engine_for(generation)
+            value = _run(engine, op, payload, eff)
+            result_queue.put((request_id, shard_index, ("ok", value)))
+        except BaseException as exc:  # report, never crash the loop
+            result_queue.put(
+                (request_id, shard_index, ("error", f"{type(exc).__name__}: {exc}"))
+            )
+    if attachment is not None:
+        attachment.detach()
+
+
+def _run(engine, op: str, payload, eff: Optional[float]):
+    if op == OP_SPREAD:
+        return engine.spread_counts(payload, eff)
+    if op == OP_REACH:
+        # Sorted lists pickle smaller and more predictably than sets.
+        return [sorted(engine.reachable_ids(ids, eff)) for ids in payload]
+    if op == OP_ANCESTORS:
+        return sorted(engine.ancestor_ids(payload, eff))
+    raise ValueError(f"unknown worker op {op!r}")

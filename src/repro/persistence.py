@@ -15,9 +15,10 @@ JSON-able dictionaries:
   sieve sets with their cached values) and horizon;
 * BASICREDUCTION / HISTAPPROX serialize their horizon-keyed instances;
 * every algorithm payload carries its oracle's *configuration* (backend,
-  memo mode, cache bound) — not the memo contents, which are a pure
-  cache — so a restored run keeps the same evaluation engine and
-  invalidation policy.
+  memo mode, cache bound, sharded-executor worker count) — not the memo
+  contents, which are a pure cache, nor the worker pool, which is
+  runtime state re-created lazily — so a restored run keeps the same
+  evaluation engine, invalidation policy and parallelism.
 
 Restoring reconnects everything to a freshly rebuilt graph and a fresh
 oracle; resumed runs produce *identical solutions and spread values* to
@@ -117,11 +118,18 @@ def _maybe_oracle_to_dict(oracle) -> Optional[Dict]:
 
 
 def oracle_to_dict(oracle: InfluenceOracle) -> Dict:
-    """Serialize an oracle's configuration (never its memo contents)."""
+    """Serialize an oracle's configuration (never its memo contents).
+
+    ``workers`` records the sharded-executor worker count so a restored
+    run keeps its parallel evaluation setup; the pool itself is runtime
+    state and is re-created lazily on the first parallel-eligible batch
+    (a restore never spawns processes by itself).
+    """
     return {
         "backend": oracle.backend,
         "memo_mode": oracle.memo_mode,
         "max_cache_entries": oracle.max_cache_entries,
+        "workers": oracle.workers,
     }
 
 
@@ -136,11 +144,13 @@ def oracle_from_dict(payload: Optional[Dict], graph: TDNGraph) -> InfluenceOracl
     """
     if not payload:
         return InfluenceOracle(graph)
+    workers = payload.get("workers", 1)
     return InfluenceOracle(
         graph,
         backend=payload.get("backend", "csr"),
         memo_mode=payload.get("memo_mode", "delta"),
         max_cache_entries=payload.get("max_cache_entries", 200_000),
+        parallel=workers if workers and workers > 1 else None,
     )
 
 

@@ -55,18 +55,143 @@ fixpoint in one shared traversal, so a SIEVEADN singleton sweep over a
 candidate batch costs one multi-BFS instead of |candidates| BFSes.  Oracle
 *call accounting is unchanged* — counting stays per-set in the oracle, only
 the physical traversal is shared.
+
+.. warning::
+   :class:`repro.parallel.plane.PlaneEngine` mirrors these traversal
+   kernels (frontier expansion, bit-plane sweep, lazy transpose) over the
+   published flat arrays minus the overlay — the sharded executor's
+   bit-for-bit guarantee rests on the two staying in lockstep.  Any
+   semantic change to a sweep here must be applied there too; the
+   parallel equivalence suite and ``tests/property/test_shard_merge.py``
+   are the tripwires.
 """
 
 from __future__ import annotations
 
+import os
+import time
 from typing import Iterable, List, Optional, Sequence, Set
 
 import numpy as np
 
-__all__ = ["CSRSnapshot", "DeltaCSR"]
+__all__ = ["CSRSnapshot", "DeltaCSR", "calibrate_scalar_pair_limit"]
 
 #: Selectable maintenance policies for :class:`DeltaCSR`.
 CSR_MODES = ("delta", "rebuild")
+
+#: Environment override for the scalar/vector traversal cutover.
+SCALAR_LIMIT_ENV = "REPRO_SCALAR_PAIR_LIMIT"
+
+#: Fallback cutover when calibration is unavailable or implausible —
+#: the historical fixed constant, measured on commodity x86.
+DEFAULT_SCALAR_PAIR_LIMIT = 2048
+
+#: Calibration probe sizes (alive pairs) and clamp bounds.
+_PROBE_SIZES = (256, 1024, 4096, 16384)
+_LIMIT_BOUNDS = (128, 65536)
+
+#: Process-wide cache of the measured cutover (calibrate once, reuse).
+_calibrated_limit: Optional[int] = None
+
+
+def _probe_arrays(num_pairs: int) -> tuple:
+    """Deterministic synthetic CSR arrays for the calibration probe.
+
+    A random-ish sparse digraph (mean out-degree 4) whose BFS runs a
+    handful of levels — the same shape the oracle's spread sweeps see —
+    built directly in array form so the probe never touches a graph.
+    """
+    num_nodes = max(num_pairs // 4, 8)
+    rng = np.random.default_rng(12345)
+    targets = rng.integers(0, num_nodes, size=num_pairs)
+    counts = np.bincount(
+        rng.integers(0, num_nodes, size=num_pairs), minlength=num_nodes
+    )
+    indptr = np.zeros(num_nodes + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    expiries = np.full(num_pairs, np.inf, dtype=np.float64)
+    return num_nodes, indptr, targets.astype(np.int64), expiries
+
+
+def calibrate_scalar_pair_limit(force: bool = False) -> int:
+    """Measure where vectorized traversal starts beating the scalar loop.
+
+    Runs once per process (cached; ``force=True`` re-measures): for
+    increasing probe sizes, a full-reach sweep is timed on both paths of
+    an otherwise identical snapshot, and the cutover is placed at the
+    midpoint below the first size the vector path wins.  The result is
+    clamped to a plausible band and falls back to the historical 2048
+    constant if the probe misbehaves — both paths are result-identical,
+    so a miscalibrated cutover can only ever cost time, never change a
+    value.
+    """
+    global _calibrated_limit
+    if _calibrated_limit is not None and not force:
+        return _calibrated_limit
+
+    def best_of(runs, func):
+        best = float("inf")
+        for _ in range(runs):
+            started = time.perf_counter()
+            func()
+            best = min(best, time.perf_counter() - started)
+        return best
+
+    limit = _LIMIT_BOUNDS[1]
+    try:
+        for num_pairs in _PROBE_SIZES:
+            num_nodes, indptr, indices, expiries = _probe_arrays(num_pairs)
+            probe = CSRSnapshot(
+                num_nodes, indptr, indices, expiries, version=0,
+                scalar_pair_limit=num_pairs + 1,
+            )
+            seeds = list(range(min(4, num_nodes)))
+            scalar_s = best_of(3, lambda: probe._scalar_reach(seeds, None))
+            vector_s = best_of(3, lambda: _vector_reach(probe, seeds))
+            if vector_s <= scalar_s:
+                limit = max(num_pairs // 2, _PROBE_SIZES[0] // 2)
+                break
+    except Exception:  # pragma: no cover - probe must never break queries
+        limit = DEFAULT_SCALAR_PAIR_LIMIT
+    lo, hi = _LIMIT_BOUNDS
+    _calibrated_limit = min(max(limit, lo), hi)
+    return _calibrated_limit
+
+
+def _vector_reach(snapshot: "CSRSnapshot", seeds) -> int:
+    """Force the vectorized sweep regardless of the snapshot's cutover."""
+    frontier = snapshot._seed_frontier(seeds)
+    if frontier is None:
+        return 0
+    count = int(frontier.size)
+    for frontier in snapshot._expand_levels(frontier, None):
+        count += int(frontier.size)
+    return count
+
+
+def resolve_scalar_pair_limit(override: Optional[int] = None) -> int:
+    """The active scalar/vector cutover, by descending precedence.
+
+    1. ``CSRSnapshot.SCALAR_PAIR_LIMIT`` when not ``None`` — the legacy
+       one-knob class attribute (tests monkeypatch it; both engines and
+       every snapshot obey it immediately);
+    2. a per-engine constructor ``override``;
+    3. the ``REPRO_SCALAR_PAIR_LIMIT`` environment variable;
+    4. the measured per-process calibration
+       (:func:`calibrate_scalar_pair_limit`).
+    """
+    knob = CSRSnapshot.SCALAR_PAIR_LIMIT
+    if knob is not None:
+        return knob
+    if override is not None:
+        return override
+    env = os.environ.get(SCALAR_LIMIT_ENV)
+    if env is not None:
+        try:
+            return max(0, int(env))
+        except ValueError:
+            pass
+    return calibrate_scalar_pair_limit()
 
 
 class CSRSnapshot:
@@ -87,6 +212,7 @@ class CSRSnapshot:
         "indices",
         "expiries",
         "version",
+        "scalar_pair_limit",
         "_visit",
         "_stamp",
         "_scalar",
@@ -97,8 +223,13 @@ class CSRSnapshot:
     #: tiny graphs, while the vectorized frontier expansion wins by a wide
     #: margin above it.  Tests pin both paths to identical results.  The
     #: delta engine reads this class attribute too, so one knob (and one
-    #: monkeypatch) governs both engines.
-    SCALAR_PAIR_LIMIT = 2048
+    #: monkeypatch) governs both engines.  ``None`` (the default) means
+    #: *adaptive*: the cutover is resolved per process through
+    #: :func:`resolve_scalar_pair_limit` — constructor override, then the
+    #: ``REPRO_SCALAR_PAIR_LIMIT`` environment variable, then a measured
+    #: calibration probe (:func:`calibrate_scalar_pair_limit`); setting a
+    #: number here pins both engines exactly as before.
+    SCALAR_PAIR_LIMIT: Optional[int] = None
 
     def __init__(
         self,
@@ -107,6 +238,7 @@ class CSRSnapshot:
         indices: np.ndarray,
         expiries: np.ndarray,
         version: int,
+        scalar_pair_limit: Optional[int] = None,
     ) -> None:
         self.num_nodes = num_nodes
         self.num_pairs = int(indices.shape[0])
@@ -114,21 +246,28 @@ class CSRSnapshot:
         self.indices = indices
         self.expiries = expiries
         self.version = version
+        self.scalar_pair_limit = scalar_pair_limit
         # Epoch-stamped visited buffer: visit[i] == _stamp means "seen in
         # the current traversal"; bumping the stamp is an O(1) clear.
         self._visit = np.zeros(num_nodes, dtype=np.int64)
         self._stamp = 0
         self._scalar = None  # lazily materialized plain-list view
 
+    def _scalar_limit(self) -> int:
+        """The cutover in force *now* (class knob re-checked per query)."""
+        return resolve_scalar_pair_limit(self.scalar_pair_limit)
+
     # ------------------------------------------------------------------
     @classmethod
-    def build(cls, graph) -> "CSRSnapshot":
+    def build(cls, graph, scalar_pair_limit: Optional[int] = None) -> "CSRSnapshot":
         """Flatten ``graph``'s alive pair adjacency into CSR arrays.
 
         Cost is O(V + P log P) for P alive pairs (one stable sort groups
         the pair list by source id); the per-pair max expiry is read off
         the graph's cached :class:`_PairEdges` maxima, so no multiset is
-        ever re-scanned.
+        ever re-scanned.  The adaptive scalar/vector cutover is resolved
+        here — i.e. the calibration probe, if it has not run yet in this
+        process, runs at snapshot build, never inside a query.
         """
         num_nodes = graph.num_interned
         node_ids = graph._node_ids
@@ -158,7 +297,11 @@ class CSRSnapshot:
             counts = np.zeros(num_nodes, dtype=np.int64)
         indptr = np.zeros(num_nodes + 1, dtype=np.int64)
         np.cumsum(counts, out=indptr[1:])
-        return cls(num_nodes, indptr, indices, exp, graph.version)
+        resolve_scalar_pair_limit(scalar_pair_limit)  # calibrate at build
+        return cls(
+            num_nodes, indptr, indices, exp, graph.version,
+            scalar_pair_limit=scalar_pair_limit,
+        )
 
     # ------------------------------------------------------------------
     def reachable_count(
@@ -171,7 +314,7 @@ class CSRSnapshot:
         ``min_expiry`` only pairs whose max expiry clears the horizon are
         traversed.
         """
-        if self.num_pairs <= self.SCALAR_PAIR_LIMIT:
+        if self.num_pairs <= self._scalar_limit():
             return len(self._scalar_reach(source_ids, min_expiry))
         frontier = self._seed_frontier(source_ids)
         if frontier is None:
@@ -185,7 +328,7 @@ class CSRSnapshot:
         self, source_ids: Iterable[int], min_expiry: Optional[float] = None
     ) -> Set[int]:
         """The reachable id set itself (tests and offline analysis)."""
-        if self.num_pairs <= self.SCALAR_PAIR_LIMIT:
+        if self.num_pairs <= self._scalar_limit():
             return self._scalar_reach(source_ids, min_expiry)
         frontier = self._seed_frontier(source_ids)
         if frontier is None:
@@ -314,6 +457,7 @@ class DeltaCSR:
     __slots__ = (
         "_graph",
         "mode",
+        "scalar_pair_limit",
         "_base",
         "_tindptr",
         "_tindices",
@@ -331,11 +475,17 @@ class DeltaCSR:
         "version",
     )
 
-    def __init__(self, graph, mode: str = "delta") -> None:
+    def __init__(
+        self,
+        graph,
+        mode: str = "delta",
+        scalar_pair_limit: Optional[int] = None,
+    ) -> None:
         if mode not in CSR_MODES:
             raise ValueError(f"mode must be one of {CSR_MODES}, got {mode!r}")
         self._graph = graph
         self.mode = mode
+        self.scalar_pair_limit = scalar_pair_limit
         self.compactions = 0
         self._visit = np.zeros(graph.num_interned, dtype=np.int64)
         self._stamp = 0
@@ -404,10 +554,16 @@ class DeltaCSR:
         else:
             self.version = graph.version
 
+    def _scalar_limit(self) -> int:
+        """The cutover in force *now* (class knob re-checked per query)."""
+        return resolve_scalar_pair_limit(self.scalar_pair_limit)
+
     def _compact(self) -> None:
         """Fold overlay and tombstones into a fresh immutable base."""
         graph = self._graph
-        self._base = CSRSnapshot.build(graph)
+        self._base = CSRSnapshot.build(
+            graph, scalar_pair_limit=self.scalar_pair_limit
+        )
         self._tindptr = None
         self._tindices = None
         self._texpiries = None
@@ -456,7 +612,7 @@ class DeltaCSR:
     ) -> int:
         """Number of distinct nodes reachable from ``source_ids``."""
         eff = self._effective_horizon(min_expiry)
-        if self.num_entries <= CSRSnapshot.SCALAR_PAIR_LIMIT:
+        if self.num_entries <= self._scalar_limit():
             return len(self._scalar_traverse(source_ids, eff, reverse=False))
         frontier = self._seed_frontier(source_ids)
         if frontier is None:
@@ -471,7 +627,7 @@ class DeltaCSR:
     ) -> Set[int]:
         """The reachable id set itself (weighted oracle, tests)."""
         eff = self._effective_horizon(min_expiry)
-        if self.num_entries <= CSRSnapshot.SCALAR_PAIR_LIMIT:
+        if self.num_entries <= self._scalar_limit():
             return self._scalar_traverse(source_ids, eff, reverse=False)
         frontier = self._seed_frontier(source_ids)
         if frontier is None:
@@ -491,7 +647,7 @@ class DeltaCSR:
         with the same array-visited stamping as the forward sweep.
         """
         eff = self._effective_horizon(min_expiry)
-        if self.num_entries <= CSRSnapshot.SCALAR_PAIR_LIMIT:
+        if self.num_entries <= self._scalar_limit():
             return self._scalar_traverse(target_ids, eff, reverse=True)
         frontier = self._seed_frontier(target_ids)
         if frontier is None:
@@ -531,7 +687,7 @@ class DeltaCSR:
         own the per-set *accounting*; this method only shares the physics.
         """
         eff = self._effective_horizon(min_expiry)
-        if self.num_entries <= CSRSnapshot.SCALAR_PAIR_LIMIT:
+        if self.num_entries <= self._scalar_limit():
             return [
                 len(self._scalar_traverse(ids, eff, reverse=False))
                 for ids in id_sets

@@ -22,10 +22,12 @@ Bookkeeping
 * ``_out[u][v]`` and ``_in[v][u]`` share one :class:`_PairEdges` record per
   directed pair, holding the multiset of expiries and a cached maximum.
 * ``_expiry_buckets[x]`` lists the pairs with an edge expiring at time ``x``;
-  ``_expiry_keys`` is the same set of times kept sorted, so
-  :meth:`advance_to` drains exactly the expired buckets (O(expired), never
-  O(Δt) over a sparse timestamp gap) and :meth:`edges_with_expiry_in`
-  bisects a range instead of re-sorting.
+  the bucket keys are tracked twice, cheaply: a lazily-deduped *min-heap*
+  feeds :meth:`advance_to`'s drain (O(expired log K), never O(Δt) over a
+  sparse timestamp gap and never an O(K) list shift per insert), while a
+  *sorted overlay* — a sorted snapshot plus an unsorted pending appendix,
+  merged amortized-O(1) per key — lets :meth:`edges_with_expiry_in`
+  bisect a range instead of re-sorting.
 * every node ever seen is *interned* to a dense integer id
   (:meth:`node_id`); ids are stable for the graph's lifetime and are what
   the CSR reachability engine (:mod:`repro.tdn.csr`) indexes by.
@@ -51,6 +53,7 @@ Bookkeeping
 from __future__ import annotations
 
 import bisect
+import heapq
 from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Tuple
 
 from repro.tdn.interaction import Interaction
@@ -128,13 +131,28 @@ class TDNGraph:
         self._out: Dict[Node, Dict[Node, _PairEdges]] = {}
         self._in: Dict[Node, Dict[Node, _PairEdges]] = {}
         self._expiry_buckets: Dict[int, List[Tuple[Node, Node]]] = {}
-        # Keys of _expiry_buckets, kept sorted via bisect.insort.  The
-        # insertion memmove shifts only the keys *above* the new expiry,
-        # and every pending key lives in (time, time + max remaining
-        # lifetime], so the shift is bounded by the lifetime spread — not
-        # by stream length (a heap would trade this for an extra structure
-        # on the range-scan path; see ROADMAP).
-        self._expiry_keys: List[int] = []
+        # Bucket keys, tracked two ways so no operation ever pays an O(K)
+        # mid-list shift (the old bisect.insort hazard for million-scale
+        # lifetime spreads):
+        #  * _expiry_heap — min-heap of pending keys driving the drain.
+        #    Pushes are O(log K); a popped key whose bucket is already
+        #    gone is simply skipped (lazy dedup).
+        #  * _expiry_sorted + _expiry_pending — the sorted overlay behind
+        #    edges_with_expiry_in: new keys append to the unsorted
+        #    appendix in O(1) and are merged into the sorted snapshot
+        #    lazily (on scan, or when the appendix outgrows the
+        #    proportional threshold), so merges amortize to O(log K) per
+        #    key.  Drained keys are <= time and every scan clamps its
+        #    lower bound to time + 1, so stale overlay entries can never
+        #    be yielded; they are pruned at merge time.
+        self._expiry_heap: List[int] = []
+        self._expiry_sorted: List[int] = []
+        self._expiry_pending: List[int] = []
+        # Running minimum of the pending appendix (inf when empty): lets
+        # a drain skip the appendix rewrite entirely unless some pending
+        # key is actually due, keeping advance_to independent of the
+        # appendix size on the common no-due-pending path.
+        self._expiry_pending_min: float = float("inf")
         self._node_ids: Dict[Node, int] = {}
         self._id_nodes: List[Node] = []
         self._num_edges = 0
@@ -181,30 +199,47 @@ class TDNGraph:
         Returns the number of edge instances removed.  Advancing backwards is
         an error: the TDN model is forward-only.
 
-        Cost is O(expired edges + log #buckets), independent of the width of
-        the gap ``t - time``: the maintained sorted key list is bisected for
-        the drain cutoff, so sparse (e.g. unix-second) timestamp jumps are
-        as cheap as dense single-step ticks.
+        Cost is O(expired edges + expired keys x log #buckets), independent
+        of the width of the gap ``t - time``: the min-heap yields exactly
+        the due bucket keys in order, so sparse (e.g. unix-second)
+        timestamp jumps are as cheap as dense single-step ticks.
         """
         if t < self._time:
             raise ValueError(f"cannot rewind time from {self._time} to {t}")
         removed = 0
-        keys = self._expiry_keys
-        cutoff = bisect.bisect_right(keys, t)
-        if cutoff:
-            due = keys[:cutoff]
-            del keys[:cutoff]
-            for step in due:
-                # pop with a default: a removal listener may legally mutate
-                # the graph mid-drain, re-bucketing keys under us; a
-                # vanished or re-created bucket is picked up consistently
-                # because the key list was spliced before the drain began.
-                bucket = self._expiry_buckets.pop(step, None)
-                if bucket is None:
-                    continue
-                for u, v in bucket:
-                    self._remove_one_edge(u, v, float(step))
-                    removed += 1
+        heap = self._expiry_heap
+        # Drop every due key from the scan overlay (sorted prefix *and*
+        # pending appendix) *before* draining — the seed behavior, which
+        # spliced the due prefix up front: a removal listener may legally
+        # call edges_with_expiry_in mid-drain, and must never iterate
+        # keys whose buckets this very drain is popping.
+        if heap and heap[0] <= t:
+            sorted_keys = self._expiry_sorted
+            if sorted_keys and sorted_keys[0] <= t:
+                del sorted_keys[: bisect.bisect_right(sorted_keys, t)]
+            if self._expiry_pending_min <= t:
+                pending = self._expiry_pending
+                pending[:] = [step for step in pending if step > t]
+                self._expiry_pending_min = min(pending, default=float("inf"))
+        while heap and heap[0] <= t:
+            step = heapq.heappop(heap)
+            # pop with a default: the heap is lazily deduped, and a removal
+            # listener may legally mutate the graph mid-drain, re-bucketing
+            # keys under us; a vanished bucket is simply skipped, and a
+            # re-created due bucket re-pushes its key, so the loop drains
+            # it before finishing.
+            bucket = self._expiry_buckets.pop(step, None)
+            if bucket is None:
+                continue
+            for u, v in bucket:
+                self._remove_one_edge(u, v, float(step))
+                removed += 1
+        # Keep the sorted overlay's dead prefix from accumulating; this is
+        # a prefix splice (one memmove of the survivors), the same cost
+        # profile the drain always had.
+        sorted_keys = self._expiry_sorted
+        if sorted_keys and sorted_keys[0] <= t:
+            del sorted_keys[: bisect.bisect_right(sorted_keys, t)]
         self._time = t
         if removed:
             self.version += 1
@@ -258,7 +293,15 @@ class TDNGraph:
             bucket = self._expiry_buckets.get(step)
             if bucket is None:
                 self._expiry_buckets[step] = [(u, v)]
-                bisect.insort(self._expiry_keys, step)
+                heapq.heappush(self._expiry_heap, step)
+                pending = self._expiry_pending
+                pending.append(step)
+                if step < self._expiry_pending_min:
+                    self._expiry_pending_min = step
+                if len(pending) > 1024 and len(pending) * 4 > len(
+                    self._expiry_sorted
+                ):
+                    self._merge_expiry_overlay()
             else:
                 bucket.append((u, v))
         self._num_edges += 1
@@ -520,18 +563,48 @@ class TDNGraph:
         with an infinite horizon); infinite-expiry edges themselves are never
         yielded because ``hi`` is exclusive.
 
-        The scan bisects the maintained sorted key list for the range
-        endpoints, so its cost is proportional to the number of distinct
-        expiry times in range plus the matching edges — never the width of a
-        sparse range, and never an O(B log B) re-sort of all buckets.
+        The scan bisects the sorted key overlay for the range endpoints
+        (merging any pending appendix first), so its cost is proportional
+        to the number of distinct expiry times in range plus the matching
+        edges — never the width of a sparse range, and never an
+        O(B log B) re-sort of all buckets.
         """
         lo = max(lo, self._time + 1)
-        keys = self._expiry_keys
+        if self._expiry_pending:
+            self._merge_expiry_overlay()
+        keys = self._expiry_sorted
         start = bisect.bisect_left(keys, lo)
         stop = bisect.bisect_left(keys, hi)
         for step in keys[start:stop]:
-            for u, v in self._expiry_buckets[step]:
+            # get() with a default: mid-drain callers (removal listeners)
+            # may observe a key whose bucket was popped an instant ago
+            # while the clock still reads the pre-drain time.
+            bucket = self._expiry_buckets.get(step)
+            if bucket is None:
+                continue
+            for u, v in bucket:
                 yield (u, v, step)
+
+    def _merge_expiry_overlay(self) -> None:
+        """Fold the pending appendix into the sorted key overlay.
+
+        Drained keys (all ``<= time``) are pruned while merging, so the
+        overlay holds exactly the live bucket keys afterwards.  Cost is
+        O(live + pending log pending); the proportional merge trigger in
+        :meth:`add_interaction` amortizes this to O(log K) per new key.
+        """
+        time = self._time
+        buckets = self._expiry_buckets
+        fresh = sorted(step for step in set(self._expiry_pending) if step in buckets)
+        self._expiry_pending.clear()
+        self._expiry_pending_min = float("inf")
+        stale = self._expiry_sorted
+        if stale and stale[0] <= time:
+            del stale[: bisect.bisect_right(stale, time)]
+        if not stale:
+            self._expiry_sorted = fresh
+        elif fresh:
+            self._expiry_sorted = list(heapq.merge(stale, fresh))
 
     def alive_interactions(self) -> List[Interaction]:
         """Materialize the alive edge instances as :class:`Interaction` rows.

@@ -66,6 +66,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--max-lifetime", type=int, default=1_000,
                         help="lifetime cap L (also the constant window W)")
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--workers", type=int, default=1,
+                        help="oracle evaluation workers (N > 1 shards spread "
+                             "sweeps across N processes; identical results)")
     parser.add_argument("--report-every", type=int, default=200,
                         help="print the solution every N steps")
     parser.add_argument("--checkpoint", default=None,
@@ -104,30 +107,36 @@ def main(argv: Optional[list] = None) -> int:
         lifetime_policy=make_policy(args),
         L=args.max_lifetime if args.algorithm == "basic-reduction" else None,
         seed=args.seed,
+        workers=args.workers,
     )
     history = SolutionHistory()
     started = time.perf_counter()
     solution = None
-    for t, batch in stream:
-        solution = tracker.step(t, batch)
-        if t % args.report_every == 0:
-            history.record(t, solution.nodes)
-            if not args.quiet:
-                nodes = ", ".join(str(n) for n in solution.nodes[:8])
-                suffix = "..." if len(solution.nodes) > 8 else ""
-                print(f"t={t:>7}  value={solution.value:>8.0f}  [{nodes}{suffix}]")
-        if (
-            args.checkpoint
-            and t > 0
-            and t % args.checkpoint_every == 0
-        ):
+    try:
+        for t, batch in stream:
+            solution = tracker.step(t, batch)
+            if t % args.report_every == 0:
+                history.record(t, solution.nodes)
+                if not args.quiet:
+                    nodes = ", ".join(str(n) for n in solution.nodes[:8])
+                    suffix = "..." if len(solution.nodes) > 8 else ""
+                    print(f"t={t:>7}  value={solution.value:>8.0f}  [{nodes}{suffix}]")
+            if (
+                args.checkpoint
+                and t > 0
+                and t % args.checkpoint_every == 0
+            ):
+                save_checkpoint(args.checkpoint, tracker.graph, tracker.algorithm)
+        elapsed = time.perf_counter() - started
+        if args.checkpoint:
             save_checkpoint(args.checkpoint, tracker.graph, tracker.algorithm)
-    elapsed = time.perf_counter() - started
-    if args.checkpoint:
-        save_checkpoint(args.checkpoint, tracker.graph, tracker.algorithm)
+    finally:
+        tracker.close()
 
     print("\nsummary")
     print(f"  events processed:   {len(interactions)}")
+    if args.workers > 1:
+        print(f"  evaluation workers: {args.workers}")
     print(f"  elapsed:            {elapsed:.1f}s "
           f"({len(interactions) / max(elapsed, 1e-9):.0f} events/s)")
     print(f"  oracle calls:       {tracker.oracle_calls}")

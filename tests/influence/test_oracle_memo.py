@@ -412,3 +412,16 @@ def test_retained_entries_equal_from_scratch_spread(events):
                 key_nodes,
                 horizon,
             )
+
+
+class TestSpreadManyBadInput:
+    def test_unhashable_input_leaves_no_pending_reservations(self):
+        """A bad set raises before any cache slot is reserved."""
+        graph = TDNGraph()
+        graph.add_interaction(Interaction("a", "b", 0, 9))
+        oracle = InfluenceOracle(graph)
+        with pytest.raises(TypeError):
+            oracle.spread_many([("a",), ([],)])  # list is unhashable
+        # The good set was never reserved: a fresh batch evaluates clean.
+        assert oracle.spread_many([("a",)]) == [2]
+        assert oracle.calls == 1

@@ -1,0 +1,155 @@
+"""Sharded-vs-serial equivalence: the tentpole acceptance bar.
+
+For every tracker in the paper (SIEVEADN, BASICREDUCTION, HISTAPPROX) a
+seeded stream is replayed twice — once on a serial oracle, once with the
+sharded executor (``REPRO_TEST_WORKERS`` processes, default 2; the tier-1
+CI matrix runs this suite with ``workers=2`` on Linux) — and every
+per-step solution, spread value and cumulative oracle-call count must be
+*bit-identical*.  ``min_batch=1`` forces even tiny batches through the
+pool, so the parallel path is exercised on every sweep, not just the
+large ones.
+
+One executor (one pool, one plane) is shared across the whole module via
+a fixture: the pool is the expensive part, and sharing it also pins the
+plane's graph/version tracking across many graphs.
+"""
+
+import os
+import random
+
+import pytest
+
+from repro.core.basic_reduction import BasicReduction
+from repro.core.hist_approx import HistApprox
+from repro.core.sieve_adn import SieveADN
+from repro.influence.oracle import InfluenceOracle
+from repro.influence.weighted import WeightedInfluenceOracle
+from repro.parallel.executor import ShardedOracleExecutor
+from repro.parallel.plane import shared_memory_available
+from repro.tdn.graph import TDNGraph
+from repro.tdn.interaction import Interaction
+from repro.tdn.lifetimes import GeometricLifetime
+
+WORKERS = int(os.environ.get("REPRO_TEST_WORKERS", "2"))
+
+pytestmark = pytest.mark.skipif(
+    not shared_memory_available(), reason="POSIX shared memory unavailable"
+)
+
+
+@pytest.fixture(scope="module")
+def executor():
+    pool = ShardedOracleExecutor(WORKERS, min_batch=1)
+    yield pool
+    pool.close()
+
+
+def stream_batches(seed=7, num_nodes=36, num_steps=30, per_step=4, max_l=25):
+    rng = random.Random(seed)
+    policy = GeometricLifetime(0.08, max_l, seed=seed + 1)
+    batches = []
+    for t in range(num_steps):
+        batch = []
+        for _ in range(rng.randint(1, per_step)):
+            u, v = rng.sample(range(num_nodes), 2)
+            batch.append(policy.assign(Interaction(f"n{u}", f"n{v}", t)))
+        batches.append((t, batch))
+    return batches
+
+
+def make_algorithm(name, graph, oracle):
+    if name == "sieve-adn":
+        return SieveADN(4, 0.25, graph, oracle)
+    if name == "basic-reduction":
+        return BasicReduction(3, 0.3, 25, graph, oracle)
+    if name == "hist-approx":
+        return HistApprox(3, 0.3, graph, oracle)
+    raise ValueError(name)
+
+
+def replay(name, batches, oracle_factory):
+    graph = TDNGraph()
+    oracle = oracle_factory(graph)
+    algorithm = make_algorithm(name, graph, oracle)
+    trace = []
+    for t, batch in batches:
+        graph.advance_to(t)
+        for interaction in batch:
+            graph.add_interaction(interaction)
+        algorithm.on_batch(t, batch)
+        solution = algorithm.query()
+        trace.append((tuple(solution.nodes), solution.value, oracle.calls))
+    return trace
+
+
+@pytest.mark.parametrize("name", ["sieve-adn", "basic-reduction", "hist-approx"])
+def test_tracker_bit_identical_under_sharding(name, executor):
+    batches = stream_batches()
+    serial_trace = replay(name, batches, lambda g: InfluenceOracle(g))
+    sharded_trace = replay(
+        name, batches, lambda g: InfluenceOracle(g, parallel=executor)
+    )
+    assert sharded_trace == serial_trace
+
+
+@pytest.mark.parametrize("name", ["sieve-adn", "basic-reduction", "hist-approx"])
+def test_tracker_bit_identical_under_version_memo(name, executor):
+    """The historical wholesale-clear memo policy shards identically too."""
+    batches = stream_batches(seed=19)
+    serial_trace = replay(
+        name, batches, lambda g: InfluenceOracle(g, memo_mode="version")
+    )
+    sharded_trace = replay(
+        name,
+        batches,
+        lambda g: InfluenceOracle(g, memo_mode="version", parallel=executor),
+    )
+    assert sharded_trace == serial_trace
+
+
+def test_weighted_oracle_bit_identical_under_sharding(executor):
+    batches = stream_batches(seed=41)
+    weights = {f"n{i}": float(1 + (i % 5)) for i in range(36)}
+
+    def run(oracle_factory):
+        graph = TDNGraph()
+        oracle = oracle_factory(graph)
+        sieve = SieveADN(3, 0.3, graph, oracle)
+        trace = []
+        for t, batch in batches:
+            graph.advance_to(t)
+            for interaction in batch:
+                graph.add_interaction(interaction)
+            sieve.on_batch(t, batch)
+            solution = sieve.query()
+            trace.append((tuple(solution.nodes), solution.value, oracle.calls))
+        return trace
+
+    serial_trace = run(lambda g: WeightedInfluenceOracle(g, weights))
+    sharded_trace = run(
+        lambda g: WeightedInfluenceOracle(g, weights, parallel=executor)
+    )
+    assert sharded_trace == serial_trace
+
+
+def test_weighted_spread_many_matches_spread_loop(executor):
+    """Batched protocol == loop of spread: values, memo and call counts."""
+    batches = stream_batches(seed=53)
+    graph = TDNGraph()
+    for t, batch in batches:
+        graph.advance_to(t)
+        for interaction in batch:
+            graph.add_interaction(interaction)
+    nodes = sorted(graph.node_set(), key=repr)
+    sets = [(n,) for n in nodes] + [tuple(nodes[:3])] + [(nodes[0],)]  # dup hits
+
+    loop = WeightedInfluenceOracle(graph, {nodes[0]: 3.5})
+    loop_values = [loop.spread(s) for s in sets]
+
+    for oracle in (
+        WeightedInfluenceOracle(graph, {nodes[0]: 3.5}),
+        WeightedInfluenceOracle(graph, {nodes[0]: 3.5}, parallel=executor),
+    ):
+        values = oracle.spread_many(sets)
+        assert values == loop_values
+        assert oracle.calls == loop.calls

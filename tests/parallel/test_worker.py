@@ -1,0 +1,111 @@
+"""The worker loop, driven in-process (queues + thread, real plane).
+
+The pool tests exercise ``worker_main`` for real, but in child processes
+where coverage cannot see it; this module drives the exact same loop in a
+thread against plain queues, pinning the protocol — result tagging, error
+reporting instead of crashing, generation re-attachment, stop handling.
+"""
+
+import queue
+import random
+import threading
+
+import pytest
+
+from repro.parallel import worker
+from repro.parallel.plane import SharedCSRPlane, shared_memory_available
+from repro.tdn.graph import TDNGraph
+from repro.tdn.interaction import Interaction
+
+pytestmark = pytest.mark.skipif(
+    not shared_memory_available(), reason="POSIX shared memory unavailable"
+)
+
+
+@pytest.fixture
+def loop_harness():
+    """A worker_main loop running in a thread over in-process queues."""
+    tasks: queue.Queue = queue.Queue()
+    results: queue.Queue = queue.Queue()
+    plane = SharedCSRPlane()
+    thread = threading.Thread(
+        target=worker.worker_main, args=(tasks, results, plane.prefix), daemon=True
+    )
+    thread.start()
+    yield tasks, results, plane
+    tasks.put((worker.OP_STOP,))
+    thread.join(timeout=10)
+    plane.close()
+
+
+def build_graph(seed=3):
+    rng = random.Random(seed)
+    graph = TDNGraph()
+    for t in range(40):
+        graph.advance_to(t)
+        u, v = rng.sample(range(20), 2)
+        graph.add_interaction(Interaction(f"n{u}", f"n{v}", t, rng.randint(2, 30)))
+    return graph
+
+
+class TestWorkerLoop:
+    def test_ping_and_all_ops(self, loop_harness):
+        tasks, results, plane = loop_harness
+        graph = build_graph()
+        generation = plane.publish(graph)
+        serial = graph.csr()
+        eff = float(graph.time + 1)
+        ids = list(range(graph.num_interned))
+
+        tasks.put((worker.OP_PING, 1))
+        assert results.get(timeout=10) == (1, 0, ("ok", "pong"))
+
+        sets = [[i] for i in ids[:10]]
+        tasks.put((worker.OP_SPREAD, 2, 4, generation, sets, eff))
+        request, shard, (status, counts) = results.get(timeout=10)
+        assert (request, shard, status) == (2, 4, "ok")
+        assert counts == serial.spread_counts(sets, None)
+
+        tasks.put((worker.OP_REACH, 3, 0, generation, sets, eff))
+        _, _, (status, reach) = results.get(timeout=10)
+        assert status == "ok"
+        assert [set(r) for r in reach] == [serial.reachable_ids(s, None) for s in sets]
+
+        tasks.put((worker.OP_ANCESTORS, 4, 0, generation, ids[:5], eff))
+        _, _, (status, ancestors) = results.get(timeout=10)
+        assert status == "ok"
+        assert set(ancestors) == serial.ancestor_ids(ids[:5], None)
+
+    def test_reattaches_on_new_generation(self, loop_harness):
+        tasks, results, plane = loop_harness
+        graph = build_graph(seed=9)
+        first = plane.publish(graph)
+        sets = [[0], [1]]
+        eff = float(graph.time + 1)
+        tasks.put((worker.OP_SPREAD, 1, 0, first, sets, eff))
+        assert results.get(timeout=10)[2][0] == "ok"
+        graph.advance_to(graph.time + 1)
+        graph.add_interaction(Interaction("n0", "n1", graph.time, 9))
+        second = plane.publish(graph)
+        tasks.put((worker.OP_SPREAD, 2, 0, second, sets, float(graph.time + 1)))
+        _, _, (status, counts) = results.get(timeout=10)
+        assert status == "ok"
+        assert counts == graph.csr().spread_counts(sets, None)
+
+    def test_errors_are_reported_not_fatal(self, loop_harness):
+        tasks, results, plane = loop_harness
+        graph = build_graph(seed=13)
+        generation = plane.publish(graph)
+        eff = float(graph.time + 1)
+        # Generation skew: the header does not match what the task expects.
+        tasks.put((worker.OP_SPREAD, 1, 0, generation + 5, [[0]], eff))
+        _, _, (status, message) = results.get(timeout=10)
+        assert status == "error"
+        # Unknown opcode travels the same error path...
+        tasks.put(("no-such-op", 2, 0, generation, [[0]], eff))
+        assert results.get(timeout=10)[2][0] == "error"
+        # ...and the loop is still alive afterwards.
+        tasks.put((worker.OP_SPREAD, 3, 0, generation, [[0]], eff))
+        _, _, (status, counts) = results.get(timeout=10)
+        assert status == "ok"
+        assert counts == graph.csr().spread_counts([[0]], None)

@@ -137,3 +137,57 @@ class TestEquivalenceFuzz:
         fresh = CSRSnapshot.build(graph)
         vector = fresh.reachable_ids(ids[:3], graph.time + 2)
         assert scalar == vector
+
+
+class TestAdaptiveScalarCutover:
+    """Resolution precedence and calibration of the scalar/vector cutover."""
+
+    def test_class_knob_wins_over_everything(self, monkeypatch):
+        from repro.tdn import csr as csr_mod
+
+        monkeypatch.setattr(CSRSnapshot, "SCALAR_PAIR_LIMIT", 7)
+        monkeypatch.setenv(csr_mod.SCALAR_LIMIT_ENV, "999")
+        assert csr_mod.resolve_scalar_pair_limit(override=123) == 7
+
+    def test_constructor_override_beats_env(self, monkeypatch):
+        from repro.tdn import csr as csr_mod
+
+        monkeypatch.setenv(csr_mod.SCALAR_LIMIT_ENV, "999")
+        assert csr_mod.resolve_scalar_pair_limit(override=123) == 123
+
+    def test_env_override_beats_calibration(self, monkeypatch):
+        from repro.tdn import csr as csr_mod
+
+        monkeypatch.setenv(csr_mod.SCALAR_LIMIT_ENV, "4321")
+        assert csr_mod.resolve_scalar_pair_limit() == 4321
+        monkeypatch.setenv(csr_mod.SCALAR_LIMIT_ENV, "not-a-number")
+        limit = csr_mod.resolve_scalar_pair_limit()  # falls through, clamped
+        lo, hi = csr_mod._LIMIT_BOUNDS
+        assert lo <= limit <= hi
+
+    def test_calibration_is_cached_and_clamped(self):
+        from repro.tdn import csr as csr_mod
+
+        first = csr_mod.calibrate_scalar_pair_limit(force=True)
+        lo, hi = csr_mod._LIMIT_BOUNDS
+        assert lo <= first <= hi
+        assert csr_mod.calibrate_scalar_pair_limit() == first  # cached
+
+    def test_engine_override_pins_both_paths(self, rng=None):
+        """A per-engine override steers the cutover without the class knob."""
+        import random as random_mod
+
+        from repro.tdn.csr import DeltaCSR
+
+        rng = random_mod.Random(3)
+        graph = random_graph(rng, num_nodes=15, num_events=80)
+        forced_vector = DeltaCSR(graph, scalar_pair_limit=0)
+        forced_scalar = DeltaCSR(graph, scalar_pair_limit=10**9)
+        ids = list(range(graph.num_interned))
+        horizon = graph.time + 3
+        assert forced_vector.reachable_ids(ids[:4], horizon) == (
+            forced_scalar.reachable_ids(ids[:4], horizon)
+        )
+        assert forced_vector.spread_counts([(i,) for i in ids], horizon) == (
+            forced_scalar.spread_counts([(i,) for i in ids], horizon)
+        )

@@ -403,3 +403,99 @@ class TestO1Inventories:
         assert (graph.num_nodes, graph.num_pairs) == (2, 1)
         graph.advance_to(7)
         assert (graph.num_nodes, graph.num_pairs) == (0, 0)
+
+
+class TestExpiryKeyStructures:
+    """The heap drain + sorted overlay behind expiries and range scans."""
+
+    def test_heap_drains_in_order_across_sparse_gaps(self):
+        graph = TDNGraph()
+        # Insert with wildly out-of-order expiries.
+        for lifetime in (900, 3, 50_000, 17, 4):
+            graph.add_interaction(Interaction("a", f"b{lifetime}", 0, lifetime))
+        assert graph.advance_to(20) == 3  # lifetimes 3, 4 and 17
+        assert graph.advance_to(100_000) == 2  # lifetimes 900 and 50_000
+        assert graph.num_edges == 0
+        assert graph._expiry_heap == []
+
+    def test_overlay_merge_prunes_drained_keys(self):
+        graph = TDNGraph()
+        for lifetime in (2, 5, 9):
+            graph.add_interaction(Interaction("a", f"b{lifetime}", 0, lifetime))
+        assert [e for _, _, e in graph.edges_with_expiry_in(0, 100)] == [2, 5, 9]
+        graph.advance_to(5)
+        # New key lands in the pending appendix; the next scan merges it
+        # and never re-yields the drained keys.
+        graph.add_interaction(Interaction("a", "c", 5, 2))
+        rows = [e for _, _, e in graph.edges_with_expiry_in(0, 100)]
+        assert rows == [7, 9]
+        assert graph._expiry_pending == []
+        assert graph._expiry_sorted == [7, 9]
+
+    def test_range_scan_after_pure_advance(self):
+        graph = TDNGraph()
+        graph.add_interaction(Interaction("a", "b", 0, 4))
+        graph.add_interaction(Interaction("b", "c", 0, 8))
+        graph.advance_to(4)
+        # No insert since the drain: the sorted overlay was prefix-pruned
+        # in advance_to and the scan sees only the surviving key.
+        assert [e for _, _, e in graph.edges_with_expiry_in(0, 100)] == [8]
+
+    def test_duplicate_expiry_keys_are_single_heap_entries(self):
+        graph = TDNGraph()
+        for target in "bcd":
+            graph.add_interaction(Interaction("a", target, 0, 6))
+        assert len(graph._expiry_heap) == 1  # one bucket, one key
+        assert graph.advance_to(6) == 3
+
+    def test_mass_out_of_order_inserts_match_reference(self, rng):
+        """Fuzz: heap+overlay bookkeeping equals a from-scratch recompute."""
+        graph = TDNGraph()
+        t = 0
+        for step in range(300):
+            if rng.random() < 0.3:
+                t += rng.randint(1, 15)
+                graph.advance_to(t)
+            u = rng.randrange(12)
+            v = (u + 1 + rng.randrange(10)) % 12
+            graph.add_interaction(
+                Interaction(f"n{u}", f"n{v}", t, rng.randint(1, 120))
+            )
+            if step % 37 == 0:
+                lo = t + rng.randint(0, 30)
+                hi = lo + rng.randint(1, 60)
+                expected = sorted(
+                    (step_key, u2, v2)
+                    for step_key, bucket in graph._expiry_buckets.items()
+                    if lo <= step_key < hi and step_key > t
+                    for u2, v2 in bucket
+                )
+                got = sorted(
+                    (e, u2, v2) for u2, v2, e in graph.edges_with_expiry_in(lo, hi)
+                )
+                assert got == expected
+        # Full drain leaves every structure empty of finite keys.
+        graph.advance_to(t + 1_000)
+        assert graph._expiry_heap == []
+        assert [k for k in graph._expiry_sorted if k <= graph.time] == []
+
+    def test_removal_listener_may_scan_ranges_mid_drain(self):
+        """The seed guarantee: listeners can call edges_with_expiry_in
+        while advance_to is draining, without tripping on popped keys."""
+        graph = TDNGraph()
+        graph.add_interaction(Interaction("a", "b", 0, 3))
+        graph.add_interaction(Interaction("b", "c", 0, 4))
+        graph.add_interaction(Interaction("c", "d", 0, 50))
+        seen = []
+
+        def listener(u, v, remaining):
+            seen.append([e for _, _, e in graph.edges_with_expiry_in(0, 100)])
+
+        graph.add_removal_listener(listener)
+        assert graph.advance_to(10) == 2
+        # Each mid-drain scan completed (no KeyError) and never yielded a
+        # key at or below the drain target.
+        assert len(seen) == 2
+        for rows in seen:
+            assert all(e > 10 for e in rows)
+        assert [e for _, _, e in graph.edges_with_expiry_in(0, 100)] == [50]

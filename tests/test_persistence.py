@@ -156,6 +156,7 @@ class TestOracleConfigRoundTrip:
             "backend": "dict",
             "memo_mode": "version",
             "max_cache_entries": 17,
+            "workers": 1,
         }
         restored_graph = graph_from_dict(graph_to_dict(graph))
         restored = algorithm_from_dict(payload, restored_graph)

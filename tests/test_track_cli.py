@@ -96,3 +96,26 @@ class TestCheckpointing:
 
         graph, algorithm = load_checkpoint(checkpoint)
         assert algorithm.query().value >= 0.0
+
+
+class TestWorkersFlag:
+    def test_workers_default_is_serial(self):
+        args = build_parser().parse_args(["--dataset", "gowalla"])
+        assert args.workers == 1
+
+    def test_sharded_run_matches_serial_run(self, capsys):
+        """The CLI produces identical output fields with --workers 2."""
+        argv = [
+            "--dataset", "twitter-hk", "--events", "120",
+            "--k", "3", "--algorithm", "sieve-adn", "--quiet",
+        ]
+        assert main(argv) == 0
+        serial_out = capsys.readouterr().out
+        assert main(argv + ["--workers", "2"]) == 0
+        sharded_out = capsys.readouterr().out
+        pick = lambda text, field: [  # noqa: E731 - tiny local helper
+            line for line in text.splitlines() if field in line
+        ]
+        for field in ("oracle calls", "final value", "final influencers"):
+            assert pick(sharded_out, field) == pick(serial_out, field)
+        assert "evaluation workers: 2" in sharded_out
