@@ -6,24 +6,68 @@ node reverse BFS, the SCC batch-spread engine versus a per-node BFS sweep,
 sparse-timestamp clock advancement, the dict-vs-CSR oracle backends on a
 50k-edge stream, the incremental delta-CSR engine versus the PR 1
 rebuild-per-version engine on an ingestion-heavy stream, the bit-plane
-batched singleton sweep versus sequential per-set BFS, and the sharded
-4-worker ``spread_many`` versus the serial bit-plane engine.
+batched singleton sweep versus sequential per-set BFS, the weighted
+bit-plane sweep versus per-set reachable-id weight folds, and the
+sharded 4-worker ``spread_many`` versus the serial bit-plane engine.
+Kernel-bound comparisons additionally gate their speedup ratios against
+the checked-in PR 4 snapshot (:func:`assert_kernel_parity`), so the
+traversal-kernel unification can never silently erode a margin.
 Regressions here silently inflate every figure, so they get their own
 timings.
 """
 
+import json
 import os
 import random
 import time
+from pathlib import Path
+
+import numpy as np
 
 from repro.core.sieve_adn import SieveADN
 from repro.datasets.synthetic import retweet_stream
 from repro.influence.fast_spread import all_singleton_spreads
 from repro.influence.oracle import InfluenceOracle
 from repro.influence.changed import changed_nodes
+from repro.influence.weighted import WeightedInfluenceOracle
+from repro.kernels import dense_weight_sum
 from repro.tdn.graph import TDNGraph
 from repro.tdn.interaction import Interaction
 from repro.tdn.lifetimes import UniformLifetime
+
+#: The last pre-unification perf snapshot (PR 4).  The kernel-parity
+#: checks assert that the unified engines keep at least half of each
+#: recorded *speedup ratio* — ratios, not wall times, so the gate is
+#: meaningful on hardware other than the machine that wrote the snapshot,
+#: and 0.5x slack keeps runner noise from flipping it while still
+#: catching a consolidation that genuinely slowed a kernel down.
+PR4_SNAPSHOT = Path(__file__).parent / "results" / "BENCH_pr4_substrate_micro.json"
+
+
+def pr4_speedup(benchmark_name):
+    """The snapshot's recorded speedup for one benchmark (None if absent)."""
+    if not PR4_SNAPSHOT.exists():
+        return None
+    try:
+        data = json.loads(PR4_SNAPSHOT.read_text())
+    except (OSError, ValueError):
+        return None
+    for bench in data.get("benchmarks", []):
+        if bench.get("name") == benchmark_name:
+            return bench.get("extra_info", {}).get("speedup")
+    return None
+
+
+def assert_kernel_parity(benchmark, name, speedup):
+    """Gate ``speedup`` against the PR 4 snapshot's recorded ratio."""
+    recorded = pr4_speedup(name)
+    benchmark.extra_info["pr4_speedup"] = recorded
+    if recorded:
+        floor = 0.5 * recorded
+        assert speedup >= floor, (
+            f"kernel parity: {name} speedup {speedup:.2f}x fell below half "
+            f"of the PR 4 snapshot's {recorded:.2f}x"
+        )
 
 
 def build_events(num_events=3_000, num_nodes=400, max_lifetime=300, seed=5):
@@ -178,6 +222,9 @@ def test_oracle_throughput_dict_vs_csr(benchmark):
         f"dict {dict_seconds:.3f}s, csr {csr_seconds:.3f}s ({speedup:.1f}x)"
     )
     assert speedup >= 3.0, f"CSR speedup {speedup:.2f}x below the 3x floor"
+    # Kernel parity: the unified kernel must keep the CSR engine's margin
+    # over the dict reference relative to the PR 4 snapshot.
+    assert_kernel_parity(benchmark, "test_oracle_throughput_dict_vs_csr", speedup)
 
     # Identical tracker solutions on the same stream-built graph: one
     # SIEVEADN candidate sweep per backend, same candidates, same horizon.
@@ -260,6 +307,7 @@ def test_ingestion_delta_vs_rebuild(benchmark):
         f"({speedup:.1f}x)"
     )
     assert speedup >= 3.0, f"delta-CSR speedup {speedup:.2f}x below the 3x floor"
+    assert_kernel_parity(benchmark, "test_ingestion_delta_vs_rebuild", speedup)
 
 
 def build_cascade_forest_events(num_events=50_000, num_trees=256, seed=13):
@@ -386,6 +434,76 @@ def test_bitplane_vs_sequential_singleton_sweep(benchmark):
         f"{seq_seconds:.3f}s, bit-plane {bat_seconds:.3f}s ({speedup:.1f}x)"
     )
     assert speedup >= 2.0, f"bit-plane speedup {speedup:.2f}x below the 2x floor"
+    # Kernel parity: unification must not have eroded the bit-plane
+    # engine's margin over sequential sweeps relative to PR 4.
+    assert_kernel_parity(
+        benchmark, "test_bitplane_vs_sequential_singleton_sweep", speedup
+    )
+
+
+def test_weighted_bitplane_vs_per_set_reachable(benchmark):
+    """Weighted bit-plane batching must beat per-set reachable folds >= 2x.
+
+    The same 960-singleton weighted sweep on the 50k-edge stream graph,
+    evaluated twice: the *per-set* side replicates the pre-kernel weighted
+    path — one reachable-id set materialized per candidate, the dense
+    weight array summed over it in-process — while the *batched* side is
+    ``WeightedInfluenceOracle.spread_many``, whose distinct misses now
+    fold the weight array inside the shared bit-plane sweep (64 weighted
+    evaluations per physical traversal).  Values must be bit-identical
+    (the kernel sums in canonical ascending-id order) and call counts
+    must match; the 2x floor sits well under the observed margin so a
+    noisy runner cannot flip it.
+    """
+    graph = build_50k_stream()
+    nodes = sorted(graph.node_set(), key=repr)
+    weights_map = {node: float(1 + (i % 9)) for i, node in enumerate(nodes)}
+    candidate_sets = [(node,) for node in nodes[:960]]
+    horizon = graph.time + 10_000
+    engine = graph.csr()  # engine build billed to neither side
+    # .get with the oracle's default: interned ids cover nodes whose
+    # edges have all expired, which node_set() (hence weights_map) omits.
+    weights_arr = np.asarray(
+        [
+            weights_map.get(graph.node_of_id(i), 1.0)
+            for i in range(graph.num_interned)
+        ],
+        dtype=np.float64,
+    )
+    id_sets = [[graph.node_id(node)] for (node,) in candidate_sets]
+
+    def per_set_reachable():
+        # The PR 4 evaluation shape: one Python id set per candidate.
+        return [
+            dense_weight_sum(weights_arr, engine.reachable_ids(ids, horizon))
+            for ids in id_sets
+        ]
+
+    def batched():
+        oracle = WeightedInfluenceOracle(
+            graph, weights_map, max_cache_entries=0
+        )
+        return oracle.spread_many(candidate_sets, horizon), oracle.calls
+
+    per_set_values, per_set_seconds = _best_of(3, per_set_reachable)
+    (batched_values, batched_calls), batched_seconds = _best_of(3, batched)
+    benchmark.pedantic(batched, rounds=1, iterations=1)
+
+    assert batched_values == per_set_values  # bit-identical, not approx
+    assert batched_calls == len(candidate_sets)
+
+    speedup = per_set_seconds / batched_seconds
+    benchmark.extra_info["per_set_seconds"] = round(per_set_seconds, 4)
+    benchmark.extra_info["weighted_bitplane_seconds"] = round(batched_seconds, 4)
+    benchmark.extra_info["speedup"] = round(speedup, 2)
+    print(
+        f"\nweighted sweep of {len(candidate_sets)} sets: per-set-reachable "
+        f"{per_set_seconds:.3f}s, weighted bit-plane {batched_seconds:.3f}s "
+        f"({speedup:.1f}x)"
+    )
+    assert speedup >= 2.0, (
+        f"weighted bit-plane speedup {speedup:.2f}x below the 2x floor"
+    )
 
 
 def test_sharded_vs_serial_spread_many(benchmark):

@@ -20,8 +20,9 @@ Two interchangeable reachability engines sit behind the same API:
 
 * ``"csr"`` (default): the incrementally maintained delta-CSR engine of
   :mod:`repro.tdn.csr` — an immutable base snapshot plus O(1)-per-edge
-  overlay/tombstone deltas (no per-version rebuild), array-visited
-  frontier BFS, the same per-pair max-expiry horizon test.
+  overlay/tombstone deltas (no per-version rebuild), with every traversal
+  served by the shared array-level kernel (:mod:`repro.kernels`), the
+  same per-pair max-expiry horizon test.
 * ``"dict"``: the reference pure-Python BFS over the graph's dict-of-dict
   adjacency (:func:`repro.influence.reachability.reachable_set`).
 

@@ -19,6 +19,8 @@ tracker with it and the algorithms never know the difference.
 
 from __future__ import annotations
 
+import secrets
+import weakref
 from typing import (
     Callable,
     Dict,
@@ -41,6 +43,7 @@ from repro.influence.oracle import (
     replay_batch_protocol,
     resolve_executor,
 )
+from repro.kernels import dense_weight_sum
 from repro.influence.reachability import reachable_set
 from repro.tdn.graph import TDNGraph
 from repro.utils.counters import CallCounter
@@ -48,6 +51,16 @@ from repro.utils.counters import CallCounter
 Node = Hashable
 WeightSpec = Union[Dict[Node, float], Callable[[Node], float]]
 _CacheKey = Tuple[Optional[float], FrozenSet[Node]]
+
+
+def _release_published_weights(executor_ref, weights_key: str) -> None:
+    """GC/close hook: drop one oracle's weight segment from its executor."""
+    executor = executor_ref()
+    if executor is not None:
+        try:
+            executor.release_weights(weights_key)
+        except Exception:  # pragma: no cover - teardown is best effort
+            pass
 
 
 class WeightedInfluenceOracle:
@@ -78,10 +91,14 @@ class WeightedInfluenceOracle:
             clear.  See :mod:`repro.influence.oracle` for the contract.
         parallel: sharded evaluation over the CSR backend (``None``, a
             worker count, or a shared executor — the same contract as
-            :class:`InfluenceOracle`).  Workers return per-set reachable
-            *id sets* over the shared plane; weights are summed in this
-            process, so weight callables never cross a process boundary
-            and values stay bit-identical to serial evaluation.
+            :class:`InfluenceOracle`).  With mapping/default weights the
+            dense weight array is published into shared memory alongside
+            the CSR plane and workers return 64-wide *weight sums* folded
+            in their bit-plane sweeps; a weight callable instead makes
+            workers return per-set reachable id sets so the callable
+            never crosses a process boundary.  Either way values stay
+            bit-identical to serial evaluation (the kernel's canonical
+            ascending-id summation order).
 
     The interface matches :class:`InfluenceOracle` (``spread``,
     ``marginal_gain``, ``calls``), so it can be injected into any
@@ -127,6 +144,10 @@ class WeightedInfluenceOracle:
         self._weight_array = np.empty(0, dtype=np.float64)
         self._dense_weights = weights is None or not callable(weights)
         self._uniform_default = weights is None
+        # Stable per-oracle token for the executor's shared-memory weight
+        # publication (the dense array is append-only, so its length is
+        # its epoch — the executor republishes only when it grew).
+        self._weights_key = f"w{secrets.token_hex(4)}"
         if weights is None:
             self._weight_of: Callable[[Node], float] = lambda node: self._default
         elif callable(weights):
@@ -145,6 +166,32 @@ class WeightedInfluenceOracle:
             graph, max_cache_entries, memo_mode, cone_backend=backend
         )
         self._memo.executor = self._executor
+        self._weights_finalizer = None
+        self._arm_weights_finalizer()
+
+    def _arm_weights_finalizer(self) -> None:
+        """(Re-)register the weight-segment release hook.
+
+        Releases this oracle's published weight segment when the oracle
+        is closed or collected, so a shared long-lived executor never
+        accumulates one O(V) segment per short-lived oracle.  Re-armed
+        before every parallel publication because ``weakref.finalize`` is
+        one-shot: an oracle used again after :meth:`close` republishes,
+        and that republication must stay collectable too.  The finalizer
+        holds only a weak executor reference — it must neither keep the
+        pool alive nor resurrect this oracle.
+        """
+        if self._executor is None:
+            return
+        finalizer = self._weights_finalizer
+        if finalizer is not None and finalizer.alive:
+            return
+        self._weights_finalizer = weakref.finalize(
+            self,
+            _release_published_weights,
+            weakref.ref(self._executor),
+            self._weights_key,
+        )
 
     # ------------------------------------------------------------------
     @property
@@ -163,9 +210,13 @@ class WeightedInfluenceOracle:
         return self._executor.workers if self._executor is not None else 1
 
     def close(self) -> None:
-        """Release the worker pool if this oracle owns one (idempotent)."""
-        if self._owns_executor and self._executor is not None:
-            self._executor.close()
+        """Release the worker pool if this oracle owns one (idempotent),
+        and this oracle's published weight segment either way."""
+        if self._executor is not None:
+            if self._weights_finalizer is not None:
+                self._weights_finalizer()
+            if self._owns_executor:
+                self._executor.close()
 
     def sync_dirty(self):
         """Sync the memo table now; returns the dirty cone when one ran.
@@ -222,7 +273,14 @@ class WeightedInfluenceOracle:
         return ids, value
 
     def _weight_of_reached(self, reached) -> float:
-        """Total weight of a reached id set (dense gather when possible)."""
+        """Total weight of a reached id set (dense gather when possible).
+
+        Summation runs in the canonical ascending-id order of
+        :func:`repro.kernels.dense_weight_sum`, so the value is
+        bit-identical no matter where the reached set came from — a
+        serial BFS, the weighted bit-plane kernel, or a sorted id list
+        shipped back from a sharded worker.
+        """
         if not reached:
             return 0.0
         if self._uniform_default:
@@ -232,11 +290,10 @@ class WeightedInfluenceOracle:
             node_of_id = self.graph.node_of_id
             return sum(
                 self._checked_weight(node_of_id(reached_id))
-                for reached_id in reached
+                for reached_id in sorted(reached)
             )
         weights = self._weights_upto(self.graph.num_interned)
-        reached_ids = np.fromiter(reached, dtype=np.int64, count=len(reached))
-        return float(weights[reached_ids].sum())
+        return dense_weight_sum(weights, reached)
 
     def _csr_spread(
         self, key_nodes: FrozenSet[Node], min_expiry: Optional[float]
@@ -270,9 +327,11 @@ class WeightedInfluenceOracle:
         Same sequential-replay protocol as :meth:`InfluenceOracle.
         spread_many` — identical values, cache behavior and call counts
         as a loop of :meth:`spread` — but distinct misses are evaluated
-        together on the CSR backend: the engine (or, under ``parallel``,
-        the sharded worker pool) returns each miss's reachable id set and
-        the weights are summed here, so weight callables stay in-process.
+        together on the CSR backend through the *weighted bit-plane*
+        kernel: dense weights fold into the shared multi-source sweep (64
+        weighted evaluations per physical traversal, serial or sharded),
+        while weight callables keep the per-set reachable-id path so they
+        are only ever invoked in-process.
         """
         if self.backend == "dict":
             return [self.spread(nodes, min_expiry) for nodes in sets]
@@ -284,7 +343,17 @@ class WeightedInfluenceOracle:
     def _evaluate_batch(
         self, key_sets: Sequence[FrozenSet[Node]], min_expiry: Optional[float]
     ) -> List[float]:
-        """Evaluate distinct misses; reachable sets sharded when parallel."""
+        """Evaluate distinct misses via the weighted bit-plane kernel.
+
+        Dense weights (mapping / default) never materialize a reachable
+        id set per miss any more: the engine — or, under ``parallel``,
+        the sharded worker pool over the published weight segment — folds
+        the dense weight array directly into the shared bit-plane sweep,
+        64 weighted evaluations per physical traversal.  Uniform weights
+        ride the plain counted sweep (``count * default_weight``), and a
+        weight *callable* keeps the per-set reachable-id path so it is
+        only ever invoked in-process, for actually reached nodes.
+        """
         values: List[float] = [0.0] * len(key_sets)
         id_sets: List[List[int]] = []
         pending: List[int] = []
@@ -294,18 +363,48 @@ class WeightedInfluenceOracle:
             if ids:
                 pending.append(j)
                 id_sets.append(ids)
-        if id_sets:
-            if self._executor is not None:
-                reached_sets = self._executor.reachable_ids_many(
-                    self.graph, id_sets, min_expiry
+        if not id_sets:
+            return values
+        graph = self.graph
+        executor = self._executor
+        if not self._dense_weights:
+            # Callable weights stay in-process: workers return id sets.
+            if executor is not None:
+                reached_sets = executor.reachable_ids_many(
+                    graph, id_sets, min_expiry
                 )
             else:
-                engine = self.graph.csr()
+                engine = graph.csr()
                 reached_sets = [
                     engine.reachable_ids(ids, min_expiry) for ids in id_sets
                 ]
             for j, reached in zip(pending, reached_sets):
                 values[j] += self._weight_of_reached(reached)
+        elif self._uniform_default:
+            # No mapping at all: the counted sweep carries the value.
+            if executor is not None:
+                counts = executor.spread_counts(graph, id_sets, min_expiry)
+            else:
+                counts = graph.csr().spread_counts(id_sets, min_expiry)
+            for j, count in zip(pending, counts):
+                values[j] += self._default * count
+        else:
+            weights = self._weights_upto(graph.num_interned)
+            if executor is not None:
+                self._arm_weights_finalizer()
+                sums = executor.weighted_spread_sums(
+                    graph,
+                    id_sets,
+                    min_expiry,
+                    weights=weights,
+                    weights_key=self._weights_key,
+                )
+            else:
+                sums = graph.csr().weighted_spread_sums(
+                    id_sets, min_expiry, weights
+                )
+            for j, value in zip(pending, sums):
+                values[j] += value
         return values
 
     def marginal_gain(

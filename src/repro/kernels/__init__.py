@@ -1,0 +1,27 @@
+"""Shared array-level traversal kernels.
+
+One implementation of the time-decayed frontier sweep — forward level
+expansion, the 64-wide uint64 bit-plane multi-source sweep (counted and
+weighted), and the transpose helper behind reverse (ancestor) sweeps —
+that :class:`~repro.tdn.csr.CSRSnapshot`, :class:`~repro.tdn.csr.
+DeltaCSR` and the worker-side :class:`~repro.parallel.plane.PlaneEngine`
+all adapt over.  See :mod:`repro.kernels.traversal`.
+"""
+
+from repro.kernels.traversal import (
+    PLANE_WIDTH,
+    DictOverlay,
+    TraversalKernel,
+    build_transpose,
+    dense_weight_sum,
+    seed_range_error,
+)
+
+__all__ = [
+    "PLANE_WIDTH",
+    "DictOverlay",
+    "TraversalKernel",
+    "build_transpose",
+    "dense_weight_sum",
+    "seed_range_error",
+]

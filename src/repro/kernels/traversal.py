@@ -1,0 +1,547 @@
+"""The one array-level traversal kernel behind every engine.
+
+Every influence quantity the paper needs — the spread ``|R(S)|``, the
+changed-node set via reverse reachability, and weighted spread for
+ROI-style workloads — reduces to the same time-decayed frontier sweep
+over expiry-annotated CSR arrays.  Before this module the repo carried
+three hand-synced copies of that sweep (``CSRSnapshot``, ``DeltaCSR``
+and the worker-side ``PlaneEngine``); :class:`TraversalKernel` is the
+single shared implementation they now all adapt over, so sharded and
+serial physics *cannot* drift.
+
+A kernel instance is one *direction* of traversal, parameterized by
+
+* an ``(indptr, indices, expiries)`` CSR triple (base arrays may cover
+  fewer nodes than the live id space — ids past the base simply have an
+  empty base adjacency),
+* an optional **overlay** injection (:class:`DictOverlay`, or any object
+  with the same two-method protocol), through which :class:`~repro.tdn.
+  csr.DeltaCSR` plugs its O(1) arrival overlay into the loop without
+  forking it,
+* the effective horizon ``eff`` passed per query (``None`` = no filter;
+  engines that lazily tombstone resolve their ``t + 1`` clamp *before*
+  calling, which also makes worker-side sweeps pure functions of the
+  arrays), and
+* an optional **cutover resolver** for the adaptive scalar/vector
+  switch: below the resolved entry count the kernel walks plain Python
+  lists (numpy dispatch overhead dominates on tiny graphs), above it the
+  frontier expansion is vectorized.  ``None`` means always-vectorized
+  (the worker plane's historical behavior).  Both paths are
+  result-identical; the cutover can only ever cost time.
+
+Sweeps
+------
+:meth:`TraversalKernel.reachable_ids` / :meth:`~TraversalKernel.
+reachable_count` run the single-source frontier BFS with an epoch-stamped
+visited buffer (bumping the stamp is an O(1) clear).  :meth:`~
+TraversalKernel.spread_counts` is the multi-source **bit-plane** sweep:
+up to :data:`PLANE_WIDTH` seed sets are packed into uint64 visited-mask
+planes (bit *i* of ``masks[v]`` = "set *i* reaches *v*") and all planes
+propagate to fixpoint in one shared traversal.  :meth:`~TraversalKernel.
+weighted_spread_sums` rides the *same* fixpoint and folds a dense
+float64 node-weight array over each plane's reached ids — 64 weighted
+evaluations per physical traversal, in the canonical ascending-id
+summation order of :func:`dense_weight_sum` so serial, batched and
+sharded weighted values are bit-identical.
+
+Seed validation is unified here: every engine raises the same
+``IndexError`` message for an out-of-range seed id, on every path
+(scalar, vector, bit-plane), so callers can never observe which engine —
+or which traversal path — rejected their input.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Callable,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+import numpy as np
+
+__all__ = [
+    "PLANE_WIDTH",
+    "DictOverlay",
+    "TraversalKernel",
+    "build_transpose",
+    "dense_weight_sum",
+    "seed_range_error",
+]
+
+#: Seed sets packed per bit-plane traversal (uint64 mask width).
+PLANE_WIDTH = 64
+
+
+def seed_range_error(node_id: int, num_nodes: int) -> IndexError:
+    """The one out-of-range seed error every engine raises."""
+    return IndexError(f"seed id {int(node_id)} out of range [0, {num_nodes})")
+
+
+def dense_weight_sum(weights: np.ndarray, reached: Iterable[int]) -> float:
+    """Sum ``weights`` over a reached id collection, canonically ordered.
+
+    Ids are gathered in ascending order before summing, so the float64
+    accumulation is identical no matter how the reached set was produced
+    — a scalar DFS set, a vectorized frontier union, a bit-plane mask, or
+    a sorted list shipped back from a worker.  That canonical order is
+    what makes weighted values bit-identical across serial, batched and
+    sharded evaluation.
+    """
+    ids = np.fromiter(reached, dtype=np.int64)
+    if ids.size == 0:
+        return 0.0
+    ids.sort()
+    return float(weights[ids].sum())
+
+
+def build_transpose(
+    indptr: np.ndarray, indices: np.ndarray, expiries: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """The reverse CSR triple of a forward one (stable per-target order)."""
+    num_nodes = int(indptr.shape[0]) - 1
+    if indices.shape[0]:
+        order = np.argsort(indices, kind="stable")
+        counts = np.bincount(indices, minlength=num_nodes)
+        sources = np.repeat(
+            np.arange(num_nodes, dtype=np.int64), np.diff(indptr)
+        )
+        tindices = sources[order]
+        texpiries = expiries[order]
+    else:
+        counts = np.zeros(num_nodes, dtype=np.int64)
+        tindices = np.empty(0, dtype=np.int64)
+        texpiries = np.empty(0, dtype=np.float64)
+    tindptr = np.zeros(num_nodes + 1, dtype=np.int64)
+    np.cumsum(counts, out=tindptr[1:])
+    return tindptr, tindices, texpiries
+
+
+class DictOverlay:
+    """Adjacency overlay injected into kernel sweeps.
+
+    The standard adapter over :class:`~repro.tdn.csr.DeltaCSR`'s overlay
+    state: a dict ``node id -> [(neighbor, expiry), ...]`` plus a boolean
+    flag array marking which ids have entries (so the vectorized sweep
+    selects overlay nodes out of a frontier in one gather instead of one
+    dict probe per node).  Any object with the same two methods plugs in
+    — the kernel never looks past this protocol:
+
+    * ``select(frontier)`` — the subset of a frontier id array that has
+      overlay entries;
+    * ``entries(node_id)`` — that node's ``(neighbor, expiry)`` list, or
+      ``None``/empty when it has none.
+    """
+
+    __slots__ = ("entry_map", "flags")
+
+    def __init__(self, entry_map: dict, flags: np.ndarray) -> None:
+        self.entry_map = entry_map
+        self.flags = flags
+
+    def select(self, frontier: np.ndarray) -> np.ndarray:
+        return frontier[self.flags[frontier]]
+
+    def entries(self, node_id: int):
+        return self.entry_map.get(node_id)
+
+
+class TraversalKernel:
+    """One direction of time-decayed frontier sweeps over a CSR triple.
+
+    Engines own one kernel per direction (forward, and transpose-backed
+    reverse) and route every traversal through it; the kernel owns the
+    epoch-stamped visited workspace and the lazily built plain-list
+    mirror the scalar path walks.
+
+    Args:
+        indptr, indices, expiries: the CSR triple.  ``len(indptr) - 1``
+            may be smaller than ``num_nodes`` — ids past the base have an
+            empty base adjacency (the delta engine's overlay serves them).
+        num_nodes: the live id space (defaults to the base node count).
+        overlay: optional overlay injection (see :class:`DictOverlay`).
+        entry_count: adjacency entries the cutover weighs (base pairs
+            plus overlay entries); engines refresh it before queries.
+        limit_resolver: zero-arg callable returning the scalar/vector
+            cutover in force *now* (re-checked per query so a class-knob
+            monkeypatch takes effect immediately); ``None`` pins the
+            kernel to the vectorized path.
+    """
+
+    __slots__ = (
+        "indptr",
+        "indices",
+        "expiries",
+        "overlay",
+        "num_nodes",
+        "entry_count",
+        "limit_resolver",
+        "_visit",
+        "_stamp",
+        "_scalar",
+    )
+
+    def __init__(
+        self,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        expiries: np.ndarray,
+        *,
+        num_nodes: Optional[int] = None,
+        overlay=None,
+        entry_count: Optional[int] = None,
+        limit_resolver: Optional[Callable[[], int]] = None,
+    ) -> None:
+        self.indptr = indptr
+        self.indices = indices
+        self.expiries = expiries
+        self.overlay = overlay
+        base_nodes = int(indptr.shape[0]) - 1
+        self.num_nodes = base_nodes if num_nodes is None else num_nodes
+        self.entry_count = int(indices.shape[0]) if entry_count is None else entry_count
+        self.limit_resolver = limit_resolver
+        # Epoch-stamped visited buffer: visit[i] == _stamp means "seen in
+        # the current traversal"; bumping the stamp is an O(1) clear.
+        self._visit = np.zeros(self.num_nodes, dtype=np.int64)
+        self._stamp = 0
+        self._scalar = None  # lazily materialized plain-list mirror
+
+    # ------------------------------------------------------------------
+    # Workspace maintenance
+    # ------------------------------------------------------------------
+    def ensure_capacity(self, num_nodes: int) -> None:
+        """Grow the id space (and visited buffer) to ``num_nodes``."""
+        if num_nodes <= self.num_nodes:
+            return
+        grown = np.zeros(num_nodes, dtype=np.int64)
+        grown[: self._visit.shape[0]] = self._visit
+        self._visit = grown
+        self.num_nodes = num_nodes
+
+    def _use_scalar(self) -> bool:
+        resolver = self.limit_resolver
+        return resolver is not None and self.entry_count <= resolver()
+
+    def _scalar_view(self):
+        if self._scalar is None:
+            self._scalar = (
+                self.indptr.tolist(),
+                self.indices.tolist(),
+                self.expiries.tolist(),
+            )
+        return self._scalar
+
+    # ------------------------------------------------------------------
+    # Single/multi-source reachability
+    # ------------------------------------------------------------------
+    def reachable_ids(
+        self, seed_ids: Iterable[int], eff: Optional[float]
+    ) -> Set[int]:
+        """Distinct ids reachable from ``seed_ids`` (seeds included)."""
+        if self._use_scalar():
+            return self.reach_scalar(seed_ids, eff)
+        return self.reach_vector(seed_ids, eff)
+
+    def reachable_count(
+        self, seed_ids: Iterable[int], eff: Optional[float]
+    ) -> int:
+        """``len(reachable_ids(...))`` without materializing the set
+        on the vectorized path."""
+        if self._use_scalar():
+            return len(self.reach_scalar(seed_ids, eff))
+        frontier = self._seed_frontier(seed_ids)
+        if frontier is None:
+            return 0
+        count = int(frontier.size)
+        for frontier in self._frontiers(frontier, eff):
+            count += int(frontier.size)
+        return count
+
+    def reach_scalar(
+        self, seed_ids: Iterable[int], eff: Optional[float]
+    ) -> Set[int]:
+        """Plain-Python traversal (small-graph path; forced by tests and
+        the calibration probe)."""
+        indptr, indices, expiries = self._scalar_view()
+        overlay = self.overlay
+        base_nodes = len(indptr) - 1
+        num_nodes = self.num_nodes
+        visited: Set[int] = set()
+        stack: List[int] = []
+        for node_id in seed_ids:
+            if node_id < 0 or node_id >= num_nodes:
+                raise seed_range_error(node_id, num_nodes)
+            if node_id not in visited:
+                visited.add(node_id)
+                stack.append(node_id)
+        while stack:
+            node_id = stack.pop()
+            if node_id < base_nodes:
+                for slot in range(indptr[node_id], indptr[node_id + 1]):
+                    if eff is not None and expiries[slot] < eff:
+                        continue
+                    successor = indices[slot]
+                    if successor not in visited:
+                        visited.add(successor)
+                        stack.append(successor)
+            if overlay is not None:
+                entries = overlay.entries(node_id)
+                if entries:
+                    for successor, expiry in entries:
+                        if (eff is None or expiry >= eff) and (
+                            successor not in visited
+                        ):
+                            visited.add(successor)
+                            stack.append(successor)
+        return visited
+
+    def reach_vector(
+        self, seed_ids: Iterable[int], eff: Optional[float]
+    ) -> Set[int]:
+        """Vectorized frontier traversal (forced by the calibration probe)."""
+        frontier = self._seed_frontier(seed_ids)
+        if frontier is None:
+            return set()
+        reached = set(frontier.tolist())
+        for frontier in self._frontiers(frontier, eff):
+            reached.update(frontier.tolist())
+        return reached
+
+    # ------------------------------------------------------------------
+    # Bit-plane multi-source sweeps
+    # ------------------------------------------------------------------
+    def spread_counts(
+        self, id_sets: Sequence[Sequence[int]], eff: Optional[float]
+    ) -> List[int]:
+        """Per-set reachable counts for a whole batch of seed sets.
+
+        Semantically ``[self.reachable_count(s, eff) for s in id_sets]``;
+        up to :data:`PLANE_WIDTH` sets share each physical traversal.
+        Callers own per-set *accounting* — this only shares the physics.
+        """
+        if self._use_scalar():
+            return [len(self.reach_scalar(ids, eff)) for ids in id_sets]
+        results = [0] * len(id_sets)
+        for start in range(0, len(id_sets), PLANE_WIDTH):
+            chunk = id_sets[start : start + PLANE_WIDTH]
+            masks = self._plane_masks(chunk, eff)
+            if masks is None:
+                continue
+            reached = masks[masks != np.uint64(0)]
+            results[start : start + len(chunk)] = [
+                int(np.count_nonzero(reached & np.uint64(1 << plane)))
+                for plane in range(len(chunk))
+            ]
+        return results
+
+    def weighted_spread_sums(
+        self,
+        id_sets: Sequence[Sequence[int]],
+        eff: Optional[float],
+        weights: np.ndarray,
+    ) -> List[float]:
+        """Per-set reached-weight sums folded over the bit-plane sweep.
+
+        Semantically ``[dense_weight_sum(weights, self.reachable_ids(s,
+        eff)) for s in id_sets]`` — and bit-identical to it, because each
+        plane's reached ids are extracted in ascending order before the
+        float64 gather-sum — but 64 weighted evaluations share each
+        physical traversal instead of materializing one Python set per
+        set of seeds.
+        """
+        if self._use_scalar():
+            return [
+                dense_weight_sum(weights, self.reach_scalar(ids, eff))
+                for ids in id_sets
+            ]
+        results = [0.0] * len(id_sets)
+        for start in range(0, len(id_sets), PLANE_WIDTH):
+            chunk = id_sets[start : start + PLANE_WIDTH]
+            masks = self._plane_masks(chunk, eff)
+            if masks is None:
+                continue
+            reached_ids = np.flatnonzero(masks)
+            reached_masks = masks[reached_ids]
+            results[start : start + len(chunk)] = [
+                float(
+                    weights[
+                        reached_ids[
+                            (reached_masks & np.uint64(1 << plane))
+                            != np.uint64(0)
+                        ]
+                    ].sum()
+                )
+                for plane in range(len(chunk))
+            ]
+        return results
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _seed_frontier(
+        self, seed_ids: Iterable[int]
+    ) -> Optional[np.ndarray]:
+        """Deduplicated, validated, stamped seed frontier (None = empty)."""
+        frontier = np.unique(np.asarray(list(seed_ids), dtype=np.int64))
+        if frontier.size == 0:
+            return None
+        if frontier[0] < 0:
+            raise seed_range_error(frontier[0], self.num_nodes)
+        if frontier[-1] >= self.num_nodes:
+            raise seed_range_error(frontier[-1], self.num_nodes)
+        self._stamp += 1
+        self._visit[frontier] = self._stamp
+        return frontier
+
+    def _frontiers(self, frontier: np.ndarray, eff: Optional[float]):
+        """Yield successive stamped BFS frontiers over base plus overlay."""
+        indptr = self.indptr
+        indices = self.indices
+        expiries = self.expiries
+        overlay = self.overlay
+        base_nodes = indptr.shape[0] - 1
+        visit = self._visit
+        stamp = self._stamp
+        while frontier.size:
+            parts = []
+            in_base = (
+                frontier[frontier < base_nodes]
+                if base_nodes < self.num_nodes
+                else frontier
+            )
+            if in_base.size:
+                starts = indptr[in_base]
+                counts = indptr[in_base + 1] - starts
+                total = int(counts.sum())
+                if total:
+                    # Gather the concatenated adjacency slices of the
+                    # frontier: block i spans starts[i] .. starts[i]+counts[i].
+                    ends = np.cumsum(counts)
+                    slots = np.repeat(starts - ends + counts, counts)
+                    slots += np.arange(total)
+                    if eff is not None:
+                        slots = slots[expiries[slots] >= eff]
+                    neighbors = indices[slots]
+                    neighbors = neighbors[visit[neighbors] != stamp]
+                    if neighbors.size:
+                        parts.append(neighbors)
+            if overlay is not None:
+                overlay_nodes = overlay.select(frontier)
+                if overlay_nodes.size:
+                    extra = []
+                    for node_id in overlay_nodes.tolist():
+                        for successor, expiry in overlay.entries(node_id):
+                            if (eff is None or expiry >= eff) and visit[
+                                successor
+                            ] != stamp:
+                                extra.append(successor)
+                    if extra:
+                        parts.append(np.asarray(extra, dtype=np.int64))
+            if not parts:
+                return
+            frontier = np.unique(
+                np.concatenate(parts) if len(parts) > 1 else parts[0]
+            )
+            visit[frontier] = stamp
+            yield frontier
+
+    def _plane_masks(
+        self, chunk: Sequence[Sequence[int]], eff: Optional[float]
+    ) -> Optional[np.ndarray]:
+        """Run one shared fixpoint sweep for up to 64 seed sets.
+
+        Returns the final uint64 mask array (bit *i* of ``masks[v]`` =
+        "set *i* reaches *v*"), or ``None`` when every set was empty.
+        """
+        num_nodes = self.num_nodes
+        masks = np.zeros(num_nodes, dtype=np.uint64)
+        seed_parts = []
+        for plane, ids in enumerate(chunk):
+            seeds = np.asarray(list(ids), dtype=np.int64)
+            if seeds.size == 0:
+                continue
+            low = int(seeds.min())
+            if low < 0:
+                raise seed_range_error(low, num_nodes)
+            high = int(seeds.max())
+            if high >= num_nodes:
+                raise seed_range_error(high, num_nodes)
+            masks[seeds] |= np.uint64(1 << plane)
+            seed_parts.append(seeds)
+        if not seed_parts:
+            return None
+        indptr = self.indptr
+        indices = self.indices
+        expiries = self.expiries
+        overlay = self.overlay
+        base_nodes = indptr.shape[0] - 1
+        frontier = np.unique(np.concatenate(seed_parts))
+        while frontier.size:
+            changed_parts = []
+            in_base = (
+                frontier[frontier < base_nodes]
+                if base_nodes < num_nodes
+                else frontier
+            )
+            if in_base.size:
+                starts = indptr[in_base]
+                counts = indptr[in_base + 1] - starts
+                nonzero = counts > 0
+                in_base = in_base[nonzero]
+                starts = starts[nonzero]
+                counts = counts[nonzero]
+                total = int(counts.sum())
+                if total:
+                    ends = np.cumsum(counts)
+                    slots = np.repeat(starts - ends + counts, counts)
+                    slots += np.arange(total)
+                    sources = np.repeat(in_base, counts)
+                    if eff is not None:
+                        keep = expiries[slots] >= eff
+                        slots = slots[keep]
+                        sources = sources[keep]
+                    if slots.size:
+                        targets = indices[slots]
+                        contrib = masks[sources]
+                        before = masks[targets]
+                        np.bitwise_or.at(masks, targets, contrib)
+                        changed = targets[masks[targets] != before]
+                        if changed.size:
+                            changed_parts.append(changed)
+            if overlay is not None:
+                overlay_nodes = overlay.select(frontier)
+                if overlay_nodes.size:
+                    extra = []
+                    for node_id in overlay_nodes.tolist():
+                        node_mask = int(masks[node_id])
+                        for successor, expiry in overlay.entries(node_id):
+                            if eff is not None and expiry < eff:
+                                continue
+                            old = int(masks[successor])
+                            new = old | node_mask
+                            if new != old:
+                                masks[successor] = new
+                                extra.append(successor)
+                    if extra:
+                        changed_parts.append(
+                            np.asarray(extra, dtype=np.int64)
+                        )
+            if not changed_parts:
+                break
+            frontier = np.unique(
+                np.concatenate(changed_parts)
+                if len(changed_parts) > 1
+                else changed_parts[0]
+            )
+        return masks
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TraversalKernel(nodes={self.num_nodes}, "
+            f"entries={self.entry_count}, "
+            f"overlay={self.overlay is not None})"
+        )

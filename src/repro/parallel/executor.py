@@ -1,9 +1,11 @@
 """Sharded oracle executor: a persistent worker pool over the CSR plane.
 
 :class:`ShardedOracleExecutor` partitions the oracle's batched sweeps —
-``spread_many`` bit-plane batches, per-set reachable-id evaluations for
-the weighted oracle, and the ``ancestor_ids`` / ``touched_cone_ids``
-reverse sweeps behind memo eviction — across a pool of long-lived worker
+``spread_many`` bit-plane batches, the weighted oracle's 64-wide weighted
+bit-plane sums (dense weights ride a published shared-memory weight
+array; weight *callables* stay in-process via per-set reachable-id
+evaluations), and the ``ancestor_ids`` / ``touched_cone_ids`` reverse
+sweeps behind memo eviction — across a pool of long-lived worker
 processes that all map the same shared-memory CSR plane
 (:mod:`repro.parallel.plane`).
 
@@ -51,7 +53,11 @@ import weakref
 from typing import Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.parallel import worker as worker_mod
-from repro.parallel.plane import SharedCSRPlane, shared_memory_available
+from repro.parallel.plane import (
+    SharedCSRPlane,
+    SharedWeights,
+    shared_memory_available,
+)
 
 __all__ = ["ShardedOracleExecutor", "shard_slices", "merge_shard_counts"]
 
@@ -154,6 +160,15 @@ class ShardedOracleExecutor:
         self._mp_method = mp_context or os.environ.get("REPRO_MP_CONTEXT", "spawn")
         self._plane_prefix = plane_prefix
         self._plane: Optional[SharedCSRPlane] = None
+        # Published weight arrays, keyed by the caller's weights key.  The
+        # dict object itself is shared with the GC finalizer, so segments
+        # registered after pool startup still get unlinked on teardown.
+        # Segment names are derived from a short monotone sequence, not
+        # from key + length: macOS caps POSIX shm names at 31 characters,
+        # which a '{prefix}-{key}-{length}' name would blow through.
+        self._weights: dict = {}
+        self._weights_seq = 0
+        self._weights_disabled: Optional[str] = None
         self._procs: List = []
         self._task_queue = None
         self._result_queue = None
@@ -223,6 +238,7 @@ class ShardedOracleExecutor:
             self._task_queue,
             list(self._procs),
             self.workers,
+            self._weights,
         )
         return True
 
@@ -238,11 +254,14 @@ class ShardedOracleExecutor:
 
     def _shutdown_pool(self) -> None:
         self._finalizer.detach()
-        _teardown(self._plane, self._task_queue, self._procs, self.workers)
+        _teardown(
+            self._plane, self._task_queue, self._procs, self.workers, self._weights
+        )
         self._plane = None
         self._task_queue = None
         self._result_queue = None
         self._procs = []
+        self._weights = {}
         self._published_graph = None
         self._published_version = None
         self._finalizer = weakref.finalize(self, _noop)
@@ -392,6 +411,99 @@ class ShardedOracleExecutor:
         engine = graph.csr()
         return [engine.reachable_ids(ids, min_expiry) for ids in id_sets]
 
+    def _ensure_weights(self, weights_key: str, weights) -> Optional[SharedWeights]:
+        """Publish ``weights`` under ``weights_key`` if the copy is stale.
+
+        The dense weight array is append-only (its prefix never changes),
+        so its length *is* its epoch: republication happens only when the
+        array grew since the last publish for this key.  A publish
+        failure disables only the *weighted* parallel path (one warning;
+        callers evaluate serially, never with partial state) — unweighted
+        sharding keeps working, so a host quirk in one segment family
+        cannot poison the whole executor.
+        """
+        if self._weights_disabled is not None:
+            return None
+        record = self._weights.get(weights_key)
+        if record is not None and record.length == int(weights.shape[0]):
+            return record
+        self._weights_seq += 1
+        name = f"{self._plane.prefix}-w{self._weights_seq}"
+        try:
+            fresh = SharedWeights(name, weights)
+        except OSError as exc:
+            self._weights_disabled = str(exc)
+            warnings.warn(
+                f"weights publish failed ({exc}); weighted evaluation "
+                "running serially (unweighted sharding unaffected)",
+                RuntimeWarning,
+                stacklevel=4,
+            )
+            return None
+        if record is not None:
+            record.close()
+        self._weights[weights_key] = fresh
+        return fresh
+
+    def release_weights(self, weights_key: str) -> None:
+        """Unlink the weight segment published under ``weights_key``.
+
+        Called by a :class:`~repro.influence.weighted.
+        WeightedInfluenceOracle` when it is closed or collected, so a
+        long-lived shared executor serving many short-lived weighted
+        oracles does not accumulate one O(V) segment per oracle until
+        teardown.  Safe to call for keys never published (no-op); a
+        worker still holding the stale mapping keeps it valid until it
+        re-attaches, exactly as with superseded plane generations.
+        """
+        record = self._weights.pop(weights_key, None)
+        if record is not None:
+            record.close()
+
+    def weighted_spread_sums(
+        self,
+        graph,
+        id_sets: Sequence[Sequence[int]],
+        min_expiry: Optional[float] = None,
+        *,
+        weights,
+        weights_key: str,
+    ) -> List[float]:
+        """Per-set reached-weight sums; sharded when profitable, exact always.
+
+        ``weights`` is the oracle's dense id-indexed float64 array and
+        ``weights_key`` a stable per-oracle token; the array is published
+        into shared memory once per weights epoch (see
+        :meth:`_ensure_weights`) and workers fold it over their shard's
+        bit-plane sweeps, returning 64-wide weight sums — per-set float
+        lists — instead of whole reachable-id sets.  The kernel's
+        canonical ascending-id summation makes shard results bit-identical
+        to the serial engine's.
+        """
+        if not id_sets:
+            return []
+        if self._parallel_ready(graph, len(id_sets)):
+            record = self._ensure_weights(weights_key, weights)
+            if record is not None:
+                eff = self._effective_horizon(graph, min_expiry)
+                slices = shard_slices(len(id_sets), self.workers)
+                shards = [
+                    (
+                        (
+                            list(id_sets[start:stop]),
+                            weights_key,
+                            record.name,
+                            record.length,
+                        ),
+                        eff,
+                    )
+                    for start, stop in slices
+                ]
+                results = self._dispatch(worker_mod.OP_WSPREAD, shards)
+                if results is not None:
+                    return merge_shard_counts(slices, results, len(id_sets))
+        return graph.csr().weighted_spread_sums(id_sets, min_expiry, weights)
+
     def ancestor_ids(
         self,
         graph,
@@ -429,7 +541,7 @@ def _noop() -> None:
     pass
 
 
-def _teardown(plane, task_queue, procs, workers) -> None:
+def _teardown(plane, task_queue, procs, workers, weight_segments=None) -> None:
     """Best-effort pool shutdown shared by close() and the GC finalizer."""
     if task_queue is not None:
         for _ in range(max(workers, len(procs))):
@@ -449,5 +561,9 @@ def _teardown(plane, task_queue, procs, workers) -> None:
             task_queue.join_thread()
         except Exception:  # pragma: no cover
             pass
+    if weight_segments:
+        for record in list(weight_segments.values()):
+            record.close()
+        weight_segments.clear()
     if plane is not None:
         plane.close()

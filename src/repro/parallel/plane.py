@@ -32,11 +32,15 @@ worker holding the previous generation finishes its task unharmed (the
 executor's synchronous dispatch means this never happens in practice).
 
 :class:`PlaneEngine` is the worker-side query engine over the mapped
-arrays: forward bit-plane spread counts, reachable-id sets and the
-transpose-backed ancestor sweep, all bit-identical to the serial
-:class:`~repro.tdn.csr.DeltaCSR` results on the same graph state at the
-same effective horizon (the owner resolves the ``t + 1`` horizon clamp
-before dispatch, so workers never need the clock).
+arrays: forward bit-plane spread counts (counted and weighted),
+reachable-id sets and the transpose-backed ancestor sweep, all
+bit-identical to the serial :class:`~repro.tdn.csr.DeltaCSR` results on
+the same graph state at the same effective horizon (the owner resolves
+the ``t + 1`` horizon clamp before dispatch, so workers never need the
+clock).  The engine carries no traversal loop of its own — it adapts the
+same :class:`repro.kernels.TraversalKernel` the serial engines run, over
+the published flat arrays minus the (empty) overlay, so sharded and
+serial physics are one code path rather than a hand-synced convention.
 """
 
 from __future__ import annotations
@@ -46,10 +50,14 @@ from typing import List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
+from repro.kernels import PLANE_WIDTH, TraversalKernel, build_transpose
+
 __all__ = [
     "PlaneEngine",
     "SharedCSRPlane",
+    "SharedWeights",
     "attach_plane_engine",
+    "attach_weights",
     "shared_memory_available",
 ]
 
@@ -91,7 +99,10 @@ class PlaneEngine:
     no clock: callers pass the *effective* horizon (already clamped to
     ``t + 1`` by the owner), which makes every query a pure function of
     the arrays and keeps worker results bit-identical to the serial
-    engine's.
+    engine's.  Both directions are thin adapters over the shared
+    :class:`~repro.kernels.TraversalKernel` (always on its vectorized
+    path — workers never pay the calibration probe); the reverse kernel
+    is built lazily, once per attached generation.
     """
 
     __slots__ = (
@@ -100,16 +111,14 @@ class PlaneEngine:
         "indptr",
         "indices",
         "expiries",
-        "_visit",
-        "_stamp",
-        "_tindptr",
-        "_tindices",
-        "_texpiries",
+        "_fwd",
+        "_rev",
     )
 
-    #: Candidate sets packed per bit-plane sweep (uint64 mask width);
-    #: mirrors :attr:`repro.tdn.csr.DeltaCSR.PLANE_WIDTH`.
-    PLANE_WIDTH = 64
+    #: Candidate sets packed per bit-plane sweep — the kernel's uint64
+    #: mask width, re-exported from the single source of truth
+    #: (:data:`repro.kernels.PLANE_WIDTH`; fixed, not an override knob).
+    PLANE_WIDTH = PLANE_WIDTH
 
     def __init__(
         self, indptr: np.ndarray, indices: np.ndarray, expiries: np.ndarray
@@ -119,91 +128,26 @@ class PlaneEngine:
         self.indptr = indptr
         self.indices = indices
         self.expiries = expiries
-        self._visit = np.zeros(self.num_nodes, dtype=np.int64)
-        self._stamp = 0
-        self._tindptr: Optional[np.ndarray] = None
-        self._tindices: Optional[np.ndarray] = None
-        self._texpiries: Optional[np.ndarray] = None
+        self._fwd = TraversalKernel(indptr, indices, expiries)
+        self._rev: Optional[TraversalKernel] = None
 
-    # ------------------------------------------------------------------
-    def _seed_frontier(self, ids: Sequence[int]) -> Optional[np.ndarray]:
-        frontier = np.unique(np.asarray(list(ids), dtype=np.int64))
-        if frontier.size == 0:
-            return None
-        if frontier[0] < 0 or frontier[-1] >= self.num_nodes:
-            raise IndexError(
-                f"source id out of range [0, {self.num_nodes}) in {frontier}"
+    def _reverse_kernel(self) -> TraversalKernel:
+        """Lazily build the transpose kernel (once per attached generation)."""
+        if self._rev is None:
+            tindptr, tindices, texpiries = build_transpose(
+                self.indptr, self.indices, self.expiries
             )
-        self._stamp += 1
-        self._visit[frontier] = self._stamp
-        return frontier
-
-    def _expand(self, frontier: np.ndarray, eff: Optional[float], reverse: bool):
-        """Yield successive stamped BFS frontiers (same sweep as CSRSnapshot)."""
-        if reverse:
-            indptr, indices, expiries = self._transpose_arrays()
-        else:
-            indptr, indices, expiries = self.indptr, self.indices, self.expiries
-        visit = self._visit
-        stamp = self._stamp
-        while frontier.size:
-            starts = indptr[frontier]
-            counts = indptr[frontier + 1] - starts
-            total = int(counts.sum())
-            if total == 0:
-                return
-            ends = np.cumsum(counts)
-            slots = np.repeat(starts - ends + counts, counts) + np.arange(total)
-            if eff is not None:
-                slots = slots[expiries[slots] >= eff]
-            neighbors = indices[slots]
-            neighbors = neighbors[visit[neighbors] != stamp]
-            if neighbors.size == 0:
-                return
-            frontier = np.unique(neighbors)
-            visit[frontier] = stamp
-            yield frontier
-
-    def _transpose_arrays(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """Lazily build the transpose (once per attached generation)."""
-        if self._tindptr is None:
-            n = self.num_nodes
-            if self.num_pairs:
-                order = np.argsort(self.indices, kind="stable")
-                counts = np.bincount(self.indices, minlength=n)
-                sources = np.repeat(
-                    np.arange(n, dtype=np.int64), np.diff(self.indptr)
-                )
-                self._tindices = sources[order]
-                self._texpiries = self.expiries[order]
-            else:
-                counts = np.zeros(n, dtype=np.int64)
-                self._tindices = np.empty(0, dtype=np.int64)
-                self._texpiries = np.empty(0, dtype=np.float64)
-            self._tindptr = np.zeros(n + 1, dtype=np.int64)
-            np.cumsum(counts, out=self._tindptr[1:])
-        return self._tindptr, self._tindices, self._texpiries
+            self._rev = TraversalKernel(tindptr, tindices, texpiries)
+        return self._rev
 
     # ------------------------------------------------------------------
     def reachable_ids(self, ids: Sequence[int], eff: Optional[float]) -> Set[int]:
         """Forward reachable id set at the effective horizon."""
-        frontier = self._seed_frontier(ids)
-        if frontier is None:
-            return set()
-        reached = set(frontier.tolist())
-        for frontier in self._expand(frontier, eff, reverse=False):
-            reached.update(frontier.tolist())
-        return reached
+        return self._fwd.reachable_ids(ids, eff)
 
     def ancestor_ids(self, ids: Sequence[int], eff: Optional[float]) -> Set[int]:
         """Transpose-backed reverse reachable id set (seeds included)."""
-        frontier = self._seed_frontier(ids)
-        if frontier is None:
-            return set()
-        reached = set(frontier.tolist())
-        for frontier in self._expand(frontier, eff, reverse=True):
-            reached.update(frontier.tolist())
-        return reached
+        return self._reverse_kernel().reachable_ids(ids, eff)
 
     def spread_counts(
         self, id_sets: Sequence[Sequence[int]], eff: Optional[float]
@@ -213,68 +157,25 @@ class PlaneEngine:
         Semantically ``[len(self.reachable_ids(s, eff)) for s in
         id_sets]``; up to :attr:`PLANE_WIDTH` sets share each physical
         traversal, exactly as in :meth:`repro.tdn.csr.DeltaCSR.
-        spread_counts` minus the (empty) overlay.
+        spread_counts` minus the (empty) overlay — it *is* the same
+        kernel code.
         """
-        results = [0] * len(id_sets)
-        width = self.PLANE_WIDTH
-        for chunk_start in range(0, len(id_sets), width):
-            chunk = id_sets[chunk_start : chunk_start + width]
-            counts = self._bitplane_counts(chunk, eff)
-            results[chunk_start : chunk_start + len(chunk)] = counts
-        return results
+        return self._fwd.spread_counts(id_sets, eff)
 
-    def _bitplane_counts(
-        self, chunk: Sequence[Sequence[int]], eff: Optional[float]
-    ) -> List[int]:
-        num_nodes = self.num_nodes
-        masks = np.zeros(num_nodes, dtype=np.uint64)
-        seed_parts = []
-        for plane, ids in enumerate(chunk):
-            seeds = np.asarray(list(ids), dtype=np.int64)
-            if seeds.size == 0:
-                continue
-            if seeds.min() < 0 or seeds.max() >= num_nodes:
-                raise IndexError(
-                    f"source id out of range [0, {num_nodes}) in {seeds}"
-                )
-            masks[seeds] |= np.uint64(1 << plane)
-            seed_parts.append(seeds)
-        if not seed_parts:
-            return [0] * len(chunk)
-        indptr, indices, expiries = self.indptr, self.indices, self.expiries
-        frontier = np.unique(np.concatenate(seed_parts))
-        while frontier.size:
-            starts = indptr[frontier]
-            counts = indptr[frontier + 1] - starts
-            nonzero = counts > 0
-            frontier = frontier[nonzero]
-            starts = starts[nonzero]
-            counts = counts[nonzero]
-            total = int(counts.sum())
-            if not total:
-                break
-            ends = np.cumsum(counts)
-            slots = np.repeat(starts - ends + counts, counts) + np.arange(total)
-            sources = np.repeat(frontier, counts)
-            if eff is not None:
-                keep = expiries[slots] >= eff
-                slots = slots[keep]
-                sources = sources[keep]
-            if not slots.size:
-                break
-            targets = indices[slots]
-            contrib = masks[sources]
-            before = masks[targets]
-            np.bitwise_or.at(masks, targets, contrib)
-            changed = targets[masks[targets] != before]
-            if not changed.size:
-                break
-            frontier = np.unique(changed)
-        reached = masks[masks != np.uint64(0)]
-        return [
-            int(np.count_nonzero(reached & np.uint64(1 << plane)))
-            for plane in range(len(chunk))
-        ]
+    def weighted_spread_sums(
+        self,
+        id_sets: Sequence[Sequence[int]],
+        eff: Optional[float],
+        weights: np.ndarray,
+    ) -> List[float]:
+        """Per-set reached-weight sums via the weighted bit-plane sweep.
+
+        ``weights`` is the dense id-indexed float64 array the owner
+        published alongside the plane; sums fold in the kernel's
+        canonical ascending-id order, so worker results are bit-identical
+        to the serial engine's.
+        """
+        return self._fwd.weighted_spread_sums(id_sets, eff, weights)
 
 
 class SharedCSRPlane:
@@ -381,6 +282,78 @@ class SharedCSRPlane:
             self.close()
         except Exception:
             pass
+
+
+class SharedWeights:
+    """Owner-side publication of one dense float64 weight array.
+
+    The weighted bit-plane sweep needs the oracle's id-indexed node
+    weights worker-side; shipping the array in every task message would
+    cost O(V) serialization per shard.  Instead the executor publishes it
+    once per *weights epoch* (the array is append-only — it grows when
+    new nodes are interned, its prefix never changes — so the epoch is
+    simply its length) into one named segment, and tasks carry only the
+    segment name.  The owner is the sole unlink authority, exactly as for
+    the plane's data segments.
+    """
+
+    __slots__ = ("name", "length", "_segment", "closed")
+
+    def __init__(self, name: str, weights: np.ndarray) -> None:
+        shm = _shm_module()
+        self.name = name
+        self.length = int(weights.shape[0])
+        self._segment = shm.SharedMemory(
+            create=True, name=name, size=max(weights.nbytes, 8)
+        )
+        view = np.ndarray(
+            (self.length,), dtype=np.float64, buffer=self._segment.buf
+        )
+        view[:] = weights
+        self.closed = False
+
+    def close(self) -> None:
+        """Unlink the segment (idempotent)."""
+        if self.closed:
+            return
+        self.closed = True
+        self._segment.close()
+        try:
+            self._segment.unlink()
+        except OSError:  # pragma: no cover - already gone
+            pass
+
+    def __del__(self):  # pragma: no cover - belt and braces
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+class _WeightsAttachment:
+    """Worker-side mapping of one published weights segment."""
+
+    __slots__ = ("name", "weights", "_segment")
+
+    def __init__(self, name: str, length: int) -> None:
+        shm = _shm_module()
+        self.name = name
+        self._segment = shm.SharedMemory(name=name)
+        self.weights = np.ndarray(
+            (length,), dtype=np.float64, buffer=self._segment.buf
+        )
+
+    def detach(self) -> None:
+        self.weights = None
+        try:
+            self._segment.close()
+        except OSError:  # pragma: no cover
+            pass
+
+
+def attach_weights(name: str, length: int) -> _WeightsAttachment:
+    """Attach a published weights segment by name (worker side)."""
+    return _WeightsAttachment(name, length)
 
 
 class _Attachment:

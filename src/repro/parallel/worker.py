@@ -6,7 +6,11 @@ plane, push the result.  Task messages are tiny (op name, request id,
 shard index, plane generation, id lists, horizon) — the graph itself never
 crosses the pipe; workers map the published plane segments directly
 (:func:`repro.parallel.plane.attach_plane_engine`) and cache the mapping
-until the owner publishes a newer generation.
+until the owner publishes a newer generation.  Weighted sweeps likewise
+map the owner's published weight segment by name
+(:func:`repro.parallel.plane.attach_weights`, cached per weights key) and
+return 64-wide per-set weight sums instead of shipping reachable-id sets
+back through the pipe.
 
 Every result is tagged with the request id and shard index so the owner
 can splice shard results back into submission order, and every failure is
@@ -24,6 +28,7 @@ __all__ = ["worker_main"]
 OP_SPREAD = "spread"
 OP_REACH = "reach"
 OP_ANCESTORS = "ancestors"
+OP_WSPREAD = "wspread"
 OP_PING = "ping"
 OP_STOP = "stop"
 
@@ -34,12 +39,20 @@ def worker_main(task_queue, result_queue, prefix: str) -> None:
     Args:
         task_queue: multiprocessing queue of task tuples
             ``(op, request_id, shard_index, generation, payload, eff)``.
+            For :data:`OP_WSPREAD` the payload is ``(id_sets, weights_key,
+            weights_name, weights_len)``; for the other sweeps it is the
+            id list(s) directly.
         result_queue: queue of ``(request_id, shard_index, outcome)``
             tuples where ``outcome`` is ``("ok", value)`` or
             ``("error", message)``.
         prefix: the shared plane's segment-name prefix.
     """
     attachment = None  # current generation's mapping
+    weight_maps: dict = {}  # weights_key -> _WeightsAttachment
+    # A worker only ever needs the keys of currently-live oracles; cap
+    # the cache so keys of closed/collected oracles (whose segments the
+    # owner already released) cannot accumulate mappings forever.
+    max_weight_maps = 8
 
     def engine_for(generation: int):
         nonlocal attachment
@@ -52,6 +65,20 @@ def worker_main(task_queue, result_queue, prefix: str) -> None:
             attachment = attach_plane_engine(prefix, generation)
         return attachment.engine
 
+    def weights_for(key: str, name: str, length: int):
+        cached = weight_maps.get(key)
+        if cached is None or cached.name != name:
+            from repro.parallel.plane import attach_weights
+
+            if cached is not None:
+                cached.detach()
+                del weight_maps[key]
+            while len(weight_maps) >= max_weight_maps:
+                stale_key = next(iter(weight_maps))  # oldest insertion
+                weight_maps.pop(stale_key).detach()
+            weight_maps[key] = cached = attach_weights(name, length)
+        return cached.weights
+
     while True:
         task = task_queue.get()
         op = task[0]
@@ -63,7 +90,7 @@ def worker_main(task_queue, result_queue, prefix: str) -> None:
         _, request_id, shard_index, generation, payload, eff = task
         try:
             engine = engine_for(generation)
-            value = _run(engine, op, payload, eff)
+            value = _run(engine, op, payload, eff, weights_for)
             result_queue.put((request_id, shard_index, ("ok", value)))
         except BaseException as exc:  # report, never crash the loop
             result_queue.put(
@@ -71,9 +98,11 @@ def worker_main(task_queue, result_queue, prefix: str) -> None:
             )
     if attachment is not None:
         attachment.detach()
+    for cached in weight_maps.values():
+        cached.detach()
 
 
-def _run(engine, op: str, payload, eff: Optional[float]):
+def _run(engine, op: str, payload, eff: Optional[float], weights_for):
     if op == OP_SPREAD:
         return engine.spread_counts(payload, eff)
     if op == OP_REACH:
@@ -81,4 +110,8 @@ def _run(engine, op: str, payload, eff: Optional[float]):
         return [sorted(engine.reachable_ids(ids, eff)) for ids in payload]
     if op == OP_ANCESTORS:
         return sorted(engine.ancestor_ids(payload, eff))
+    if op == OP_WSPREAD:
+        id_sets, weights_key, weights_name, weights_len = payload
+        weights = weights_for(weights_key, weights_name, weights_len)
+        return engine.weighted_spread_sums(id_sets, eff, weights)
     raise ValueError(f"unknown worker op {op!r}")

@@ -41,29 +41,19 @@ O(V + P), per step.
 
 Traversals
 ----------
-Forward reachability (:meth:`DeltaCSR.reachable_count` /
-:meth:`~DeltaCSR.reachable_ids`) and the transpose-backed reverse sweep
-(:meth:`DeltaCSR.ancestor_ids`, behind ``changed_nodes``) run an
-array-visited frontier BFS over base-plus-overlay.  The visited buffer uses
-an epoch *stamp* instead of a boolean array so repeated traversals do not
-pay an O(V) clear each.
-
-:meth:`DeltaCSR.spread_counts` is the multi-source **bit-plane** engine: up
-to 64 candidate sets are packed into uint64 visited-mask planes (bit *i* of
-``masks[v]`` means "set *i* reaches *v*") and all planes propagate to
-fixpoint in one shared traversal, so a SIEVEADN singleton sweep over a
-candidate batch costs one multi-BFS instead of |candidates| BFSes.  Oracle
-*call accounting is unchanged* — counting stays per-set in the oracle, only
-the physical traversal is shared.
-
-.. warning::
-   :class:`repro.parallel.plane.PlaneEngine` mirrors these traversal
-   kernels (frontier expansion, bit-plane sweep, lazy transpose) over the
-   published flat arrays minus the overlay — the sharded executor's
-   bit-for-bit guarantee rests on the two staying in lockstep.  Any
-   semantic change to a sweep here must be applied there too; the
-   parallel equivalence suite and ``tests/property/test_shard_merge.py``
-   are the tripwires.
+Neither engine carries a frontier or bit-plane loop of its own any more:
+every sweep — forward reachability, the transpose-backed reverse
+(ancestor) sweep behind ``changed_nodes``, the 64-wide bit-plane
+``spread_counts``, and the weighted bit-plane ``weighted_spread_sums`` —
+routes through the shared :class:`repro.kernels.TraversalKernel`.
+:class:`CSRSnapshot` adapts one forward kernel over its arrays;
+:class:`DeltaCSR` adapts one kernel per direction, injecting its arrival
+overlay through the kernel's overlay protocol (:class:`repro.kernels.
+DictOverlay`) and resolving the ``t + 1`` horizon clamp before every
+call.  The worker-side :class:`repro.parallel.plane.PlaneEngine` adapts
+the *same* kernel over the published flat arrays, which is what makes
+the sharded executor's bit-for-bit guarantee structural rather than a
+hand-synced convention.
 """
 
 from __future__ import annotations
@@ -73,6 +63,13 @@ import time
 from typing import Iterable, List, Optional, Sequence, Set
 
 import numpy as np
+
+from repro.kernels import (
+    PLANE_WIDTH,
+    DictOverlay,
+    TraversalKernel,
+    build_transpose,
+)
 
 __all__ = ["CSRSnapshot", "DeltaCSR", "calibrate_scalar_pair_limit"]
 
@@ -117,10 +114,10 @@ def calibrate_scalar_pair_limit(force: bool = False) -> int:
     """Measure where vectorized traversal starts beating the scalar loop.
 
     Runs once per process (cached; ``force=True`` re-measures): for
-    increasing probe sizes, a full-reach sweep is timed on both paths of
-    an otherwise identical snapshot, and the cutover is placed at the
-    midpoint below the first size the vector path wins.  The result is
-    clamped to a plausible band and falls back to the historical 2048
+    increasing probe sizes, a full-reach sweep is timed on both of the
+    kernel's paths over identical arrays, and the cutover is placed at
+    the midpoint below the first size the vector path wins.  The result
+    is clamped to a plausible band and falls back to the historical 2048
     constant if the probe misbehaves — both paths are result-identical,
     so a miscalibrated cutover can only ever cost time, never change a
     value.
@@ -141,13 +138,10 @@ def calibrate_scalar_pair_limit(force: bool = False) -> int:
     try:
         for num_pairs in _PROBE_SIZES:
             num_nodes, indptr, indices, expiries = _probe_arrays(num_pairs)
-            probe = CSRSnapshot(
-                num_nodes, indptr, indices, expiries, version=0,
-                scalar_pair_limit=num_pairs + 1,
-            )
+            probe = TraversalKernel(indptr, indices, expiries)
             seeds = list(range(min(4, num_nodes)))
-            scalar_s = best_of(3, lambda: probe._scalar_reach(seeds, None))
-            vector_s = best_of(3, lambda: _vector_reach(probe, seeds))
+            scalar_s = best_of(3, lambda: probe.reach_scalar(seeds, None))
+            vector_s = best_of(3, lambda: probe.reach_vector(seeds, None))
             if vector_s <= scalar_s:
                 limit = max(num_pairs // 2, _PROBE_SIZES[0] // 2)
                 break
@@ -156,17 +150,6 @@ def calibrate_scalar_pair_limit(force: bool = False) -> int:
     lo, hi = _LIMIT_BOUNDS
     _calibrated_limit = min(max(limit, lo), hi)
     return _calibrated_limit
-
-
-def _vector_reach(snapshot: "CSRSnapshot", seeds) -> int:
-    """Force the vectorized sweep regardless of the snapshot's cutover."""
-    frontier = snapshot._seed_frontier(seeds)
-    if frontier is None:
-        return 0
-    count = int(frontier.size)
-    for frontier in snapshot._expand_levels(frontier, None):
-        count += int(frontier.size)
-    return count
 
 
 def resolve_scalar_pair_limit(override: Optional[int] = None) -> int:
@@ -202,7 +185,8 @@ class CSRSnapshot:
     adjacency slice is simply empty), so id-keyed callers never need to
     translate between id spaces across versions.  In production the
     snapshot is the *base layer* of :class:`DeltaCSR`; standalone use
-    (tests, offline analysis) queries it directly.
+    (tests, offline analysis) queries it directly, as a thin adapter over
+    one forward :class:`~repro.kernels.TraversalKernel`.
     """
 
     __slots__ = (
@@ -213,9 +197,7 @@ class CSRSnapshot:
         "expiries",
         "version",
         "scalar_pair_limit",
-        "_visit",
-        "_stamp",
-        "_scalar",
+        "_kernel",
     )
 
     #: Below this many alive pairs, traversal walks the flat arrays with a
@@ -247,11 +229,14 @@ class CSRSnapshot:
         self.expiries = expiries
         self.version = version
         self.scalar_pair_limit = scalar_pair_limit
-        # Epoch-stamped visited buffer: visit[i] == _stamp means "seen in
-        # the current traversal"; bumping the stamp is an O(1) clear.
-        self._visit = np.zeros(num_nodes, dtype=np.int64)
-        self._stamp = 0
-        self._scalar = None  # lazily materialized plain-list view
+        self._kernel = TraversalKernel(
+            indptr,
+            indices,
+            expiries,
+            num_nodes=num_nodes,
+            entry_count=self.num_pairs,
+            limit_resolver=self._scalar_limit,
+        )
 
     def _scalar_limit(self) -> int:
         """The cutover in force *now* (class knob re-checked per query)."""
@@ -314,106 +299,13 @@ class CSRSnapshot:
         ``min_expiry`` only pairs whose max expiry clears the horizon are
         traversed.
         """
-        if self.num_pairs <= self._scalar_limit():
-            return len(self._scalar_reach(source_ids, min_expiry))
-        frontier = self._seed_frontier(source_ids)
-        if frontier is None:
-            return 0
-        count = int(frontier.size)
-        for frontier in self._expand_levels(frontier, min_expiry):
-            count += int(frontier.size)
-        return count
+        return self._kernel.reachable_count(source_ids, min_expiry)
 
     def reachable_ids(
         self, source_ids: Iterable[int], min_expiry: Optional[float] = None
     ) -> Set[int]:
         """The reachable id set itself (tests and offline analysis)."""
-        if self.num_pairs <= self._scalar_limit():
-            return self._scalar_reach(source_ids, min_expiry)
-        frontier = self._seed_frontier(source_ids)
-        if frontier is None:
-            return set()
-        reached = set(frontier.tolist())
-        for frontier in self._expand_levels(frontier, min_expiry):
-            reached.update(frontier.tolist())
-        return reached
-
-    # ------------------------------------------------------------------
-    def _scalar_reach(
-        self, source_ids: Iterable[int], min_expiry: Optional[float]
-    ) -> Set[int]:
-        """Plain-Python traversal of the flat arrays (small-graph path)."""
-        indptr, indices, expiries = self._scalar_view()
-        visited = set()
-        stack = []
-        for node_id in source_ids:
-            if node_id < 0 or node_id >= self.num_nodes:
-                raise IndexError(
-                    f"source id {node_id} out of range [0, {self.num_nodes})"
-                )
-            if node_id not in visited:
-                visited.add(node_id)
-                stack.append(node_id)
-        while stack:
-            node_id = stack.pop()
-            for slot in range(indptr[node_id], indptr[node_id + 1]):
-                if min_expiry is not None and expiries[slot] < min_expiry:
-                    continue
-                successor = indices[slot]
-                if successor not in visited:
-                    visited.add(successor)
-                    stack.append(successor)
-        return visited
-
-    def _scalar_view(self):
-        """Python-list mirror of the arrays, built once per snapshot."""
-        if self._scalar is None:
-            self._scalar = (
-                self.indptr.tolist(),
-                self.indices.tolist(),
-                self.expiries.tolist(),
-            )
-        return self._scalar
-
-    def _seed_frontier(self, source_ids: Iterable[int]) -> Optional[np.ndarray]:
-        """Deduplicated, stamped source frontier (None when empty)."""
-        frontier = np.unique(np.asarray(list(source_ids), dtype=np.int64))
-        if frontier.size == 0:
-            return None
-        if frontier[0] < 0 or frontier[-1] >= self.num_nodes:
-            raise IndexError(
-                f"source id out of range [0, {self.num_nodes}) in {frontier}"
-            )
-        self._stamp += 1
-        self._visit[frontier] = self._stamp
-        return frontier
-
-    def _expand_levels(self, frontier: np.ndarray, min_expiry: Optional[float]):
-        """Yield successive BFS frontiers (each already stamped visited)."""
-        indptr = self.indptr
-        indices = self.indices
-        expiries = self.expiries
-        visit = self._visit
-        stamp = self._stamp
-        while frontier.size:
-            starts = indptr[frontier]
-            counts = indptr[frontier + 1] - starts
-            total = int(counts.sum())
-            if total == 0:
-                return
-            # Gather the concatenated adjacency slices of the frontier:
-            # block i contributes positions starts[i] .. starts[i]+counts[i].
-            ends = np.cumsum(counts)
-            slots = np.repeat(starts - ends + counts, counts) + np.arange(total)
-            if min_expiry is not None:
-                slots = slots[expiries[slots] >= min_expiry]
-            neighbors = indices[slots]
-            neighbors = neighbors[visit[neighbors] != stamp]
-            if neighbors.size == 0:
-                return
-            frontier = np.unique(neighbors)
-            visit[frontier] = stamp
-            yield frontier
+        return self._kernel.reachable_ids(source_ids, min_expiry)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
@@ -443,6 +335,13 @@ class DeltaCSR:
     current graph.  ``mode="rebuild"`` forces a compaction on every version
     change, reproducing the PR 1 rebuild-per-version cost model for
     benchmarking.
+
+    Every traversal is served by one shared :class:`~repro.kernels.
+    TraversalKernel` per direction — base arrays (forward) or the lazily
+    built base transpose (reverse), with the matching arrival overlay
+    injected through the kernel's overlay protocol.  The engine's only
+    jobs are maintenance (overlay, tombstones, compaction) and resolving
+    the ``t + 1`` horizon clamp before each kernel call.
     """
 
     #: Compact when overlay entries + tombstones exceed this fraction of
@@ -451,8 +350,10 @@ class DeltaCSR:
     #: ... but never before this many deltas have accumulated (tiny bases
     #: would otherwise compact on every batch).
     COMPACT_MIN = 512
-    #: Candidate sets packed per bit-plane traversal (uint64 mask width).
-    PLANE_WIDTH = 64
+    #: Candidate sets packed per bit-plane traversal — the kernel's
+    #: uint64 mask width, re-exported from the single source of truth
+    #: (:data:`repro.kernels.PLANE_WIDTH`; fixed, not an override knob).
+    PLANE_WIDTH = PLANE_WIDTH
 
     __slots__ = (
         "_graph",
@@ -462,15 +363,14 @@ class DeltaCSR:
         "_tindptr",
         "_tindices",
         "_texpiries",
-        "_tscalar",
         "_ov_out",
         "_ov_in",
         "_ov_out_flag",
         "_ov_in_flag",
         "_ov_entries",
         "_tombstones",
-        "_visit",
-        "_stamp",
+        "_fwd",
+        "_rev",
         "compactions",
         "version",
     )
@@ -487,8 +387,8 @@ class DeltaCSR:
         self.mode = mode
         self.scalar_pair_limit = scalar_pair_limit
         self.compactions = 0
-        self._visit = np.zeros(graph.num_interned, dtype=np.int64)
-        self._stamp = 0
+        self._fwd: Optional[TraversalKernel] = None
+        self._rev: Optional[TraversalKernel] = None
         self._compact()
 
     # ------------------------------------------------------------------
@@ -567,28 +467,32 @@ class DeltaCSR:
         self._tindptr = None
         self._tindices = None
         self._texpiries = None
-        self._tscalar = None
         self._ov_out = {}
         self._ov_in = {}
-        capacity = max(self._visit.shape[0], graph.num_interned)
+        capacity = graph.num_interned
+        if self._fwd is not None:
+            capacity = max(capacity, self._fwd.num_nodes)
         self._ov_out_flag = np.zeros(capacity, dtype=bool)
         self._ov_in_flag = np.zeros(capacity, dtype=bool)
         self._ov_entries = 0
         self._tombstones = 0
+        self._fwd = None
+        self._rev = None
         self.compactions += 1
         self.version = graph.version
 
     def _grow(self, needed: int) -> None:
-        """Amortized-doubling growth of the id-indexed buffers."""
-        capacity = max(needed, 2 * self._visit.shape[0])
-        grown = np.zeros(capacity, dtype=np.int64)
-        grown[: self._visit.shape[0]] = self._visit
-        self._visit = grown
+        """Amortized-doubling growth of the id-indexed overlay buffers."""
+        capacity = max(needed, 2 * self._ov_out_flag.shape[0])
         for name in ("_ov_out_flag", "_ov_in_flag"):
             flags = getattr(self, name)
             grown_flags = np.zeros(capacity, dtype=bool)
             grown_flags[: flags.shape[0]] = flags
             setattr(self, name, grown_flags)
+        # The kernels hold references to the replaced flag arrays; rebuild
+        # them lazily against the fresh buffers on the next query.
+        self._fwd = None
+        self._rev = None
 
     def _effective_horizon(self, min_expiry: Optional[float]) -> float:
         """Clamp the query horizon to ``t + 1``.
@@ -604,6 +508,45 @@ class DeltaCSR:
             return floor
         return min_expiry
 
+    def _kernel(self, reverse: bool) -> TraversalKernel:
+        """The direction's shared kernel, current as of this call."""
+        kernel = self._rev if reverse else self._fwd
+        if kernel is None:
+            if reverse:
+                tindptr, tindices, texpiries = self._transpose_arrays()
+                kernel = TraversalKernel(
+                    tindptr,
+                    tindices,
+                    texpiries,
+                    num_nodes=self.num_nodes,
+                    overlay=DictOverlay(self._ov_in, self._ov_in_flag),
+                    limit_resolver=self._scalar_limit,
+                )
+                self._rev = kernel
+            else:
+                base = self._base
+                kernel = TraversalKernel(
+                    base.indptr,
+                    base.indices,
+                    base.expiries,
+                    num_nodes=self.num_nodes,
+                    overlay=DictOverlay(self._ov_out, self._ov_out_flag),
+                    limit_resolver=self._scalar_limit,
+                )
+                self._fwd = kernel
+        kernel.entry_count = self.num_entries
+        kernel.ensure_capacity(self.num_nodes)
+        return kernel
+
+    def _transpose_arrays(self):
+        """Lazily build the transpose of the base (overlay stays separate)."""
+        if self._tindptr is None:
+            base = self._base
+            self._tindptr, self._tindices, self._texpiries = build_transpose(
+                base.indptr, base.indices, base.expiries
+            )
+        return self._tindptr, self._tindices, self._texpiries
+
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
@@ -612,30 +555,14 @@ class DeltaCSR:
     ) -> int:
         """Number of distinct nodes reachable from ``source_ids``."""
         eff = self._effective_horizon(min_expiry)
-        if self.num_entries <= self._scalar_limit():
-            return len(self._scalar_traverse(source_ids, eff, reverse=False))
-        frontier = self._seed_frontier(source_ids)
-        if frontier is None:
-            return 0
-        count = int(frontier.size)
-        for frontier in self._vector_frontiers(frontier, eff, reverse=False):
-            count += int(frontier.size)
-        return count
+        return self._kernel(False).reachable_count(source_ids, eff)
 
     def reachable_ids(
         self, source_ids: Iterable[int], min_expiry: Optional[float] = None
     ) -> Set[int]:
         """The reachable id set itself (weighted oracle, tests)."""
         eff = self._effective_horizon(min_expiry)
-        if self.num_entries <= self._scalar_limit():
-            return self._scalar_traverse(source_ids, eff, reverse=False)
-        frontier = self._seed_frontier(source_ids)
-        if frontier is None:
-            return set()
-        reached = set(frontier.tolist())
-        for frontier in self._vector_frontiers(frontier, eff, reverse=False):
-            reached.update(frontier.tolist())
-        return reached
+        return self._kernel(False).reachable_ids(source_ids, eff)
 
     def ancestor_ids(
         self, target_ids: Iterable[int], min_expiry: Optional[float] = None
@@ -644,18 +571,10 @@ class DeltaCSR:
 
         This is the engine behind ``changed_nodes``: the reverse BFS runs
         on the lazily built transpose of the base plus the reverse overlay,
-        with the same array-visited stamping as the forward sweep.
+        through the same shared kernel as the forward sweep.
         """
         eff = self._effective_horizon(min_expiry)
-        if self.num_entries <= self._scalar_limit():
-            return self._scalar_traverse(target_ids, eff, reverse=True)
-        frontier = self._seed_frontier(target_ids)
-        if frontier is None:
-            return set()
-        reached = set(frontier.tolist())
-        for frontier in self._vector_frontiers(frontier, eff, reverse=True):
-            reached.update(frontier.tolist())
-        return reached
+        return self._kernel(True).reachable_ids(target_ids, eff)
 
     def touched_cone_ids(self, seed_ids: Iterable[int]) -> Set[int]:
         """Ids whose forward cone a batch of deltas touched (seeds closed).
@@ -680,226 +599,32 @@ class DeltaCSR:
         """Per-set reachable counts for a whole batch of candidate sets.
 
         Semantically ``[self.reachable_count(s, min_expiry) for s in
-        id_sets]``, but the physical traversal is shared: up to
-        :attr:`PLANE_WIDTH` sets are packed into uint64 visited-mask
-        planes (bit *i* of ``masks[v]`` = "set *i* reaches *v*") and all
-        planes propagate to fixpoint in one multi-source sweep.  Callers
-        own the per-set *accounting*; this method only shares the physics.
+        id_sets]``, but the physical traversal is shared: the kernel packs
+        up to :attr:`PLANE_WIDTH` sets into uint64 visited-mask planes
+        (bit *i* of ``masks[v]`` = "set *i* reaches *v*") and propagates
+        all planes to fixpoint in one multi-source sweep.  Callers own the
+        per-set *accounting*; this method only shares the physics.
         """
         eff = self._effective_horizon(min_expiry)
-        if self.num_entries <= self._scalar_limit():
-            return [
-                len(self._scalar_traverse(ids, eff, reverse=False))
-                for ids in id_sets
-            ]
-        results = [0] * len(id_sets)
-        width = self.PLANE_WIDTH
-        for chunk_start in range(0, len(id_sets), width):
-            chunk = id_sets[chunk_start : chunk_start + width]
-            counts = self._bitplane_counts(chunk, eff)
-            results[chunk_start : chunk_start + len(chunk)] = counts
-        return results
+        return self._kernel(False).spread_counts(id_sets, eff)
 
-    # ------------------------------------------------------------------
-    # Traversal internals
-    # ------------------------------------------------------------------
-    def _seed_frontier(self, source_ids: Iterable[int]) -> Optional[np.ndarray]:
-        frontier = np.unique(np.asarray(list(source_ids), dtype=np.int64))
-        if frontier.size == 0:
-            return None
-        if frontier[0] < 0 or frontier[-1] >= self.num_nodes:
-            raise IndexError(
-                f"source id out of range [0, {self.num_nodes}) in {frontier}"
-            )
-        self._stamp += 1
-        self._visit[frontier] = self._stamp
-        return frontier
+    def weighted_spread_sums(
+        self,
+        id_sets: Sequence[Sequence[int]],
+        min_expiry: Optional[float],
+        weights: np.ndarray,
+    ) -> List[float]:
+        """Per-set reached-weight sums via the weighted bit-plane sweep.
 
-    def _direction(self, reverse: bool):
-        """(indptr, indices, expiries, overlay, overlay_flag) for a sweep."""
-        if reverse:
-            tindptr, tindices, texpiries = self._transpose_arrays()
-            return tindptr, tindices, texpiries, self._ov_in, self._ov_in_flag
-        base = self._base
-        return base.indptr, base.indices, base.expiries, self._ov_out, self._ov_out_flag
-
-    def _transpose_arrays(self):
-        """Lazily build the transpose of the base (overlay stays separate)."""
-        if self._tindptr is None:
-            base = self._base
-            base_n = base.num_nodes
-            if base.num_pairs:
-                order = np.argsort(base.indices, kind="stable")
-                counts = np.bincount(base.indices, minlength=base_n)
-                sources = np.repeat(
-                    np.arange(base_n, dtype=np.int64), np.diff(base.indptr)
-                )
-                self._tindices = sources[order]
-                self._texpiries = base.expiries[order]
-            else:
-                counts = np.zeros(base_n, dtype=np.int64)
-                self._tindices = np.empty(0, dtype=np.int64)
-                self._texpiries = np.empty(0, dtype=np.float64)
-            self._tindptr = np.zeros(base_n + 1, dtype=np.int64)
-            np.cumsum(counts, out=self._tindptr[1:])
-        return self._tindptr, self._tindices, self._texpiries
-
-    def _scalar_lists(self, reverse: bool):
-        """Plain-list mirrors of the directional arrays (small-graph path)."""
-        if not reverse:
-            return self._base._scalar_view()
-        if self._tscalar is None:
-            tindptr, tindices, texpiries = self._transpose_arrays()
-            self._tscalar = (
-                tindptr.tolist(),
-                tindices.tolist(),
-                texpiries.tolist(),
-            )
-        return self._tscalar
-
-    def _scalar_traverse(
-        self, source_ids: Iterable[int], eff: float, reverse: bool
-    ) -> Set[int]:
-        """Plain-Python DFS over base-plus-overlay (small-graph path)."""
-        indptr, indices, expiries = self._scalar_lists(reverse)
-        overlay = self._ov_in if reverse else self._ov_out
-        base_n = len(indptr) - 1
-        num_nodes = self.num_nodes
-        visited = set()
-        stack = []
-        for node_id in source_ids:
-            if node_id < 0 or node_id >= num_nodes:
-                raise IndexError(f"source id {node_id} out of range [0, {num_nodes})")
-            if node_id not in visited:
-                visited.add(node_id)
-                stack.append(node_id)
-        while stack:
-            node_id = stack.pop()
-            if node_id < base_n:
-                for slot in range(indptr[node_id], indptr[node_id + 1]):
-                    if expiries[slot] < eff:
-                        continue
-                    successor = indices[slot]
-                    if successor not in visited:
-                        visited.add(successor)
-                        stack.append(successor)
-            entries = overlay.get(node_id)
-            if entries:
-                for successor, expiry in entries:
-                    if expiry >= eff and successor not in visited:
-                        visited.add(successor)
-                        stack.append(successor)
-        return visited
-
-    def _vector_frontiers(self, frontier: np.ndarray, eff: float, reverse: bool):
-        """Yield successive stamped BFS frontiers over base-plus-overlay."""
-        indptr, indices, expiries, overlay, ov_flag = self._direction(reverse)
-        base_n = indptr.shape[0] - 1
-        visit = self._visit
-        stamp = self._stamp
-        while frontier.size:
-            parts = []
-            in_base = (
-                frontier[frontier < base_n] if base_n < self.num_nodes else frontier
-            )
-            if in_base.size:
-                starts = indptr[in_base]
-                counts = indptr[in_base + 1] - starts
-                total = int(counts.sum())
-                if total:
-                    ends = np.cumsum(counts)
-                    slots = np.repeat(starts - ends + counts, counts) + np.arange(total)
-                    slots = slots[expiries[slots] >= eff]
-                    neighbors = indices[slots]
-                    neighbors = neighbors[visit[neighbors] != stamp]
-                    if neighbors.size:
-                        parts.append(neighbors)
-            overlay_nodes = frontier[ov_flag[frontier]]
-            if overlay_nodes.size:
-                extra = []
-                for node_id in overlay_nodes.tolist():
-                    for successor, expiry in overlay[node_id]:
-                        if expiry >= eff and visit[successor] != stamp:
-                            extra.append(successor)
-                if extra:
-                    parts.append(np.asarray(extra, dtype=np.int64))
-            if not parts:
-                return
-            frontier = np.unique(np.concatenate(parts) if len(parts) > 1 else parts[0])
-            visit[frontier] = stamp
-            yield frontier
-
-    def _bitplane_counts(self, chunk: Sequence[Sequence[int]], eff: float) -> List[int]:
-        """One shared multi-source fixpoint sweep for up to 64 seed sets."""
-        num_nodes = self.num_nodes
-        masks = np.zeros(num_nodes, dtype=np.uint64)
-        seed_parts = []
-        for plane, ids in enumerate(chunk):
-            seeds = np.asarray(list(ids), dtype=np.int64)
-            if seeds.size == 0:
-                continue
-            if seeds.min() < 0 or seeds.max() >= num_nodes:
-                raise IndexError(f"source id out of range [0, {num_nodes}) in {seeds}")
-            masks[seeds] |= np.uint64(1 << plane)
-            seed_parts.append(seeds)
-        if not seed_parts:
-            return [0] * len(chunk)
-        indptr, indices, expiries, overlay, ov_flag = self._direction(False)
-        base_n = indptr.shape[0] - 1
-        frontier = np.unique(np.concatenate(seed_parts))
-        while frontier.size:
-            changed_parts = []
-            in_base = frontier[frontier < base_n] if base_n < num_nodes else frontier
-            if in_base.size:
-                starts = indptr[in_base]
-                counts = indptr[in_base + 1] - starts
-                nonzero = counts > 0
-                in_base = in_base[nonzero]
-                starts = starts[nonzero]
-                counts = counts[nonzero]
-                total = int(counts.sum())
-                if total:
-                    ends = np.cumsum(counts)
-                    slots = np.repeat(starts - ends + counts, counts) + np.arange(total)
-                    sources = np.repeat(in_base, counts)
-                    keep = expiries[slots] >= eff
-                    slots = slots[keep]
-                    sources = sources[keep]
-                    if slots.size:
-                        targets = indices[slots]
-                        contrib = masks[sources]
-                        before = masks[targets]
-                        np.bitwise_or.at(masks, targets, contrib)
-                        changed = targets[masks[targets] != before]
-                        if changed.size:
-                            changed_parts.append(changed)
-            overlay_nodes = frontier[ov_flag[frontier]]
-            if overlay_nodes.size:
-                extra = []
-                for node_id in overlay_nodes.tolist():
-                    node_mask = int(masks[node_id])
-                    for successor, expiry in overlay[node_id]:
-                        if expiry < eff:
-                            continue
-                        old = int(masks[successor])
-                        new = old | node_mask
-                        if new != old:
-                            masks[successor] = new
-                            extra.append(successor)
-                if extra:
-                    changed_parts.append(np.asarray(extra, dtype=np.int64))
-            if not changed_parts:
-                break
-            frontier = np.unique(
-                np.concatenate(changed_parts)
-                if len(changed_parts) > 1
-                else changed_parts[0]
-            )
-        reached = masks[masks != np.uint64(0)]
-        return [
-            int(np.count_nonzero(reached & np.uint64(1 << plane)))
-            for plane in range(len(chunk))
-        ]
+        Semantically ``[sum of weights over self.reachable_ids(s,
+        min_expiry) for s in id_sets]`` with the canonical ascending-id
+        summation of :func:`repro.kernels.dense_weight_sum` — and
+        bit-identical to that loop — but 64 weighted evaluations share
+        each physical traversal.  ``weights`` is a dense id-indexed
+        float64 array covering at least :attr:`num_nodes` entries.
+        """
+        eff = self._effective_horizon(min_expiry)
+        return self._kernel(False).weighted_spread_sums(id_sets, eff, weights)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -1,0 +1,257 @@
+"""Unit tests for the shared traversal kernel itself.
+
+The differential suite (``tests/property/test_kernel_unification.py``)
+pins the three engine adapters to each other; this module tests the
+kernel's own contracts directly: overlay-callback injection, the
+scalar/vector cutover, the unified out-of-range seed validation, the
+weighted bit-plane fold, and the transpose helper.
+"""
+
+import numpy as np
+import pytest
+
+from repro.kernels import (
+    PLANE_WIDTH,
+    DictOverlay,
+    TraversalKernel,
+    build_transpose,
+    dense_weight_sum,
+    seed_range_error,
+)
+
+
+def chain_arrays(num_nodes=5, expiry=10.0):
+    """A simple path 0 -> 1 -> ... -> num_nodes-1 in CSR form."""
+    indptr = np.minimum(np.arange(num_nodes + 1, dtype=np.int64), num_nodes - 1)
+    indices = np.arange(1, num_nodes, dtype=np.int64)
+    expiries = np.full(num_nodes - 1, expiry, dtype=np.float64)
+    return indptr, indices, expiries
+
+
+class TestOverlayInjection:
+    def test_dict_overlay_extends_base_reach(self):
+        indptr, indices, expiries = chain_arrays(4)
+        flags = np.zeros(6, dtype=bool)
+        entries = {3: [(4, 9.0)], 4: [(5, 9.0)]}
+        flags[3] = flags[4] = True
+        kernel = TraversalKernel(
+            indptr,
+            indices,
+            expiries,
+            num_nodes=6,  # ids 4 and 5 exist only through the overlay
+            overlay=DictOverlay(entries, flags),
+        )
+        assert kernel.reachable_ids([0], None) == {0, 1, 2, 3, 4, 5}
+        assert kernel.reachable_count([0], None) == 6
+        assert kernel.spread_counts([[0], [4], []], None) == [6, 2, 0]
+
+    def test_overlay_entries_respect_horizon(self):
+        indptr, indices, expiries = chain_arrays(3)
+        flags = np.zeros(4, dtype=bool)
+        flags[2] = True
+        kernel = TraversalKernel(
+            indptr,
+            indices,
+            expiries,
+            num_nodes=4,
+            overlay=DictOverlay({2: [(3, 5.0)]}, flags),
+        )
+        assert 3 in kernel.reachable_ids([0], 5.0)
+        assert 3 not in kernel.reachable_ids([0], 5.5)
+        assert kernel.spread_counts([[0]], 5.5) == [3]
+
+    def test_custom_overlay_object_plugs_in(self):
+        """Anything with select/entries works — the injection is a protocol,
+        not a class check."""
+
+        class EveryNodeLoopsTo(object):
+            def __init__(self, target):
+                self.target = target
+
+            def select(self, frontier):
+                return frontier
+
+            def entries(self, node_id):
+                return [(self.target, np.inf)]
+
+        indptr, indices, expiries = chain_arrays(3)
+        kernel = TraversalKernel(
+            indptr, indices, expiries, overlay=EveryNodeLoopsTo(0)
+        )
+        # Every node reaches back to 0, so 2 reaches {2, 0, 1}.
+        assert kernel.reachable_ids([2], None) == {0, 1, 2}
+        # Scalar path honors the same overlay protocol.
+        kernel.limit_resolver = lambda: 10**9
+        assert kernel.reach_scalar([2], None) == {0, 1, 2}
+
+    def test_overlay_serves_ids_past_the_base_arrays(self):
+        indptr, indices, expiries = chain_arrays(3)
+        flags = np.zeros(5, dtype=bool)
+        flags[4] = True
+        kernel = TraversalKernel(
+            indptr,
+            indices,
+            expiries,
+            num_nodes=5,
+            overlay=DictOverlay({4: [(0, 9.0)]}, flags),
+        )
+        # Seed 4 has no base adjacency slice at all; only the overlay
+        # knows it, and the sweep must not index past the base arrays.
+        assert kernel.reachable_ids([4], None) == {4, 0, 1, 2}
+        assert kernel.spread_counts([[4]], None) == [4]
+
+
+class TestScalarVectorCutover:
+    def test_resolver_none_means_always_vectorized(self):
+        indptr, indices, expiries = chain_arrays(4)
+        kernel = TraversalKernel(indptr, indices, expiries)
+        assert kernel.limit_resolver is None
+        assert not kernel._use_scalar()  # noqa: SLF001 - the cutover itself
+
+    def test_resolver_flips_the_path_per_query(self):
+        indptr, indices, expiries = chain_arrays(6)
+        limit = {"value": 0}
+        kernel = TraversalKernel(
+            indptr, indices, expiries, limit_resolver=lambda: limit["value"]
+        )
+        assert not kernel._use_scalar()  # noqa: SLF001
+        limit["value"] = 10**9
+        assert kernel._use_scalar()  # noqa: SLF001
+
+    def test_both_paths_are_result_identical(self):
+        rng = np.random.default_rng(5)
+        num_nodes, num_pairs = 40, 160
+        sources = np.sort(rng.integers(0, num_nodes, num_pairs))
+        indices = rng.integers(0, num_nodes, num_pairs)
+        expiries = rng.uniform(1.0, 20.0, num_pairs)
+        indptr = np.zeros(num_nodes + 1, dtype=np.int64)
+        np.cumsum(np.bincount(sources, minlength=num_nodes), out=indptr[1:])
+        kernel = TraversalKernel(indptr, indices.astype(np.int64), expiries)
+        weights = rng.uniform(0.0, 3.0, num_nodes)
+        for eff in (None, 5.0, 15.0):
+            seeds = [0, 3, 7]
+            assert kernel.reach_scalar(seeds, eff) == kernel.reach_vector(seeds, eff)
+            id_sets = [[i] for i in range(num_nodes)] + [[0, 1, 2]]
+            vector_counts = kernel.spread_counts(id_sets, eff)
+            vector_sums = kernel.weighted_spread_sums(id_sets, eff, weights)
+            kernel.limit_resolver = lambda: 10**9  # force scalar
+            assert kernel.spread_counts(id_sets, eff) == vector_counts
+            assert kernel.weighted_spread_sums(id_sets, eff, weights) == vector_sums
+            kernel.limit_resolver = None
+
+
+class TestUnifiedSeedValidation:
+    """Every path raises the one shared out-of-range message."""
+
+    def expected(self, bad, num_nodes):
+        return str(seed_range_error(bad, num_nodes))
+
+    @pytest.mark.parametrize("bad", [-1, 99])
+    def test_vector_scalar_and_bitplane_agree(self, bad):
+        indptr, indices, expiries = chain_arrays(4)
+        kernel = TraversalKernel(indptr, indices, expiries)
+        messages = set()
+        for call in (
+            lambda: kernel.reach_vector([bad], None),
+            lambda: kernel.reach_scalar([bad], None),
+            lambda: kernel.reachable_count([bad], None),
+            lambda: kernel.spread_counts([[bad]], None),
+            lambda: kernel.weighted_spread_sums(
+                [[bad]], None, np.ones(4, dtype=np.float64)
+            ),
+        ):
+            with pytest.raises(IndexError) as excinfo:
+                call()
+            messages.add(str(excinfo.value))
+        assert messages == {self.expected(bad, 4)}
+
+    def test_valid_seeds_before_the_bad_one_do_not_mask_it(self):
+        indptr, indices, expiries = chain_arrays(4)
+        kernel = TraversalKernel(indptr, indices, expiries)
+        with pytest.raises(IndexError):
+            kernel.reachable_ids([0, 1, 4], None)
+
+
+class TestWeightedFold:
+    def test_weighted_sums_match_per_set_reachable_fold(self):
+        rng = np.random.default_rng(11)
+        num_nodes, num_pairs = 30, 90
+        sources = np.sort(rng.integers(0, num_nodes, num_pairs))
+        indices = rng.integers(0, num_nodes, num_pairs).astype(np.int64)
+        expiries = rng.uniform(1.0, 12.0, num_pairs)
+        indptr = np.zeros(num_nodes + 1, dtype=np.int64)
+        np.cumsum(np.bincount(sources, minlength=num_nodes), out=indptr[1:])
+        kernel = TraversalKernel(indptr, indices, expiries)
+        weights = rng.uniform(0.0, 5.0, num_nodes)
+        id_sets = [[i] for i in range(num_nodes)] + [[0, 5, 9], []]
+        for eff in (None, 6.0):
+            sums = kernel.weighted_spread_sums(id_sets, eff, weights)
+            expected = [
+                dense_weight_sum(weights, kernel.reachable_ids(ids, eff))
+                for ids in id_sets
+            ]
+            assert sums == expected  # bit-identical, not approx
+
+    def test_more_than_one_plane_chunk(self):
+        num_nodes = PLANE_WIDTH + 20
+        indptr = np.zeros(num_nodes + 1, dtype=np.int64)  # edgeless graph
+        kernel = TraversalKernel(
+            indptr, np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float64)
+        )
+        weights = np.arange(num_nodes, dtype=np.float64)
+        id_sets = [[i] for i in range(num_nodes)]
+        assert kernel.spread_counts(id_sets, None) == [1] * num_nodes
+        assert kernel.weighted_spread_sums(id_sets, None, weights) == [
+            float(i) for i in range(num_nodes)
+        ]
+
+    def test_dense_weight_sum_is_order_canonical(self):
+        weights = np.array([0.1, 0.2, 0.3, 0.4])
+        a = dense_weight_sum(weights, {3, 0, 2})
+        b = dense_weight_sum(weights, [2, 3, 0])
+        c = dense_weight_sum(weights, (0, 2, 3))
+        assert a == b == c
+        assert dense_weight_sum(weights, []) == 0.0
+
+
+class TestTransposeAndCapacity:
+    def test_build_transpose_round_trips_edges(self):
+        rng = np.random.default_rng(3)
+        num_nodes, num_pairs = 12, 40
+        sources = np.sort(rng.integers(0, num_nodes, num_pairs))
+        indices = rng.integers(0, num_nodes, num_pairs).astype(np.int64)
+        expiries = rng.uniform(1.0, 9.0, num_pairs)
+        indptr = np.zeros(num_nodes + 1, dtype=np.int64)
+        np.cumsum(np.bincount(sources, minlength=num_nodes), out=indptr[1:])
+        tindptr, tindices, texpiries = build_transpose(
+            indptr, indices, expiries
+        )
+        forward = set()
+        for u in range(num_nodes):
+            for slot in range(indptr[u], indptr[u + 1]):
+                forward.add((u, int(indices[slot]), float(expiries[slot])))
+        backward = set()
+        for v in range(num_nodes):
+            for slot in range(tindptr[v], tindptr[v + 1]):
+                backward.add((int(tindices[slot]), v, float(texpiries[slot])))
+        assert forward == backward
+
+    def test_build_transpose_empty(self):
+        tindptr, tindices, texpiries = build_transpose(
+            np.zeros(5, dtype=np.int64),
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.float64),
+        )
+        assert tindptr.tolist() == [0] * 5
+        assert tindices.size == 0 and texpiries.size == 0
+
+    def test_ensure_capacity_grows_the_id_space(self):
+        indptr, indices, expiries = chain_arrays(3)
+        kernel = TraversalKernel(indptr, indices, expiries)
+        with pytest.raises(IndexError):
+            kernel.reachable_ids([5], None)
+        kernel.ensure_capacity(8)
+        assert kernel.num_nodes == 8
+        assert kernel.reachable_ids([5], None) == {5}  # isolated id
+        kernel.ensure_capacity(4)  # shrinking is a no-op
+        assert kernel.num_nodes == 8

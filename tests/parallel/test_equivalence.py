@@ -17,6 +17,7 @@ plane's graph/version tracking across many graphs.
 import os
 import random
 
+import numpy as np
 import pytest
 
 from repro.core.basic_reduction import BasicReduction
@@ -107,9 +108,20 @@ def test_tracker_bit_identical_under_version_memo(name, executor):
     assert sharded_trace == serial_trace
 
 
-def test_weighted_oracle_bit_identical_under_sharding(executor):
+WEIGHT_SPECS = {
+    # Dense mapping -> the weighted bit-plane path: workers fold the
+    # published shared-memory weight array and return 64-wide weight sums.
+    "mapping": lambda: {f"n{i}": float(1 + (i % 5)) for i in range(36)},
+    # No mapping -> uniform weights ride the counted bit-plane sweep.
+    "uniform": lambda: None,
+    # A callable must stay in-process: workers return reachable id sets.
+    "callable": lambda: (lambda node: float(1 + (int(str(node)[1:]) % 4))),
+}
+
+
+@pytest.mark.parametrize("spec", sorted(WEIGHT_SPECS))
+def test_weighted_oracle_bit_identical_under_sharding(spec, executor):
     batches = stream_batches(seed=41)
-    weights = {f"n{i}": float(1 + (i % 5)) for i in range(36)}
 
     def run(oracle_factory):
         graph = TDNGraph()
@@ -125,15 +137,25 @@ def test_weighted_oracle_bit_identical_under_sharding(executor):
             trace.append((tuple(solution.nodes), solution.value, oracle.calls))
         return trace
 
+    weights = WEIGHT_SPECS[spec]()
     serial_trace = run(lambda g: WeightedInfluenceOracle(g, weights))
     sharded_trace = run(
         lambda g: WeightedInfluenceOracle(g, weights, parallel=executor)
     )
     assert sharded_trace == serial_trace
+    # The parity must come from the pool actually answering, not from a
+    # silent serial fallback.
+    assert executor.degraded is None
 
 
-def test_weighted_spread_many_matches_spread_loop(executor):
-    """Batched protocol == loop of spread: values, memo and call counts."""
+@pytest.mark.parametrize("spec", sorted(WEIGHT_SPECS))
+def test_weighted_spread_many_matches_spread_loop(spec, executor):
+    """Batched protocol == loop of spread: values, memo and call counts.
+
+    The candidate list deliberately exceeds one 64-set bit-plane chunk,
+    so the sharded weighted path crosses plane boundaries and shard
+    splits while staying bit-identical to the sequential loop.
+    """
     batches = stream_batches(seed=53)
     graph = TDNGraph()
     for t, batch in batches:
@@ -142,14 +164,98 @@ def test_weighted_spread_many_matches_spread_loop(executor):
             graph.add_interaction(interaction)
     nodes = sorted(graph.node_set(), key=repr)
     sets = [(n,) for n in nodes] + [tuple(nodes[:3])] + [(nodes[0],)]  # dup hits
+    sets = sets + [(a, b) for a in nodes[:9] for b in nodes[9:18]]  # > 64 sets
+    assert len(sets) > 64
 
-    loop = WeightedInfluenceOracle(graph, {nodes[0]: 3.5})
+    def make(**kwargs):
+        return WeightedInfluenceOracle(graph, WEIGHT_SPECS[spec](), **kwargs)
+
+    loop = make()
     loop_values = [loop.spread(s) for s in sets]
 
-    for oracle in (
-        WeightedInfluenceOracle(graph, {nodes[0]: 3.5}),
-        WeightedInfluenceOracle(graph, {nodes[0]: 3.5}, parallel=executor),
-    ):
+    for oracle in (make(), make(parallel=executor)):
         values = oracle.spread_many(sets)
         assert values == loop_values
         assert oracle.calls == loop.calls
+    assert executor.degraded is None
+
+
+def test_sharded_weighted_sums_are_worker_computed(executor):
+    """The executor's weighted path returns the serial engine's exact
+    floats while the pool is demonstrably up (64-wide weight vectors
+    cross the pipe, not reachable-id sets)."""
+    batches = stream_batches(seed=67)
+    graph = TDNGraph()
+    for t, batch in batches:
+        graph.advance_to(t)
+        for interaction in batch:
+            graph.add_interaction(interaction)
+    ids = list(range(graph.num_interned))
+    weights = np.asarray([1.0 + (i % 6) * 0.25 for i in ids], dtype=np.float64)
+    id_sets = [[i] for i in ids] + [ids[:4], []]
+    serial_sums = graph.csr().weighted_spread_sums(id_sets, None, weights)
+    sharded_sums = executor.weighted_spread_sums(
+        graph, id_sets, None, weights=weights, weights_key="wtest"
+    )
+    assert sharded_sums == serial_sums
+    assert executor.degraded is None and executor.pool_running
+
+    # Releasing the key unlinks its segment, is idempotent, and the next
+    # weighted request simply republishes.
+    executor.release_weights("wtest")
+    executor.release_weights("wtest")
+    again = executor.weighted_spread_sums(
+        graph, id_sets, None, weights=weights, weights_key="wtest"
+    )
+    assert again == serial_sums
+    assert executor.degraded is None
+    executor.release_weights("wtest")
+
+
+def test_closed_weighted_oracle_releases_its_weight_segment(executor):
+    """A short-lived oracle must not leak its segment into a shared,
+    long-lived executor (close() and GC both release it)."""
+    batches = stream_batches(seed=71)
+    graph = TDNGraph()
+    for t, batch in batches:
+        graph.advance_to(t)
+        for interaction in batch:
+            graph.add_interaction(interaction)
+    nodes = sorted(graph.node_set(), key=repr)
+    weights = {n: float(2 + i % 3) for i, n in enumerate(nodes)}
+
+    oracle = WeightedInfluenceOracle(graph, weights, parallel=executor)
+    oracle.spread_many([(n,) for n in nodes])
+    key = oracle._weights_key  # noqa: SLF001 - registry probe
+    assert key in executor._weights  # noqa: SLF001
+    oracle.close()
+    assert key not in executor._weights  # noqa: SLF001
+    assert executor.degraded is None  # shared pool untouched by close()
+
+    import gc
+
+    oracle = WeightedInfluenceOracle(graph, weights, parallel=executor)
+    oracle.spread_many([(n,) for n in nodes])
+    key = oracle._weights_key  # noqa: SLF001
+    assert key in executor._weights  # noqa: SLF001
+    del oracle
+    gc.collect()
+    assert key not in executor._weights  # noqa: SLF001
+
+    # An oracle used again after close() republishes — and the re-armed
+    # release hook must still fire on collection.  max_cache_entries=0
+    # forces real evaluations, so the post-close batch must republish.
+    oracle = WeightedInfluenceOracle(
+        graph, weights, parallel=executor, max_cache_entries=0
+    )
+    oracle.spread_many([(n,) for n in nodes])
+    oracle.close()
+    key = oracle._weights_key  # noqa: SLF001
+    assert key not in executor._weights  # noqa: SLF001
+    reuse_values = oracle.spread_many([(n,) for n in nodes[:12]])
+    serial = WeightedInfluenceOracle(graph, weights)
+    assert reuse_values == serial.spread_many([(n,) for n in nodes[:12]])
+    assert key in executor._weights  # noqa: SLF001
+    del oracle
+    gc.collect()
+    assert key not in executor._weights  # noqa: SLF001

@@ -76,6 +76,46 @@ class TestWorkerLoop:
         assert status == "ok"
         assert set(ancestors) == serial.ancestor_ids(ids[:5], None)
 
+    def test_weighted_op_folds_published_weights(self, loop_harness):
+        """OP_WSPREAD maps the published weight segment and returns the
+        serial engine's exact 64-wide weight sums, re-attaching when the
+        owner republishes a longer array under the same key."""
+        import numpy as np
+
+        from repro.parallel.plane import SharedWeights
+
+        tasks, results, plane = loop_harness
+        graph = build_graph(seed=21)
+        generation = plane.publish(graph)
+        serial = graph.csr()
+        eff = float(graph.time + 1)
+        ids = list(range(graph.num_interned))
+        sets = [[i] for i in ids] + [ids[:3]]
+
+        weights = np.asarray([1.0 + (i % 5) for i in ids], dtype=np.float64)
+        published = SharedWeights(f"{plane.prefix}-wk-{len(ids)}", weights)
+        try:
+            payload = (sets, "wk", published.name, published.length)
+            tasks.put((worker.OP_WSPREAD, 5, 2, generation, payload, eff))
+            request, shard, (status, sums) = results.get(timeout=10)
+            assert (request, shard, status) == (5, 2, "ok")
+            assert sums == serial.weighted_spread_sums(sets, None, weights)
+
+            # Republish under the same key with a different epoch (name):
+            # the worker must detach the stale mapping and re-attach.
+            rescaled = weights * 2.0
+            longer = SharedWeights(f"{plane.prefix}-wk-{len(ids)}b", rescaled)
+            try:
+                payload = (sets, "wk", longer.name, longer.length)
+                tasks.put((worker.OP_WSPREAD, 6, 0, generation, payload, eff))
+                _, _, (status, sums) = results.get(timeout=10)
+                assert status == "ok"
+                assert sums == serial.weighted_spread_sums(sets, None, rescaled)
+            finally:
+                longer.close()
+        finally:
+            published.close()
+
     def test_reattaches_on_new_generation(self, loop_harness):
         tasks, results, plane = loop_harness
         graph = build_graph(seed=9)

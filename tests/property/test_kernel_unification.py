@@ -1,0 +1,158 @@
+"""Differential property suite for the unified traversal kernel.
+
+Hypothesis drives random time-decayed streams through all three former
+traversal call paths — the live :class:`~repro.tdn.csr.DeltaCSR` engine
+(overlay + tombstones), a from-scratch :class:`~repro.tdn.csr.
+CSRSnapshot`, and the worker-side :class:`~repro.parallel.plane.
+PlaneEngine` over the same flat arrays — and asserts identical spreads,
+reachable/ancestor sets and *bit-identical* weighted sums, against each
+other and against the reference dict BFS.  Since PR 5 all three are thin
+adapters over one :class:`repro.kernels.TraversalKernel`, so this suite
+is the tripwire that the adapters (overlay injection, horizon clamping,
+transpose wiring) stay faithful — the kernel physics itself can no
+longer drift between engines.
+
+Also pinned here: every engine rejects an out-of-range seed id with the
+*identical* ``IndexError`` message on every path (the kernel's unified
+validation), and the scalar/vector cutover is exercised on both sides by
+drawing the per-engine override.
+"""
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.influence.reachability import ancestors, reachable_set
+from repro.kernels import dense_weight_sum, seed_range_error
+from repro.parallel.plane import PlaneEngine
+from repro.tdn.csr import CSRSnapshot, DeltaCSR
+from repro.tdn.graph import TDNGraph
+from repro.tdn.interaction import Interaction
+
+
+def build_stream_graph(seed, num_nodes, num_events):
+    """A random decayed stream with the delta engine live from step one."""
+    rng = random.Random(seed)
+    graph = TDNGraph()
+    graph.csr()  # live engine: every mutation flows through the overlay
+    t = 0
+    for _ in range(num_events):
+        if rng.random() < 0.25:
+            t += rng.randint(1, 4)
+            graph.advance_to(t)
+        u, v = rng.sample(range(num_nodes), 2)
+        lifetime = None if rng.random() < 0.1 else rng.randint(1, 25)
+        graph.add_interaction(Interaction(f"n{u}", f"n{v}", t, lifetime))
+    return graph
+
+
+@settings(max_examples=35, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    num_nodes=st.integers(4, 22),
+    num_events=st.integers(5, 110),
+    scalar_limit=st.sampled_from([0, 10**9, None]),
+    horizon_offset=st.one_of(st.none(), st.integers(1, 30)),
+    data=st.data(),
+)
+def test_all_engines_agree_on_every_sweep(
+    seed, num_nodes, num_events, scalar_limit, horizon_offset, data
+):
+    graph = build_stream_graph(seed, num_nodes, num_events)
+    delta = graph.csr()
+    if scalar_limit is not None:
+        delta = DeltaCSR(graph, scalar_pair_limit=scalar_limit)
+    snapshot = CSRSnapshot.build(graph, scalar_pair_limit=scalar_limit)
+    plane = PlaneEngine(snapshot.indptr, snapshot.indices, snapshot.expiries)
+    ids = list(range(graph.num_interned))
+    if not ids:
+        return
+
+    t = graph.time
+    horizon = None if horizon_offset is None else float(t + horizon_offset)
+    # The delta engine clamps lazily-tombstoned entries away at t + 1; the
+    # snapshot and plane see only alive pairs, so the same clamp resolved
+    # caller-side makes all three answer the identical question.
+    eff = max(float(t + 1), horizon) if horizon is not None else float(t + 1)
+
+    seeds = data.draw(
+        st.lists(st.sampled_from(ids), min_size=1, max_size=5, unique=True)
+    )
+    seed_nodes = [graph.node_of_id(i) for i in seeds]
+
+    # Forward reachability: all three engines == the dict reference.
+    expected = {graph.node_id(n) for n in reachable_set(graph, seed_nodes, horizon)}
+    assert delta.reachable_ids(seeds, horizon) == expected
+    assert snapshot.reachable_ids(seeds, eff) == expected
+    assert plane.reachable_ids(seeds, eff) == expected
+    assert delta.reachable_count(seeds, horizon) == len(expected)
+    assert snapshot.reachable_count(seeds, eff) == len(expected)
+
+    # Reverse (ancestor) sweeps: delta's overlay-aware transpose == the
+    # plane's rebuilt transpose == the dict reference walk.
+    expected_up = {graph.node_id(n) for n in ancestors(graph, seed_nodes, horizon)}
+    assert delta.ancestor_ids(seeds, horizon) == expected_up
+    assert plane.ancestor_ids(seeds, eff) == expected_up
+
+    # Bit-plane spreads and weighted sums, batch shapes drawn freely.
+    id_sets = data.draw(
+        st.lists(
+            st.lists(st.sampled_from(ids), min_size=0, max_size=4),
+            min_size=1,
+            max_size=10,
+        )
+    )
+    per_set = [delta.reachable_count(s, horizon) if s else 0 for s in id_sets]
+    assert delta.spread_counts(id_sets, horizon) == per_set
+    assert plane.spread_counts(id_sets, eff) == per_set
+
+    weights = np.asarray(
+        [1.0 + (i % 7) * 0.5 for i in range(graph.num_interned)],
+        dtype=np.float64,
+    )
+    expected_sums = [
+        dense_weight_sum(weights, delta.reachable_ids(s, horizon)) if s else 0.0
+        for s in id_sets
+    ]
+    assert delta.weighted_spread_sums(id_sets, horizon, weights) == expected_sums
+    assert plane.weighted_spread_sums(id_sets, eff, weights) == expected_sums
+
+
+@pytest.mark.parametrize("bad_seed", [-3, 10_000])
+@pytest.mark.parametrize("force_scalar", [False, True])
+def test_every_engine_rejects_bad_seeds_identically(
+    bad_seed, force_scalar, monkeypatch
+):
+    """Satellite pin: one IndexError message across all engines and paths."""
+    if force_scalar:
+        monkeypatch.setattr(CSRSnapshot, "SCALAR_PAIR_LIMIT", 10**9)
+    else:
+        monkeypatch.setattr(CSRSnapshot, "SCALAR_PAIR_LIMIT", 0)
+    graph = build_stream_graph(7, 12, 60)
+    delta = graph.csr()
+    snapshot = CSRSnapshot.build(graph)
+    plane = PlaneEngine(snapshot.indptr, snapshot.indices, snapshot.expiries)
+    eff = float(graph.time + 1)
+    weights = np.ones(graph.num_interned, dtype=np.float64)
+    expected = str(seed_range_error(bad_seed, graph.num_interned))
+
+    calls = [
+        lambda: delta.reachable_ids([bad_seed]),
+        lambda: delta.reachable_count([bad_seed]),
+        lambda: delta.ancestor_ids([bad_seed]),
+        lambda: delta.spread_counts([[0], [bad_seed]]),
+        lambda: delta.weighted_spread_sums([[bad_seed]], None, weights),
+        lambda: snapshot.reachable_ids([bad_seed]),
+        lambda: snapshot.reachable_count([bad_seed]),
+        lambda: plane.reachable_ids([bad_seed], eff),
+        lambda: plane.ancestor_ids([bad_seed], eff),
+        lambda: plane.spread_counts([[bad_seed]], eff),
+        lambda: plane.weighted_spread_sums([[bad_seed]], eff, weights),
+    ]
+    for call in calls:
+        with pytest.raises(IndexError) as excinfo:
+            call()
+        assert str(excinfo.value) == expected
