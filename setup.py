@@ -12,4 +12,11 @@ setup(
     # the dict backend works without it, but the out-of-the-box oracle
     # configuration needs it declared.
     install_requires=["numpy"],
+    # `pip install -e .[lint]` gives the exact toolchain the lint CI job
+    # runs: ruff (pinned to CI's version), mypy, and the in-tree
+    # repro.lint checker (no extra dep — it ships with the package).
+    extras_require={
+        "lint": ["ruff==0.8.4", "mypy"],
+    },
+    package_data={"repro": ["py.typed"]},
 )

@@ -250,10 +250,16 @@ def _build_algorithm(
             k=k, epsilon=epsilon, graph=graph, oracle=oracle, changed_mode=changed_mode
         )
     if key == "greedy":
+        # Deliberate injection seam: the factory hands back baseline
+        # trackers by name; lazy import keeps core free of baselines at
+        # module load (the only sanctioned core -> baselines edge).
+        # repro-lint: disable-next=RPL102
         from repro.baselines.greedy_recompute import GreedyRecompute
 
         return GreedyRecompute(k=k, graph=graph, oracle=oracle)
     if key == "random":
+        # Same sanctioned factory seam as the greedy baseline above.
+        # repro-lint: disable-next=RPL102
         from repro.baselines.random_baseline import RandomBaseline
 
         return RandomBaseline(k=k, graph=graph, oracle=oracle, seed=seed)

@@ -125,6 +125,9 @@ def _csr_ancestors_ordered(
     """
     ids: List[int] = []
     extra: List[Node] = []
+    # Order-safe: both accumulators are fully re-sorted below (numeric id
+    # order / repr), so set iteration order cannot leak into the output.
+    # repro-lint: disable-next=RPL401
     for source in sources:
         source_id = graph.node_id(source)
         if source_id is None:

@@ -219,6 +219,10 @@ def resolve_executor(parallel, backend: str):
     if isinstance(parallel, int):
         if parallel <= 1:
             return None, False
+        # Deliberate injection seam: the oracle layer constructs its own
+        # sharded executor only when asked for one by worker count; the
+        # import stays lazy so serial use never touches repro.parallel.
+        # repro-lint: disable-next=RPL102
         from repro.parallel.executor import ShardedOracleExecutor
 
         return ShardedOracleExecutor(parallel), True
@@ -417,7 +421,8 @@ class MemoTable:
         graph = self.graph
         if self.cone_backend == "dict":
             node_of_id = graph.node_of_id
-            seed_nodes = [node_of_id(i) for i in seed_ids]
+            # sorted(): seed_ids arrives as a set; id order fixes the walk.
+            seed_nodes = [node_of_id(i) for i in sorted(seed_ids)]
             node_id = graph.node_id
             return {node_id(n) for n in ancestors(graph, seed_nodes, None)}
         if self.executor is not None:

@@ -242,7 +242,8 @@ class WeightedInfluenceOracle:
         self.counter.increment()
         if self.backend == "dict":
             value = 0.0
-            for node in reachable_set(self.graph, key_nodes, min_expiry):
+            reached = reachable_set(self.graph, key_nodes, min_expiry)
+            for node in sorted(reached, key=self._node_order_key):
                 value += self._checked_weight(node)
         else:
             value = self._csr_spread(key_nodes, min_expiry)
@@ -255,16 +256,30 @@ class WeightedInfluenceOracle:
             raise ValueError(f"weight callable returned negative value for {node!r}")
         return weight
 
+    def _node_order_key(self, node: Node) -> Tuple[int, object]:
+        """Total order for folding float weights over node sets.
+
+        Interned nodes sort by id (ascending — the canonical summation
+        order of :func:`repro.kernels.dense_weight_sum`), never-interned
+        nodes after them by ``repr``.  Folding in this order keeps the
+        dict backend bit-identical across PYTHONHASHSEED values.
+        """
+        interned = self.graph.node_id(node)
+        if interned is None:
+            return (1, repr(node))
+        return (0, interned)
+
     def _split_seeds(self, key_nodes: FrozenSet[Node]) -> Tuple[List[int], float]:
         """Interned seed ids plus the weight of never-interned seeds.
 
         A never-interned seed has no edges and reaches only itself, so it
-        contributes its own weight directly.
+        contributes its own weight directly.  Iteration runs in canonical
+        node order so the uninterned-weight fold is order-deterministic.
         """
         node_id = self.graph.node_id
         ids: List[int] = []
         value = 0.0
-        for node in key_nodes:
+        for node in sorted(key_nodes, key=self._node_order_key):
             interned = node_id(node)
             if interned is None:
                 value += self._checked_weight(node)

@@ -54,7 +54,9 @@ from __future__ import annotations
 
 from typing import (
     Callable,
+    Dict,
     Iterable,
+    Iterator,
     List,
     Optional,
     Sequence,
@@ -139,14 +141,16 @@ class DictOverlay:
 
     __slots__ = ("entry_map", "flags")
 
-    def __init__(self, entry_map: dict, flags: np.ndarray) -> None:
+    def __init__(
+        self, entry_map: Dict[int, List[Tuple[int, float]]], flags: np.ndarray
+    ) -> None:
         self.entry_map = entry_map
         self.flags = flags
 
     def select(self, frontier: np.ndarray) -> np.ndarray:
         return frontier[self.flags[frontier]]
 
-    def entries(self, node_id: int):
+    def entries(self, node_id: int) -> Optional[List[Tuple[int, float]]]:
         return self.entry_map.get(node_id)
 
 
@@ -192,7 +196,7 @@ class TraversalKernel:
         expiries: np.ndarray,
         *,
         num_nodes: Optional[int] = None,
-        overlay=None,
+        overlay: Optional[DictOverlay] = None,
         entry_count: Optional[int] = None,
         limit_resolver: Optional[Callable[[], int]] = None,
     ) -> None:
@@ -208,7 +212,8 @@ class TraversalKernel:
         # the current traversal"; bumping the stamp is an O(1) clear.
         self._visit = np.zeros(self.num_nodes, dtype=np.int64)
         self._stamp = 0
-        self._scalar = None  # lazily materialized plain-list mirror
+        # Lazily materialized plain-list mirror for the scalar path.
+        self._scalar: Optional[Tuple[list, list, list]] = None
 
     # ------------------------------------------------------------------
     # Workspace maintenance
@@ -226,7 +231,7 @@ class TraversalKernel:
         resolver = self.limit_resolver
         return resolver is not None and self.entry_count <= resolver()
 
-    def _scalar_view(self):
+    def _scalar_view(self) -> Tuple[list, list, list]:
         if self._scalar is None:
             self._scalar = (
                 self.indptr.tolist(),
@@ -397,7 +402,9 @@ class TraversalKernel:
         self._visit[frontier] = self._stamp
         return frontier
 
-    def _frontiers(self, frontier: np.ndarray, eff: Optional[float]):
+    def _frontiers(
+        self, frontier: np.ndarray, eff: Optional[float]
+    ) -> Iterator[np.ndarray]:
         """Yield successive stamped BFS frontiers over base plus overlay."""
         indptr = self.indptr
         indices = self.indices

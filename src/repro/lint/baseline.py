@@ -1,0 +1,65 @@
+"""Baseline file: grandfathered findings, shrink-only.
+
+The baseline holds one :meth:`Finding.fingerprint` per line
+(``code|path|message`` — no line number, so unrelated churn above a
+finding does not invalidate its entry).  ``#`` lines are comments; every
+deliberate entry is expected to carry one explaining *why* it is
+grandfathered.
+
+Two hard properties the runner enforces:
+
+* a finding whose fingerprint is in the baseline is suppressed;
+* a baseline entry no fresh finding matches is **stale** and itself an
+  error — the file can only shrink, never silently rot.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, List, Set
+
+from repro.lint.findings import Finding
+
+_HEADER = """\
+# repro-lint baseline — grandfathered findings, one fingerprint per line.
+# Format: CODE|path|message   (line numbers deliberately excluded)
+# This file may only shrink: stale entries are errors, new findings are
+# never added here without a comment justifying the exception.
+"""
+
+
+def load_baseline(path: str) -> Set[str]:
+    """Fingerprints in the baseline file; empty set if it is absent."""
+    file = Path(path)
+    if not file.exists():
+        return set()
+    entries: Set[str] = set()
+    for line in file.read_text(encoding="utf-8").splitlines():
+        stripped = line.strip()
+        if stripped and not stripped.startswith("#"):
+            entries.add(stripped)
+    return entries
+
+
+def write_baseline(path: str, findings: Iterable[Finding]) -> None:
+    fingerprints = sorted({finding.fingerprint() for finding in findings})
+    body = "".join(fingerprint + "\n" for fingerprint in fingerprints)
+    Path(path).write_text(_HEADER + body, encoding="utf-8")
+
+
+def partition(
+    findings: List[Finding], baseline: Set[str]
+) -> "tuple[List[Finding], List[Finding], List[str]]":
+    """Split into (new, grandfathered, stale-baseline-entries)."""
+    new: List[Finding] = []
+    grandfathered: List[Finding] = []
+    seen: Set[str] = set()
+    for finding in findings:
+        fingerprint = finding.fingerprint()
+        if fingerprint in baseline:
+            grandfathered.append(finding)
+            seen.add(fingerprint)
+        else:
+            new.append(finding)
+    stale = sorted(baseline - seen)
+    return new, grandfathered, stale

@@ -1,0 +1,271 @@
+"""RPL4xx — determinism.
+
+The repo's headline guarantee is bit-identical results across runs and
+worker counts (ROADMAP.md).  Two lexical hazards account for every
+regression we have had:
+
+* **RPL401** — iterating a set (or dict view) while feeding an
+  *order-sensitive* accumulator without an enclosing ``sorted(...)``.
+  Float ``+=`` is non-associative and ``PYTHONHASHSEED`` varies set
+  order across processes, so the same inputs can fold to different
+  sums.  Order-*insensitive* sinks (``set.add``/``update``, dict
+  stores) are deliberately not flagged — they are how commutative
+  reductions should be written.  Scope: ``kernels/``, ``influence/``,
+  ``parallel/`` (the bit-identical path).
+* **RPL402** — direct ``random`` / ``numpy.random`` use anywhere
+  outside ``repro/utils/rng.py``.  All randomness flows through the
+  seeded constructors there so experiments replay exactly.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional, Set
+
+from repro.lint.config import (
+    DETERMINISM_SCOPE,
+    RNG_OWNER,
+    SET_ANNOTATIONS,
+    SET_RETURNING_CALLS,
+    is_under,
+)
+from repro.lint.findings import Finding
+
+_DICT_VIEWS = ("keys", "values", "items")
+_ORDER_SENSITIVE_METHODS = ("append", "extend", "insert")
+_FOLDING_CALLS = ("sum", "list", "tuple")
+
+
+def check(tree: ast.Module, path: str) -> List[Finding]:
+    findings: List[Finding] = []
+    if any(is_under(path, fragment) for fragment in DETERMINISM_SCOPE):
+        findings.extend(_check_unordered_folds(tree, path))
+    if not is_under(path, RNG_OWNER):
+        findings.extend(_check_rng_use(tree, path))
+    return findings
+
+
+# ----------------------------------------------------------------------
+# RPL401: unordered iteration into order-sensitive sinks
+# ----------------------------------------------------------------------
+def _annotation_is_setlike(annotation: Optional[ast.expr]) -> bool:
+    if annotation is None:
+        return False
+    node = annotation
+    if isinstance(node, ast.Subscript):  # FrozenSet[NodeId] etc.
+        node = node.value
+    if isinstance(node, ast.Name):
+        return node.id in SET_ANNOTATIONS
+    if isinstance(node, ast.Attribute):
+        return node.attr in SET_ANNOTATIONS
+    return False
+
+
+def _setlike_names(tree: ast.Module) -> Set[str]:
+    """Names the file gives set-like values or annotations.
+
+    Granularity is the file, so a name reused across functions could
+    collide; to stay precise, a name counts only when every assignment
+    and annotation it receives in the file is set-like — conflicting
+    evidence excludes it (a lint must err toward silence here).
+    """
+    setlike: Set[str] = set()
+    conflicted: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            arguments = node.args
+            for arg in (
+                arguments.posonlyargs
+                + arguments.args
+                + arguments.kwonlyargs
+            ):
+                if _annotation_is_setlike(arg.annotation):
+                    setlike.add(arg.arg)
+        elif isinstance(node, ast.AnnAssign):
+            if isinstance(node.target, ast.Name):
+                bucket = (
+                    setlike
+                    if _annotation_is_setlike(node.annotation)
+                    else conflicted
+                )
+                bucket.add(node.target.id)
+        elif isinstance(node, ast.Assign):
+            # x = set(...) / x = frozenset(...) / x = {literal, ...}
+            value = node.value
+            is_set_value = isinstance(value, (ast.Set, ast.SetComp)) or (
+                isinstance(value, ast.Call)
+                and isinstance(value.func, ast.Name)
+                and value.func.id in ("set", "frozenset")
+            )
+            bucket = setlike if is_set_value else conflicted
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    bucket.add(target.id)
+    return setlike - conflicted
+
+
+def _is_setlike_iter(node: ast.expr, setlike: Set[str]) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Name):
+        return node.id in setlike
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitAnd, ast.BitOr, ast.Sub, ast.BitXor)
+    ):
+        return _is_setlike_iter(node.left, setlike) or _is_setlike_iter(
+            node.right, setlike
+        )
+    if isinstance(node, ast.Call):
+        func = node.func
+        name = func.id if isinstance(func, ast.Name) else (
+            func.attr if isinstance(func, ast.Attribute) else None
+        )
+        if name in ("set", "frozenset"):
+            return True
+        if name in SET_RETURNING_CALLS:
+            return True
+        if name in _DICT_VIEWS and not node.args:
+            return True
+    return False
+
+
+def _is_sorted_call(node: ast.expr) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id == "sorted"
+    )
+
+
+def _int_constant(node: ast.expr) -> bool:
+    return isinstance(node, ast.Constant) and isinstance(node.value, int)
+
+
+def _order_sensitive_sink(loop: ast.For) -> Optional[ast.AST]:
+    """First order-sensitive accumulation in the loop body, if any."""
+    for node in ast.walk(loop):
+        if node is loop:
+            continue
+        if isinstance(node, ast.AugAssign) and not _int_constant(node.value):
+            return node
+        if isinstance(node, (ast.Yield, ast.YieldFrom)):
+            return node
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _ORDER_SENSITIVE_METHODS
+        ):
+            return node
+    return None
+
+
+def _flag(path: str, line: int, detail: str) -> Finding:
+    return Finding(
+        path,
+        line,
+        "RPL401",
+        f"{detail}: set order varies with PYTHONHASHSEED and float "
+        "accumulation is order-sensitive; wrap the iterable in "
+        "sorted(...) with a total order",
+    )
+
+
+def _check_unordered_folds(tree: ast.Module, path: str) -> List[Finding]:
+    findings: List[Finding] = []
+    setlike = _setlike_names(tree)
+
+    for node in ast.walk(tree):
+        if isinstance(node, ast.For):
+            if _is_sorted_call(node.iter):
+                continue
+            if not _is_setlike_iter(node.iter, setlike):
+                continue
+            sink = _order_sensitive_sink(node)
+            if sink is not None:
+                findings.append(
+                    _flag(
+                        path,
+                        node.lineno,
+                        "loop over an unordered set/dict view feeds an "
+                        "order-sensitive accumulator",
+                    )
+                )
+        elif isinstance(node, ast.ListComp):
+            for generator in node.generators:
+                if not _is_sorted_call(generator.iter) and _is_setlike_iter(
+                    generator.iter, setlike
+                ):
+                    findings.append(
+                        _flag(
+                            path,
+                            node.lineno,
+                            "list comprehension materialises an unordered "
+                            "set/dict view in hash order",
+                        )
+                    )
+                    break
+        elif isinstance(node, ast.Call):
+            func = node.func
+            if not (
+                isinstance(func, ast.Name) and func.id in _FOLDING_CALLS
+            ):
+                continue
+            for arg in node.args:
+                if not isinstance(arg, ast.GeneratorExp):
+                    continue
+                for generator in arg.generators:
+                    if not _is_sorted_call(generator.iter) and _is_setlike_iter(
+                        generator.iter, setlike
+                    ):
+                        findings.append(
+                            _flag(
+                                path,
+                                node.lineno,
+                                f"{func.id}(...) folds an unordered "
+                                "set/dict view",
+                            )
+                        )
+                        break
+    return findings
+
+
+# ----------------------------------------------------------------------
+# RPL402: randomness outside the rng owner
+# ----------------------------------------------------------------------
+def _check_rng_use(tree: ast.Module, path: str) -> List[Finding]:
+    findings: List[Finding] = []
+
+    def flag(node: ast.AST, what: str) -> None:
+        findings.append(
+            Finding(
+                path,
+                node.lineno,
+                "RPL402",
+                f"{what} outside {RNG_OWNER}: all randomness flows "
+                "through the seeded constructors there",
+            )
+        )
+
+    numpy_aliases: Set[str] = {"numpy", "np"}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "random" or alias.name.startswith("numpy.random"):
+                    flag(node, f"import of {alias.name}")
+                elif alias.name == "numpy" and alias.asname:
+                    numpy_aliases.add(alias.asname)
+        elif isinstance(node, ast.ImportFrom) and node.level == 0:
+            module = node.module or ""
+            if module == "random" or module.startswith("numpy.random"):
+                flag(node, f"import from {module}")
+            elif module == "numpy":
+                for alias in node.names:
+                    if alias.name == "random":
+                        flag(node, "import of numpy.random")
+        elif isinstance(node, ast.Attribute) and node.attr == "random":
+            if (
+                isinstance(node.value, ast.Name)
+                and node.value.id in numpy_aliases
+            ):
+                flag(node, "numpy.random access")
+    return findings

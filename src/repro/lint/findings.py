@@ -1,0 +1,77 @@
+"""Finding records and the error-code registry.
+
+Every pass emits :class:`Finding` instances.  The code table below is the
+single source of truth — ARCHITECTURE.md's "Enforced invariants" section
+mirrors it, the fixture test suite asserts every code both fires and
+suppresses, and ``python -m repro.lint --list-codes`` prints it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: code -> one-line description shown by ``--list-codes`` and the docs.
+CODES = {
+    # -- RPL1xx: layer contracts ---------------------------------------
+    "RPL101": (
+        "module-level import violates the layer DAG "
+        "(upward or cross-layer dependency)"
+    ),
+    "RPL102": (
+        "function-scoped import violates the layer DAG (a deliberate "
+        "injection seam must carry a pragma explaining itself)"
+    ),
+    "RPL103": (
+        "traversal-loop shape (loop indexing an indptr/indices/expiries "
+        "triple) outside repro/kernels/traversal.py"
+    ),
+    "RPL104": "import of a repro module not assigned to any declared layer",
+    # -- RPL2xx: shared-memory lifecycle -------------------------------
+    "RPL201": (
+        "SharedMemory(create=True) with no unlink() reachable through an "
+        "owner teardown path (close()/__del__/finalizer) in the same scope"
+    ),
+    "RPL202": "SharedMemory attach with no paired close() in the same scope",
+    "RPL203": (
+        "raw shared-memory segment-name literal outside plane.py's "
+        "name-derivation helpers"
+    ),
+    # -- RPL3xx: concurrency hazards -----------------------------------
+    "RPL301": "blocking call inside an async def body",
+    "RPL302": "fork multiprocessing context (the pool is spawn-only by design)",
+    "RPL303": (
+        "write to an array attribute marked immutable-after-publish "
+        "(@published_plane) outside its declared writer methods"
+    ),
+    # -- RPL4xx: determinism -------------------------------------------
+    "RPL401": (
+        "iteration over a set/dict feeding order-sensitive accumulation "
+        "without an enclosing sorted(...)"
+    ),
+    "RPL402": "direct random / numpy.random use outside repro/utils/rng.py",
+    # -- internal -------------------------------------------------------
+    "RPL001": "file does not parse",
+}
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One coded finding at ``path:line``."""
+
+    path: str
+    line: int
+    code: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: {self.code} {self.message}"
+
+    def fingerprint(self) -> str:
+        """Line-number-free identity used by the baseline file.
+
+        Keyed on (code, path, message) so ordinary line churn above a
+        grandfathered finding does not invalidate its baseline entry,
+        while a second identical finding in the same file is still a new
+        finding.
+        """
+        return f"{self.code}|{self.path}|{self.message}"

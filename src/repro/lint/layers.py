@@ -1,0 +1,166 @@
+"""RPL1xx — layer contracts.
+
+Two rules:
+
+* **Layer DAG** (RPL101/RPL102/RPL104): every intra-``repro`` import must
+  point *strictly downward* in the declared DAG (:data:`repro.lint.
+  config.LAYERS`).  Imports inside the importer's own declared prefix are
+  free.  Module-level violations are RPL101; function-scoped (lazy)
+  violations are RPL102 — the same contract, split out so the deliberate
+  dependency-injection seams (an oracle lazily constructing its sharded
+  executor) are visibly pragma'd rather than silently tolerated.  An
+  import of a repro module no layer claims is RPL104: new packages must
+  be placed in the DAG before anything may import them.
+
+* **Traversal ownership** (RPL103): the single-kernel property.  Any
+  loop whose body subscripts two or more members of the
+  ``indptr``/``indices``/``expiries`` triple is a frontier-traversal
+  shape, and exactly one file may contain those
+  (``repro/kernels/traversal.py``).  Engines adapt the kernel; they do
+  not re-grow private sweeps.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional
+
+from repro.lint.config import (
+    TRAVERSAL_OWNER,
+    TRAVERSAL_TRIPLE,
+    is_under,
+    layer_prefix,
+    layer_rank,
+    module_of,
+)
+from repro.lint.findings import Finding
+
+
+def check(tree: ast.Module, path: str) -> List[Finding]:
+    findings = _check_imports(tree, path)
+    findings.extend(_check_traversal_ownership(tree, path))
+    return findings
+
+
+# ----------------------------------------------------------------------
+# Layer DAG
+# ----------------------------------------------------------------------
+def _imported_repro_modules(node: ast.AST) -> List[str]:
+    """Dotted repro module names one import statement pulls in."""
+    names: List[str] = []
+    if isinstance(node, ast.Import):
+        for alias in node.names:
+            if alias.name == "repro" or alias.name.startswith("repro."):
+                names.append(alias.name)
+    elif isinstance(node, ast.ImportFrom) and node.level == 0 and node.module:
+        if node.module == "repro" or node.module.startswith("repro."):
+            names.append(node.module)
+    return names
+
+
+def _check_imports(tree: ast.Module, path: str) -> List[Finding]:
+    importer = module_of(path)
+    if importer is None:
+        return []
+    importer_rank = layer_rank(importer)
+    importer_prefix = layer_prefix(importer)
+    if importer_rank is None:
+        return []  # the module itself is unplaced; its importers get RPL104
+    findings: List[Finding] = []
+    function_scoped = _function_scoped_nodes(tree)
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.Import, ast.ImportFrom)):
+            continue
+        lazy = id(node) in function_scoped
+        for imported in _imported_repro_modules(node):
+            target_prefix = layer_prefix(imported)
+            if target_prefix is None:
+                findings.append(
+                    Finding(
+                        path,
+                        node.lineno,
+                        "RPL104",
+                        f"import of {imported!r}, which no declared layer "
+                        "claims; add it to repro.lint.config.LAYERS first",
+                    )
+                )
+                continue
+            if target_prefix == importer_prefix:
+                continue  # intra-package import
+            target_rank = layer_rank(imported)
+            assert target_rank is not None
+            if target_rank < importer_rank:
+                continue  # strictly downward: allowed
+            direction = "upward" if target_rank > importer_rank else "cross-layer"
+            findings.append(
+                Finding(
+                    path,
+                    node.lineno,
+                    "RPL102" if lazy else "RPL101",
+                    f"{importer} (layer {importer_rank}) imports {imported} "
+                    f"(layer {target_rank}): {direction} dependency "
+                    "violates the declared layer DAG",
+                )
+            )
+    return findings
+
+
+def _function_scoped_nodes(tree: ast.Module) -> set:
+    """ids of every node nested inside some function body of ``tree``."""
+    scoped: set = set()
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            for sub in ast.walk(node):
+                if sub is not node:
+                    scoped.add(id(sub))
+    return scoped
+
+
+# ----------------------------------------------------------------------
+# Traversal ownership
+# ----------------------------------------------------------------------
+def _subscripted_triple_names(loop: ast.AST) -> set:
+    """Triple members subscripted anywhere inside one loop."""
+    found = set()
+    for node in ast.walk(loop):
+        if not isinstance(node, ast.Subscript):
+            continue
+        base = node.value
+        name: Optional[str] = None
+        if isinstance(base, ast.Name):
+            name = base.id
+        elif isinstance(base, ast.Attribute):
+            name = base.attr
+        if name is None:
+            continue
+        for member in TRAVERSAL_TRIPLE:
+            # endswith also catches tindptr/texpiries-style aliases.
+            if name.endswith(member):
+                found.add(member)
+    return found
+
+
+def _check_traversal_ownership(tree: ast.Module, path: str) -> List[Finding]:
+    if is_under(path, TRAVERSAL_OWNER):
+        return []
+    findings: List[Finding] = []
+    claimed: set = set()  # inner loops of an already-flagged loop
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.For, ast.While)) or id(node) in claimed:
+            continue
+        members = _subscripted_triple_names(node)
+        if len(members) >= 2:
+            for sub in ast.walk(node):
+                if isinstance(sub, (ast.For, ast.While)):
+                    claimed.add(id(sub))
+            findings.append(
+                Finding(
+                    path,
+                    node.lineno,
+                    "RPL103",
+                    "loop indexes the CSR triple "
+                    f"({', '.join(sorted(members))}): traversal loops live "
+                    f"only in {TRAVERSAL_OWNER}",
+                )
+            )
+    return findings

@@ -1,0 +1,46 @@
+"""Inline suppression pragmas.
+
+Two spellings, mirroring the common linter idioms while staying greppable
+as one token:
+
+* trailing, same line as the finding::
+
+      from repro.parallel.executor import X  # repro-lint: disable=RPL102
+
+* on the line *before* the finding (for statements already at the
+  88-column limit)::
+
+      # repro-lint: disable-next=RPL102
+      from repro.parallel.executor import X
+
+Several codes may be listed, comma separated.  Pragmas are parsed from
+the raw source (comments never reach the AST), so they work on any line
+a finding can point at.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Set
+
+_PRAGMA = re.compile(
+    r"#\s*repro-lint:\s*(?P<kind>disable(?:-next)?)\s*=\s*"
+    r"(?P<codes>RPL\d{3}(?:\s*,\s*RPL\d{3})*)"
+)
+
+
+def suppressions(source: str) -> Dict[int, Set[str]]:
+    """Map of 1-based line number -> codes suppressed on that line."""
+    table: Dict[int, Set[str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _PRAGMA.search(line)
+        if match is None:
+            continue
+        codes = {code.strip() for code in match.group("codes").split(",")}
+        target = lineno + 1 if match.group("kind") == "disable-next" else lineno
+        table.setdefault(target, set()).update(codes)
+    return table
+
+
+def is_suppressed(table: Dict[int, Set[str]], line: int, code: str) -> bool:
+    return code in table.get(line, ())

@@ -50,13 +50,29 @@ import os
 import time
 import warnings
 import weakref
-from typing import Iterable, List, Optional, Sequence, Set, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+if TYPE_CHECKING:
+    import numpy as np
+
+    from repro.tdn.graph import TDNGraph
 
 from repro.parallel import worker as worker_mod
 from repro.parallel.plane import (
     SharedCSRPlane,
     SharedWeights,
     shared_memory_available,
+    weights_segment_name,
 )
 
 __all__ = ["ShardedOracleExecutor", "shard_slices", "merge_shard_counts"]
@@ -276,7 +292,7 @@ class ShardedOracleExecutor:
     # ------------------------------------------------------------------
     # Plane publication
     # ------------------------------------------------------------------
-    def ensure_plane(self, graph) -> bool:
+    def ensure_plane(self, graph: "TDNGraph") -> bool:
         """Publish ``graph``'s current epoch if the plane is stale.
 
         Returns whether the plane is usable.  Republishing happens at
@@ -355,14 +371,14 @@ class ShardedOracleExecutor:
         return bool(self._procs) and all(proc.is_alive() for proc in self._procs)
 
     @staticmethod
-    def _effective_horizon(graph, min_expiry: Optional[float]) -> float:
+    def _effective_horizon(graph: "TDNGraph", min_expiry: Optional[float]) -> float:
         """The serial engine's ``t + 1`` clamp, resolved owner-side."""
         floor = float(graph.time + 1)
         if min_expiry is None or min_expiry < floor:
             return floor
         return min_expiry
 
-    def _parallel_ready(self, graph, batch_size: int) -> bool:
+    def _parallel_ready(self, graph: "TDNGraph", batch_size: int) -> bool:
         return (
             self.workers > 1
             and self.degraded is None
@@ -375,7 +391,7 @@ class ShardedOracleExecutor:
     # ------------------------------------------------------------------
     def spread_counts(
         self,
-        graph,
+        graph: "TDNGraph",
         id_sets: Sequence[Sequence[int]],
         min_expiry: Optional[float] = None,
     ) -> List[int]:
@@ -393,7 +409,7 @@ class ShardedOracleExecutor:
 
     def reachable_ids_many(
         self,
-        graph,
+        graph: "TDNGraph",
         id_sets: Sequence[Sequence[int]],
         min_expiry: Optional[float] = None,
     ) -> List[Set[int]]:
@@ -411,7 +427,9 @@ class ShardedOracleExecutor:
         engine = graph.csr()
         return [engine.reachable_ids(ids, min_expiry) for ids in id_sets]
 
-    def _ensure_weights(self, weights_key: str, weights) -> Optional[SharedWeights]:
+    def _ensure_weights(
+        self, weights_key: str, weights: "np.ndarray"
+    ) -> Optional[SharedWeights]:
         """Publish ``weights`` under ``weights_key`` if the copy is stale.
 
         The dense weight array is append-only (its prefix never changes),
@@ -428,7 +446,7 @@ class ShardedOracleExecutor:
         if record is not None and record.length == int(weights.shape[0]):
             return record
         self._weights_seq += 1
-        name = f"{self._plane.prefix}-w{self._weights_seq}"
+        name = weights_segment_name(self._plane.prefix, self._weights_seq)
         try:
             fresh = SharedWeights(name, weights)
         except OSError as exc:
@@ -462,7 +480,7 @@ class ShardedOracleExecutor:
 
     def weighted_spread_sums(
         self,
-        graph,
+        graph: "TDNGraph",
         id_sets: Sequence[Sequence[int]],
         min_expiry: Optional[float] = None,
         *,
@@ -506,7 +524,7 @@ class ShardedOracleExecutor:
 
     def ancestor_ids(
         self,
-        graph,
+        graph: "TDNGraph",
         target_ids: Iterable[int],
         min_expiry: Optional[float] = None,
     ) -> Set[int]:
@@ -528,7 +546,7 @@ class ShardedOracleExecutor:
                 return merged
         return graph.csr().ancestor_ids(targets, min_expiry)
 
-    def touched_cone_ids(self, graph, seed_ids: Iterable[int]) -> Set[int]:
+    def touched_cone_ids(self, graph: "TDNGraph", seed_ids: Iterable[int]) -> Set[int]:
         """Dirty-cone closure (memo eviction / SIEVEADN candidate reuse)."""
         return self.ancestor_ids(graph, seed_ids, None)
 
@@ -541,7 +559,13 @@ def _noop() -> None:
     pass
 
 
-def _teardown(plane, task_queue, procs, workers, weight_segments=None) -> None:
+def _teardown(
+    plane: Optional[SharedCSRPlane],
+    task_queue: Any,
+    procs: List,
+    workers: int,
+    weight_segments: Optional[Dict[str, SharedWeights]] = None,
+) -> None:
     """Best-effort pool shutdown shared by close() and the GC finalizer."""
     if task_queue is not None:
         for _ in range(max(workers, len(procs))):

@@ -1,0 +1,48 @@
+"""Immutable-after-publish markers for shared-plane arrays.
+
+``@published_plane("indptr", "indices", writers=("__init__",))`` declares
+that once an instance is constructed (published to workers), the named
+array attributes must never be written again except from the listed
+methods.  The decorator records the declaration in a process-local
+registry and returns the class unchanged — enforcement is *static*:
+``repro.lint``'s concurrency pass reads the decorator from the AST
+(never importing this module) and flags violating writes as RPL303.
+
+The runtime registry exists so tests and tooling can introspect the
+published surface (e.g. assert that every shared array an executor
+exports is covered by a marker).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, FrozenSet, Tuple, Type, TypeVar
+
+_ClassT = TypeVar("_ClassT", bound=type)
+
+#: class qualname -> (attrs, writer-method names).
+PUBLISHED_PLANES: Dict[str, Tuple[FrozenSet[str], FrozenSet[str]]] = {}
+
+
+def published_plane(
+    *attrs: str, writers: Tuple[str, ...] = ("__init__",)
+) -> Callable[[_ClassT], _ClassT]:
+    """Mark ``attrs`` of the decorated class immutable after publish.
+
+    ``writers`` lists the only methods allowed to assign (or write
+    through) those attributes; everything else is an RPL303 finding.
+    """
+
+    def decorate(cls: _ClassT) -> _ClassT:
+        PUBLISHED_PLANES[cls.__qualname__] = (
+            frozenset(attrs),
+            frozenset(writers),
+        )
+        return cls
+
+    return decorate
+
+
+def published_attrs(cls: Type[object]) -> FrozenSet[str]:
+    """Attrs declared immutable-after-publish for ``cls`` (may be empty)."""
+    entry = PUBLISHED_PLANES.get(cls.__qualname__)
+    return entry[0] if entry is not None else frozenset()

@@ -46,11 +46,16 @@ serial physics are one code path rather than a hand-synced convention.
 from __future__ import annotations
 
 import secrets
-from typing import List, Optional, Sequence, Set, Tuple
+from types import ModuleType
+from typing import TYPE_CHECKING, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
 from repro.kernels import PLANE_WIDTH, TraversalKernel, build_transpose
+from repro.parallel.markers import published_plane
+
+if TYPE_CHECKING:
+    from repro.tdn.graph import TDNGraph
 
 __all__ = [
     "PlaneEngine",
@@ -59,13 +64,14 @@ __all__ = [
     "attach_plane_engine",
     "attach_weights",
     "shared_memory_available",
+    "weights_segment_name",
 ]
 
 _HEADER_SLOTS = 5
 _GEN, _NODES, _PAIRS, _TIME, _READY = range(_HEADER_SLOTS)
 
 
-def _shm_module():
+def _shm_module() -> ModuleType:
     from multiprocessing import shared_memory
 
     return shared_memory
@@ -90,6 +96,7 @@ def shared_memory_available() -> bool:
     return True
 
 
+@published_plane("indptr", "indices", "expiries", writers=("__init__",))
 class PlaneEngine:
     """Flat-array reachability engine over one published CSR plane.
 
@@ -211,7 +218,7 @@ class SharedCSRPlane:
         stem = f"{prefix}-g{generation}"
         return f"{stem}-ip", f"{stem}-ix", f"{stem}-ex"
 
-    def publish(self, graph) -> int:
+    def publish(self, graph: "TDNGraph") -> int:
         """Publish ``graph``'s current alive adjacency; returns the generation.
 
         Cost is one O(V + P log P) snapshot build plus three array copies.
@@ -277,11 +284,21 @@ class SharedCSRPlane:
         except OSError:  # pragma: no cover
             pass
 
-    def __del__(self):  # pragma: no cover - belt and braces
+    def __del__(self) -> None:  # pragma: no cover - belt and braces
         try:
             self.close()
         except Exception:
             pass
+
+
+def weights_segment_name(prefix: str, seq: int) -> str:
+    """Segment name for the ``seq``-th published weights epoch.
+
+    All segment-name derivation lives in this module (enforced by
+    repro-lint RPL203) so the owner and workers can never drift on the
+    naming scheme.
+    """
+    return f"{prefix}-w{seq}"
 
 
 class SharedWeights:
@@ -323,13 +340,14 @@ class SharedWeights:
         except OSError:  # pragma: no cover - already gone
             pass
 
-    def __del__(self):  # pragma: no cover - belt and braces
+    def __del__(self) -> None:  # pragma: no cover - belt and braces
         try:
             self.close()
         except Exception:
             pass
 
 
+@published_plane("weights", writers=("__init__", "detach"))
 class _WeightsAttachment:
     """Worker-side mapping of one published weights segment."""
 
@@ -359,7 +377,9 @@ def attach_weights(name: str, length: int) -> _WeightsAttachment:
 class _Attachment:
     """Worker-side mapping of one plane generation (header + data)."""
 
-    def __init__(self, prefix: str, generation: int, num_nodes: int, num_pairs: int):
+    def __init__(
+        self, prefix: str, generation: int, num_nodes: int, num_pairs: int
+    ) -> None:
         shm = _shm_module()
         names = SharedCSRPlane.segment_names(prefix, generation)
         self.generation = generation
@@ -390,7 +410,7 @@ class _Attachment:
         self._segments = []
 
 
-def attach_plane_engine(prefix: str, expected_generation: int):
+def attach_plane_engine(prefix: str, expected_generation: int) -> "_Attachment":
     """Attach the plane's current generation; returns an :class:`_Attachment`.
 
     Raises ``RuntimeError`` when the header's ready generation does not

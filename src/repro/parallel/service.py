@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import asyncio
 from concurrent.futures import ThreadPoolExecutor
-from typing import Iterable, NamedTuple, Optional, Tuple
+from typing import Any, Iterable, NamedTuple, Optional, Sequence, Tuple
 
 __all__ = ["IngestService", "TopKAnswer"]
 
@@ -60,7 +60,7 @@ class IngestService:
         await service.close()
     """
 
-    def __init__(self, tracker, *, max_pending: int = 64) -> None:
+    def __init__(self, tracker: Any, *, max_pending: int = 64) -> None:
         if max_pending <= 0:
             raise ValueError(f"max_pending must be positive, got {max_pending}")
         self._tracker = tracker
@@ -140,7 +140,11 @@ class IngestService:
             await self._queue.put((_STOP, None))
             await self._consumer
         self._consumer = None
-        self._apply_thread.shutdown(wait=True)
+        # shutdown(wait=True) joins the apply thread; run it off-loop so
+        # close() never stalls the event loop on a slow final batch.
+        await asyncio.get_running_loop().run_in_executor(
+            None, self._apply_thread.shutdown
+        )
         self._check_failure()
 
     # ------------------------------------------------------------------
@@ -185,7 +189,7 @@ class IngestService:
             finally:
                 self._queue.task_done()
 
-    def _apply(self, t: int, batch) -> TopKAnswer:
+    def _apply(self, t: int, batch: Sequence[Tuple]) -> TopKAnswer:
         """Apply one batch on the writer thread; returns the new epoch's answer."""
         solution = self._tracker.step(t, batch)
         self._republish()

@@ -20,7 +20,12 @@ worker — the owner decides whether to retry serially.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import TYPE_CHECKING, Any, Callable, Dict, Optional
+
+if TYPE_CHECKING:  # keep the spawn-time import graph minimal
+    import numpy as np
+
+    from repro.parallel.plane import PlaneEngine, _Attachment, _WeightsAttachment
 
 __all__ = ["worker_main"]
 
@@ -33,7 +38,7 @@ OP_PING = "ping"
 OP_STOP = "stop"
 
 
-def worker_main(task_queue, result_queue, prefix: str) -> None:
+def worker_main(task_queue: Any, result_queue: Any, prefix: str) -> None:
     """Serve plane sweeps until an ``OP_STOP`` message arrives.
 
     Args:
@@ -47,14 +52,14 @@ def worker_main(task_queue, result_queue, prefix: str) -> None:
             ``("error", message)``.
         prefix: the shared plane's segment-name prefix.
     """
-    attachment = None  # current generation's mapping
-    weight_maps: dict = {}  # weights_key -> _WeightsAttachment
+    attachment: Optional[_Attachment] = None  # current generation's mapping
+    weight_maps: Dict[str, _WeightsAttachment] = {}
     # A worker only ever needs the keys of currently-live oracles; cap
     # the cache so keys of closed/collected oracles (whose segments the
     # owner already released) cannot accumulate mappings forever.
     max_weight_maps = 8
 
-    def engine_for(generation: int):
+    def engine_for(generation: int) -> PlaneEngine:
         nonlocal attachment
         if attachment is None or attachment.generation != generation:
             from repro.parallel.plane import attach_plane_engine
@@ -65,7 +70,7 @@ def worker_main(task_queue, result_queue, prefix: str) -> None:
             attachment = attach_plane_engine(prefix, generation)
         return attachment.engine
 
-    def weights_for(key: str, name: str, length: int):
+    def weights_for(key: str, name: str, length: int) -> "np.ndarray":
         cached = weight_maps.get(key)
         if cached is None or cached.name != name:
             from repro.parallel.plane import attach_weights
@@ -102,7 +107,13 @@ def worker_main(task_queue, result_queue, prefix: str) -> None:
         cached.detach()
 
 
-def _run(engine, op: str, payload, eff: Optional[float], weights_for):
+def _run(
+    engine: PlaneEngine,
+    op: str,
+    payload: Any,
+    eff: Optional[float],
+    weights_for: Callable[[str, str, int], "np.ndarray"],
+) -> Any:
     if op == OP_SPREAD:
         return engine.spread_counts(payload, eff)
     if op == OP_REACH:

@@ -70,6 +70,7 @@ from repro.kernels import (
     TraversalKernel,
     build_transpose,
 )
+from repro.utils.rng import make_np_rng
 
 __all__ = ["CSRSnapshot", "DeltaCSR", "calibrate_scalar_pair_limit"]
 
@@ -99,7 +100,7 @@ def _probe_arrays(num_pairs: int) -> tuple:
     built directly in array form so the probe never touches a graph.
     """
     num_nodes = max(num_pairs // 4, 8)
-    rng = np.random.default_rng(12345)
+    rng = make_np_rng(12345)
     targets = rng.integers(0, num_nodes, size=num_pairs)
     counts = np.bincount(
         rng.integers(0, num_nodes, size=num_pairs), minlength=num_nodes

@@ -28,6 +28,19 @@ def make_rng(seed: SeedLike = None) -> random.Random:
     return random.Random(seed)
 
 
+def make_np_rng(seed: Union[int, None] = None):
+    """Return a seeded ``numpy.random.Generator``.
+
+    The one sanctioned construction point for numpy randomness (enforced
+    by repro-lint RPL402), mirroring :func:`make_rng` for the array side.
+    numpy is imported lazily so ``repro.utils`` keeps working in
+    numpy-free environments.
+    """
+    import numpy  # repro.utils must import without numpy installed
+
+    return numpy.random.default_rng(seed)
+
+
 def spawn_rngs(seed: SeedLike, count: int) -> list:
     """Derive ``count`` independent generators from one seed.
 

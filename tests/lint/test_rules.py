@@ -1,0 +1,495 @@
+"""Fixture snippets proving every repro-lint code fires — and suppresses.
+
+Each case is a minimal source snippet placed at a path that puts it in
+the relevant rule's scope.  The shared ``assert_fires`` helper also
+re-lints the snippet with a pragma injected on the finding line and
+asserts the finding disappears, so the suppression machinery is
+exercised for *every* code, not just the ones we remembered.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from typing import List
+
+import pytest
+
+from repro.lint import lint_source
+from repro.lint.findings import CODES, Finding
+
+
+def _lint(source: str, path: str) -> List[Finding]:
+    return lint_source(textwrap.dedent(source), path)
+
+
+def assert_fires(source: str, path: str, code: str) -> List[Finding]:
+    """Snippet produces ``code``; the same snippet pragma'd does not."""
+    source = textwrap.dedent(source)
+    findings = [f for f in lint_source(source, path) if f.code == code]
+    assert findings, f"{code} did not fire"
+    # Inject a disable-next pragma above every finding line; every
+    # occurrence of the code must vanish.
+    lines = source.splitlines()
+    for finding in sorted(findings, key=lambda f: -f.line):
+        indent = lines[finding.line - 1][
+            : len(lines[finding.line - 1]) - len(lines[finding.line - 1].lstrip())
+        ]
+        lines.insert(finding.line - 1, f"{indent}# repro-lint: disable-next={code}")
+    suppressed = lint_source("\n".join(lines) + "\n", path)
+    assert not [f for f in suppressed if f.code == code], (
+        f"disable-next pragma did not suppress {code}"
+    )
+    return findings
+
+
+# ----------------------------------------------------------------------
+# RPL1xx — layer contracts
+# ----------------------------------------------------------------------
+def test_rpl101_upward_module_import():
+    findings = assert_fires(
+        "from repro.parallel.executor import ShardedOracleExecutor\n",
+        "src/repro/influence/fixture.py",
+        "RPL101",
+    )
+    assert "upward" in findings[0].message
+
+
+def test_rpl101_cross_layer_import():
+    findings = assert_fires(
+        "import repro.submodular.sieve\n",
+        "src/repro/influence/fixture.py",
+        "RPL101",
+    )
+    assert "cross-layer" in findings[0].message
+
+
+def test_rpl101_downward_import_allowed():
+    assert not _lint(
+        "from repro.kernels import TraversalKernel\n",
+        "src/repro/parallel/fixture.py",
+    )
+
+
+def test_rpl101_intra_package_import_allowed():
+    assert not _lint(
+        "from repro.influence.oracle import InfluenceOracle\n",
+        "src/repro/influence/fixture.py",
+    )
+
+
+def test_rpl102_lazy_upward_import():
+    assert_fires(
+        """
+        def build():
+            from repro.parallel.executor import ShardedOracleExecutor
+
+            return ShardedOracleExecutor(2)
+        """,
+        "src/repro/influence/fixture.py",
+        "RPL102",
+    )
+
+
+def test_rpl104_unplaced_module():
+    assert_fires(
+        "import repro.widgets\n",
+        "src/repro/core/fixture.py",
+        "RPL104",
+    )
+
+
+def test_rpl103_traversal_loop_outside_kernel():
+    source = """
+    def sweep(indptr, indices, n):
+        out = []
+        for u in range(n):
+            for j in range(indptr[u], indptr[u + 1]):
+                out.append(indices[j])
+        return out
+    """
+    findings = assert_fires(source, "src/repro/tdn/fixture.py", "RPL103")
+    # Outer loop owns the finding; the inner loop is not double-counted.
+    assert len(findings) == 1
+
+
+def test_rpl103_exempt_in_owner_file():
+    source = """
+    def sweep(indptr, indices, n):
+        out = []
+        for u in range(n):
+            for j in range(indptr[u], indptr[u + 1]):
+                out.append(indices[j])
+        return out
+    """
+    assert not _lint(source, "src/repro/kernels/traversal.py")
+
+
+# ----------------------------------------------------------------------
+# RPL2xx — shared-memory lifecycle
+# ----------------------------------------------------------------------
+def test_rpl201_create_without_unlink():
+    assert_fires(
+        """
+        from multiprocessing.shared_memory import SharedMemory
+
+
+        class Owner:
+            def __init__(self):
+                self.seg = SharedMemory(create=True, size=64)
+
+            def close(self):
+                self.seg.close()
+        """,
+        "src/repro/parallel/fixture.py",
+        "RPL201",
+    )
+
+
+def test_rpl201_owner_with_unlink_passes():
+    assert not _lint(
+        """
+        from multiprocessing.shared_memory import SharedMemory
+
+
+        class Owner:
+            def __init__(self):
+                self.seg = SharedMemory(create=True, size=64)
+
+            def close(self):
+                self.seg.close()
+                self.seg.unlink()
+        """,
+        "src/repro/parallel/fixture.py",
+    )
+
+
+def test_rpl201_inline_probe_passes():
+    assert not _lint(
+        """
+        from multiprocessing.shared_memory import SharedMemory
+
+
+        def probe():
+            seg = SharedMemory(create=True, size=16)
+            seg.close()
+            seg.unlink()
+            return True
+        """,
+        "src/repro/parallel/fixture.py",
+    )
+
+
+def test_rpl202_attach_without_close():
+    assert_fires(
+        """
+        from multiprocessing.shared_memory import SharedMemory
+
+
+        class Attacher:
+            def __init__(self, name):
+                self.seg = SharedMemory(name=name)
+        """,
+        "src/repro/parallel/fixture.py",
+        "RPL202",
+    )
+
+
+def test_rpl203_segment_name_literal():
+    assert_fires(
+        'NAME = "plane-hdr"\n',
+        "src/repro/parallel/fixture.py",
+        "RPL203",
+    )
+
+
+def test_rpl203_fstring_stem():
+    assert_fires(
+        """
+        def name_for(prefix, seq):
+            return f"{prefix}-w{seq}"
+        """,
+        "src/repro/parallel/fixture.py",
+        "RPL203",
+    )
+
+
+def test_rpl203_exempt_in_plane():
+    assert not _lint(
+        """
+        def name_for(prefix, seq):
+            return f"{prefix}-w{seq}"
+        """,
+        "src/repro/parallel/plane.py",
+    )
+
+
+def test_rpl203_docstrings_skipped():
+    assert not _lint(
+        '"""Segments are named {prefix}-hdr and {prefix}-g1-ip."""\n',
+        "src/repro/parallel/fixture.py",
+    )
+
+
+# ----------------------------------------------------------------------
+# RPL3xx — concurrency hazards
+# ----------------------------------------------------------------------
+def test_rpl301_time_sleep_in_async():
+    assert_fires(
+        """
+        import time
+
+
+        async def poll():
+            time.sleep(1.0)
+        """,
+        "src/repro/parallel/fixture.py",
+        "RPL301",
+    )
+
+
+def test_rpl301_blocking_shutdown_in_async():
+    assert_fires(
+        """
+        async def close(pool):
+            pool.shutdown(wait=True)
+        """,
+        "src/repro/parallel/fixture.py",
+        "RPL301",
+    )
+
+
+def test_rpl301_awaited_join_is_fine():
+    assert not _lint(
+        """
+        async def drain(queue):
+            await queue.join()
+        """,
+        "src/repro/parallel/fixture.py",
+    )
+
+
+def test_rpl301_sync_function_not_flagged():
+    assert not _lint(
+        """
+        import time
+
+
+        def poll():
+            time.sleep(1.0)
+        """,
+        "src/repro/parallel/fixture.py",
+    )
+
+
+def test_rpl301_nested_def_not_flagged():
+    assert not _lint(
+        """
+        import time
+
+
+        async def outer():
+            def helper():
+                time.sleep(1.0)
+
+            return helper
+        """,
+        "src/repro/parallel/fixture.py",
+    )
+
+
+def test_rpl302_fork_context():
+    assert_fires(
+        """
+        import multiprocessing
+
+
+        def make_pool():
+            return multiprocessing.get_context("fork")
+        """,
+        "src/repro/parallel/fixture.py",
+        "RPL302",
+    )
+
+
+def test_rpl302_spawn_passes():
+    assert not _lint(
+        """
+        import multiprocessing
+
+
+        def make_pool():
+            return multiprocessing.get_context("spawn")
+        """,
+        "src/repro/parallel/fixture.py",
+    )
+
+
+def test_rpl303_write_outside_writers():
+    assert_fires(
+        """
+        from repro.parallel.markers import published_plane
+
+
+        @published_plane("indptr", writers=("__init__",))
+        class Engine:
+            def __init__(self, indptr):
+                self.indptr = indptr
+
+            def clobber(self):
+                self.indptr[0] = 7
+        """,
+        "src/repro/parallel/fixture.py",
+        "RPL303",
+    )
+
+
+def test_rpl303_declared_writer_passes():
+    assert not _lint(
+        """
+        from repro.parallel.markers import published_plane
+
+
+        @published_plane("weights", writers=("__init__", "detach"))
+        class Attachment:
+            def __init__(self, weights):
+                self.weights = weights
+
+            def detach(self):
+                self.weights = None
+        """,
+        "src/repro/parallel/fixture.py",
+    )
+
+
+# ----------------------------------------------------------------------
+# RPL4xx — determinism
+# ----------------------------------------------------------------------
+def test_rpl401_float_fold_over_set():
+    assert_fires(
+        """
+        def total(weight_of, nodes: set):
+            value = 0.0
+            for node in nodes:
+                value += weight_of(node)
+            return value
+        """,
+        "src/repro/influence/fixture.py",
+        "RPL401",
+    )
+
+
+def test_rpl401_sorted_fold_passes():
+    assert not _lint(
+        """
+        def total(weight_of, nodes: set):
+            value = 0.0
+            for node in sorted(nodes):
+                value += weight_of(node)
+            return value
+        """,
+        "src/repro/influence/fixture.py",
+    )
+
+
+def test_rpl401_commutative_sink_passes():
+    assert not _lint(
+        """
+        def union(groups: set, members_of):
+            out = set()
+            for group in groups:
+                out.update(members_of(group))
+            return out
+        """,
+        "src/repro/influence/fixture.py",
+    )
+
+
+def test_rpl401_listcomp_over_set():
+    assert_fires(
+        """
+        def order(nodes: frozenset):
+            return [n for n in nodes]
+        """,
+        "src/repro/influence/fixture.py",
+        "RPL401",
+    )
+
+
+def test_rpl401_sum_genexp_over_set_returning_call():
+    assert_fires(
+        """
+        from repro.influence.reachability import reachable_set
+
+
+        def spread(graph, seeds, weight_of):
+            return sum(weight_of(n) for n in reachable_set(graph, seeds, None))
+        """,
+        "src/repro/influence/fixture.py",
+        "RPL401",
+    )
+
+
+def test_rpl401_out_of_scope_path_not_flagged():
+    assert not _lint(
+        """
+        def order(nodes: frozenset):
+            return [n for n in nodes]
+        """,
+        "src/repro/analysis/fixture.py",
+    )
+
+
+def test_rpl402_numpy_random():
+    assert_fires(
+        """
+        import numpy as np
+
+
+        def probe():
+            return np.random.default_rng(7)
+        """,
+        "src/repro/tdn/fixture.py",
+        "RPL402",
+    )
+
+
+def test_rpl402_import_random():
+    assert_fires(
+        "import random\n",
+        "src/repro/core/fixture.py",
+        "RPL402",
+    )
+
+
+def test_rpl402_exempt_in_rng_owner():
+    assert not _lint(
+        "import random\n",
+        "src/repro/utils/rng.py",
+    )
+
+
+# ----------------------------------------------------------------------
+# Internal + meta
+# ----------------------------------------------------------------------
+def test_rpl001_unparseable():
+    findings = _lint("def broken(:\n", "src/repro/core/fixture.py")
+    assert [f.code for f in findings] == ["RPL001"]
+
+
+def test_same_line_pragma():
+    source = 'import random  # repro-lint: disable=RPL402\n'
+    assert not _lint(source, "src/repro/core/fixture.py")
+
+
+@pytest.mark.parametrize("code", sorted(set(CODES) - {"RPL001"}))
+def test_every_code_is_exercised(code):
+    """Every documented code has a fixture above that proves it fires.
+
+    The per-code tests each call ``assert_fires`` with their code; this
+    meta-test just pins the registry so adding a code without a fixture
+    fails loudly (the module source must mention the code in a test).
+    """
+    import pathlib
+
+    module_source = pathlib.Path(__file__).read_text(encoding="utf-8")
+    assert f'"{code}"' in module_source or f"'{code}'" in module_source
