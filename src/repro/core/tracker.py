@@ -183,6 +183,10 @@ class InfluenceTracker:
         """Release the oracle's worker pool, if any (idempotent)."""
         self.oracle.close()
 
+    def health_report(self) -> Optional[dict]:
+        """The parallel engine's health snapshot (None when serial)."""
+        return self.oracle.health_report()
+
     def __enter__(self) -> "InfluenceTracker":
         return self
 

@@ -510,6 +510,17 @@ class InfluenceOracle:
         if self._owns_executor and self._executor is not None:
             self._executor.close()
 
+    def health_report(self) -> Optional[dict]:
+        """The sharded executor's degradation/health snapshot.
+
+        ``None`` for a serial oracle; otherwise the executor's
+        :meth:`~repro.parallel.executor.ShardedOracleExecutor.
+        health_report` (state, reason, restart budget, incidents, …).
+        """
+        if self._executor is None:
+            return None
+        return self._executor.health_report()
+
     # ------------------------------------------------------------------
     def spread(self, nodes: Iterable[Node], min_expiry: Optional[float] = None) -> int:
         """Return ``f_t(S)``: distinct nodes reachable from ``nodes``.

@@ -218,6 +218,12 @@ class WeightedInfluenceOracle:
             if self._owns_executor:
                 self._executor.close()
 
+    def health_report(self) -> Optional[dict]:
+        """The sharded executor's degradation/health snapshot (None = serial)."""
+        if self._executor is None:
+            return None
+        return self._executor.health_report()
+
     def sync_dirty(self):
         """Sync the memo table now; returns the dirty cone when one ran.
 

@@ -16,6 +16,13 @@
   (``repro.parallel.markers``), outside the writer methods each marker
   declares.  The registry is built from the *AST* of every linted file
   first (two-phase), so the linter never imports the code it checks.
+* **RPL304** — broad exception swallowing inside ``repro/parallel/``.
+  A bare ``except:`` or ``except Exception/BaseException:`` whose body
+  neither re-raises, records a :class:`DegradationReason` (directly or
+  via a ``degrade``/``note_incident`` call), nor *uses* the bound
+  exception value hides exactly the worker faults the supervised
+  recovery layer exists to surface.  Narrow exception types are never
+  flagged; deliberate best-effort teardown swallows carry a pragma.
 """
 
 from __future__ import annotations
@@ -23,6 +30,7 @@ from __future__ import annotations
 import ast
 from typing import Dict, FrozenSet, List, Optional, Set
 
+from repro.lint.config import is_under
 from repro.lint.findings import Finding
 
 #: class name -> attr -> writer-method names, built by collect_registry.
@@ -37,6 +45,7 @@ def check(
 ) -> List[Finding]:
     findings = _check_async_blocking(tree, path)
     findings.extend(_check_fork_context(tree, path))
+    findings.extend(_check_swallowed_exceptions(tree, path))
     if registry:
         findings.extend(_check_published_writes(tree, path, registry))
     return findings
@@ -201,6 +210,115 @@ def _check_fork_context(tree: ast.Module, path: str) -> List[Finding]:
                         "plane mappings and lock state)",
                     )
                 )
+    return findings
+
+
+# ----------------------------------------------------------------------
+# RPL304: swallowed broad excepts in the parallel stack
+# ----------------------------------------------------------------------
+#: Path fragment the rule covers — the supervised-recovery stack, where a
+#: silent swallow hides exactly the faults the ladder exists to surface.
+_SWALLOW_SCOPE = "repro/parallel/"
+_BROAD_EXCEPTIONS = {"Exception", "BaseException"}
+#: Call-name substrings that count as recording the fault.
+_RECORDING_CALLS = ("degrade", "note_incident")
+
+
+def _exception_names(expr: Optional[ast.expr]) -> List[Optional[str]]:
+    """Flat exception-type names a handler catches (``None`` = bare)."""
+    if expr is None:
+        return [None]
+    if isinstance(expr, ast.Tuple):
+        names: List[Optional[str]] = []
+        for element in expr.elts:
+            names.extend(_exception_names(element))
+        return names
+    if isinstance(expr, ast.Name):
+        return [expr.id]
+    if isinstance(expr, ast.Attribute):
+        return [expr.attr]
+    return ["<unknown>"]
+
+
+def _broad_name(handler: ast.ExceptHandler) -> Optional[str]:
+    """The broad clause a handler catches, rendered, or ``None`` if narrow."""
+    for name in _exception_names(handler.type):
+        if name is None:
+            return "bare except:"
+        if name in _BROAD_EXCEPTIONS:
+            return f"except {name}:"
+    return None
+
+
+def _call_name(call: ast.Call) -> Optional[str]:
+    func = call.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def _handler_recovers(handler: ast.ExceptHandler) -> bool:
+    """Whether the handler's own body re-raises or records the fault.
+
+    Counts: any ``raise``, any reference to ``DegradationReason``, any
+    call whose name mentions ``degrade``/``note_incident``, or a read of
+    the bound exception variable (``as exc`` that is then *used* — e.g.
+    stashed on ``self._failure`` or logged — is surfacing, not
+    swallowing).  Nested ``def``s are excluded: code in them runs later,
+    from somewhere else, and does not handle *this* exception.
+    """
+    bound = handler.name
+    stack: List[ast.AST] = list(handler.body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if isinstance(node, ast.Raise):
+            return True
+        if isinstance(node, ast.Name):
+            if node.id == "DegradationReason":
+                return True
+            if (
+                bound is not None
+                and node.id == bound
+                and isinstance(node.ctx, ast.Load)
+            ):
+                return True
+        if isinstance(node, ast.Attribute) and node.attr == "DegradationReason":
+            return True
+        if isinstance(node, ast.Call):
+            name = _call_name(node)
+            if name is not None and any(
+                marker in name for marker in _RECORDING_CALLS
+            ):
+                return True
+        stack.extend(ast.iter_child_nodes(node))
+    return False
+
+
+def _check_swallowed_exceptions(tree: ast.Module, path: str) -> List[Finding]:
+    if not is_under(path, _SWALLOW_SCOPE):
+        return []
+    findings: List[Finding] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ExceptHandler):
+            continue
+        broad = _broad_name(node)
+        if broad is None or _handler_recovers(node):
+            continue
+        findings.append(
+            Finding(
+                path,
+                node.lineno,
+                "RPL304",
+                f"{broad} swallows the exception in the parallel stack; "
+                "re-raise, record a DegradationReason "
+                "(degrade()/note_incident()), use the bound exception, or "
+                "carry a pragma explaining the deliberate swallow",
+            )
+        )
     return findings
 
 

@@ -43,6 +43,11 @@ CODES = {
         "write to an array attribute marked immutable-after-publish "
         "(@published_plane) outside its declared writer methods"
     ),
+    "RPL304": (
+        "broad except swallows the exception in repro/parallel/ "
+        "(handler must re-raise, record a DegradationReason, or carry a "
+        "pragma — silent swallows hide worker faults)"
+    ),
     # -- RPL4xx: determinism -------------------------------------------
     "RPL401": (
         "iteration over a set/dict feeding order-sensitive accumulation "

@@ -1,0 +1,279 @@
+"""Degradation state machine for the parallel serving stack.
+
+The sharded executor's original defense against faults was a one-way
+ladder: any failure flipped a ``degraded`` string and the executor ran
+serially forever, with one generic warning.  That is safe (results never
+differ from serial) but wasteful — a single worker crash permanently
+forfeits every core — and opaque: operators cannot ask *why* the
+executor is serial or whether it will come back.
+
+:class:`DegradationLadder` replaces the string with an explicit state
+machine:
+
+* **SHARDED** — the pool is healthy; requests are partitioned across it.
+* **DEGRADED** — requests are served serially for a *recoverable*
+  :class:`DegradationReason` (worker death, attach failure, publish
+  failure, …).  After the recorded backoff expires the owner may attempt
+  recovery (respawn dead workers, republish the plane) and transition
+  back to SHARDED.
+* **HALTED** — serial forever, for a *terminal* reason (shared memory
+  unavailable, restart budget exhausted, explicit close, single-worker
+  configuration).  No recovery is ever attempted.
+
+Every transition is recorded (bounded history), surfaced through
+:meth:`DegradationLadder.report`, and announced with at most one warning
+per reason per ``warn_interval`` — repeated flapping on the same reason
+never floods the log, and each warning carries a recovery hint.  The
+ladder never touches results: degradation changes *where* a value is
+computed, never what it is.
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+import warnings
+from typing import Callable, Dict, List, Optional, Tuple
+
+__all__ = [
+    "DegradationLadder",
+    "DegradationReason",
+    "DegradationState",
+    "TERMINAL_REASONS",
+]
+
+
+class DegradationReason(enum.Enum):
+    """Why the stack is (or once was) serving serially."""
+
+    #: Configured with ``workers <= 1`` — serial by construction.
+    SINGLE_WORKER = "single worker configuration"
+    #: POSIX shared memory is unusable on this host.
+    NO_SHM = "shared memory unavailable"
+    #: Plane / queue / process creation failed at pool startup.
+    POOL_START_FAILED = "pool startup failed"
+    #: A worker process died while tasks were in flight.
+    WORKER_DEATH = "worker process died"
+    #: A worker reported a task error (non-attach).
+    WORKER_ERROR = "worker reported an error"
+    #: A worker could not attach the published plane (skew / missing).
+    ATTACH_TIMEOUT = "plane attach failed or timed out"
+    #: A shard missed its per-task deadline twice (retry exhausted).
+    TASK_TIMEOUT = "shard deadline exceeded"
+    #: Publishing the CSR plane (or weights) into shared memory failed.
+    PUBLISH_FAILED = "plane publish failed"
+    #: The supervisor's worker restart budget ran out.
+    RESTART_BUDGET_EXHAUSTED = "worker restart budget exhausted"
+    #: The ingest service's writer thread died.
+    WRITER_DEATH = "ingest writer thread died"
+    #: Explicitly closed by the owner.
+    CLOSED = "closed"
+
+
+#: Reasons that can never recover: once entered, the ladder is HALTED.
+TERMINAL_REASONS = frozenset(
+    {
+        DegradationReason.SINGLE_WORKER,
+        DegradationReason.NO_SHM,
+        DegradationReason.RESTART_BUDGET_EXHAUSTED,
+        DegradationReason.CLOSED,
+    }
+)
+
+#: Reasons that describe configuration, not failure — no warning emitted.
+_SILENT_REASONS = frozenset(
+    {DegradationReason.SINGLE_WORKER, DegradationReason.CLOSED}
+)
+
+#: Operator-facing hint appended to each reason's (single) warning.
+RECOVERY_HINTS: Dict[DegradationReason, str] = {
+    DegradationReason.NO_SHM: (
+        "serving serially permanently; mount /dev/shm or drop workers to 1"
+    ),
+    DegradationReason.POOL_START_FAILED: (
+        "will retry pool startup after backoff"
+    ),
+    DegradationReason.WORKER_DEATH: (
+        "dead workers are respawned within the restart budget; "
+        "sharded mode resumes automatically"
+    ),
+    DegradationReason.WORKER_ERROR: (
+        "the failing shard was recomputed serially; sharded mode resumes "
+        "after backoff"
+    ),
+    DegradationReason.ATTACH_TIMEOUT: (
+        "the shard was recomputed serially; attach is retried after backoff"
+    ),
+    DegradationReason.TASK_TIMEOUT: (
+        "the slow shard fell back to serial; raise task_timeout / "
+        "REPRO_TASK_TIMEOUT for legitimately long sweeps"
+    ),
+    DegradationReason.PUBLISH_FAILED: (
+        "serving serially until the next publish attempt succeeds"
+    ),
+    DegradationReason.RESTART_BUDGET_EXHAUSTED: (
+        "serving serially permanently; the pool crashed more than "
+        "restart_budget times"
+    ),
+    DegradationReason.WRITER_DEATH: (
+        "the writer is restarted and unapplied batches are replayed from "
+        "the journal"
+    ),
+}
+
+
+class DegradationState(enum.Enum):
+    """Where requests are currently served."""
+
+    SHARDED = "sharded"
+    DEGRADED = "degraded"
+    HALTED = "halted"
+
+
+class DegradationLadder:
+    """Tracks degradation state, transitions, backoff and warnings.
+
+    One instance backs each :class:`~repro.parallel.executor.
+    ShardedOracleExecutor` (and the :class:`~repro.parallel.service.
+    IngestService` reuses the reason enum for its writer).  The ladder is
+    bookkeeping only — owners decide *when* to degrade or recover; the
+    ladder records it, rate-limits the operator warnings, and answers
+    ``can_attempt_recovery`` from the stored backoff deadline.
+
+    Args:
+        warn_interval: minimum seconds between two warnings for the
+            *same* reason.  The first transition to each reason always
+            warns; flapping within the interval is silent (but still
+            recorded in the transition history and incident counters).
+        clock: monotonic clock injection point (tests).
+        history_limit: bound on the retained transition history.
+    """
+
+    def __init__(
+        self,
+        *,
+        warn_interval: float = 300.0,
+        clock: Callable[[], float] = time.monotonic,
+        history_limit: int = 32,
+    ) -> None:
+        self._clock = clock
+        self._warn_interval = warn_interval
+        self._history_limit = max(1, history_limit)
+        self.state = DegradationState.SHARDED
+        self.reason: Optional[DegradationReason] = None
+        self.detail: str = ""
+        self.retry_at: float = 0.0
+        self.transitions: List[Tuple[str, str, str]] = []
+        self.incidents: Dict[str, int] = {}
+        self.recoveries = 0
+        self._warned_at: Dict[DegradationReason, float] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def healthy(self) -> bool:
+        """Whether requests may be dispatched to the pool right now."""
+        return self.state is DegradationState.SHARDED
+
+    @property
+    def halted(self) -> bool:
+        """Whether degradation is permanent (no recovery will be tried)."""
+        return self.state is DegradationState.HALTED
+
+    def can_attempt_recovery(self, now: Optional[float] = None) -> bool:
+        """Whether a recovery attempt is due (DEGRADED and backoff over)."""
+        if self.state is not DegradationState.DEGRADED:
+            return False
+        if now is None:
+            now = self._clock()
+        return now >= self.retry_at
+
+    # ------------------------------------------------------------------
+    def note_incident(self, reason: DegradationReason, detail: str = "") -> None:
+        """Record a fault that did *not* change the serving state.
+
+        Used for faults absorbed without leaving SHARDED — e.g. a slow
+        shard that fell back to serial for that task only, or a worker
+        death whose respawn succeeded within the same request.  Counted
+        (and warned, rate-limited) but the state machine does not move.
+        """
+        self.incidents[reason.name] = self.incidents.get(reason.name, 0) + 1
+        self._record("incident", reason, detail)
+        self._warn(reason, detail)
+
+    def degrade(
+        self,
+        reason: DegradationReason,
+        detail: str = "",
+        *,
+        retry_delay: float = 0.0,
+    ) -> None:
+        """Enter DEGRADED (or HALTED for terminal reasons).
+
+        ``retry_delay`` seconds must elapse before
+        :meth:`can_attempt_recovery` answers True.  Degrading an already
+        HALTED ladder is a no-op — terminal states are sticky.
+        """
+        if self.halted:
+            return
+        self.incidents[reason.name] = self.incidents.get(reason.name, 0) + 1
+        terminal = reason in TERMINAL_REASONS
+        self.state = (
+            DegradationState.HALTED if terminal else DegradationState.DEGRADED
+        )
+        self.reason = reason
+        self.detail = detail
+        self.retry_at = self._clock() + max(0.0, retry_delay)
+        self._record(self.state.value, reason, detail)
+        self._warn(reason, detail)
+
+    def recover(self, detail: str = "") -> None:
+        """Return to SHARDED (no-op when HALTED — terminal is terminal)."""
+        if self.halted or self.state is DegradationState.SHARDED:
+            return
+        self.state = DegradationState.SHARDED
+        self.reason = None
+        self.detail = ""
+        self.retry_at = 0.0
+        self.recoveries += 1
+        self._record("recovered", None, detail)
+
+    # ------------------------------------------------------------------
+    def _record(
+        self, event: str, reason: Optional[DegradationReason], detail: str
+    ) -> None:
+        self.transitions.append((event, reason.name if reason else "", detail))
+        if len(self.transitions) > self._history_limit:
+            del self.transitions[: -self._history_limit]
+
+    def _warn(self, reason: DegradationReason, detail: str) -> None:
+        """One warning per reason per ``warn_interval`` — never a flood."""
+        if reason in _SILENT_REASONS:
+            return
+        now = self._clock()
+        last = self._warned_at.get(reason)
+        if last is not None and now - last < self._warn_interval:
+            return
+        self._warned_at[reason] = now
+        hint = RECOVERY_HINTS.get(reason, "serving serially")
+        suffix = f" ({detail})" if detail else ""
+        warnings.warn(
+            f"parallel stack degraded [{reason.name}]: "
+            f"{reason.value}{suffix}; {hint}",
+            RuntimeWarning,
+            stacklevel=4,
+        )
+
+    def report(self) -> Dict[str, object]:
+        """Inspectable snapshot (the executor's ``health_report`` core)."""
+        return {
+            "state": self.state.value,
+            "reason": self.reason.name if self.reason else None,
+            "detail": self.detail,
+            "recoveries": self.recoveries,
+            "incidents": dict(sorted(self.incidents.items())),
+            "transitions": list(self.transitions),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        reason = f", reason={self.reason.name}" if self.reason else ""
+        return f"DegradationLadder(state={self.state.value}{reason})"

@@ -1,4 +1,4 @@
-"""Sharded oracle executor: a persistent worker pool over the CSR plane.
+"""Sharded oracle executor: a supervised worker pool over the CSR plane.
 
 :class:`ShardedOracleExecutor` partitions the oracle's batched sweeps —
 ``spread_many`` bit-plane batches, the weighted oracle's 64-wide weighted
@@ -16,30 +16,37 @@ splitting a batch across workers and splicing the per-shard results back
 in submission order reproduces the serial output exactly; and reachability
 distributes over seed union (``ancestors(A | B) = ancestors(A) |
 ancestors(B)``), so shard-merged ancestor sweeps equal the single sweep.
+Every recovery path preserves this: a shard the pool cannot answer —
+worker died, errored, missed its deadline, task quarantined — is
+recomputed serially *for that shard only* through the same
+:class:`~repro.kernels.TraversalKernel` physics, so a request never
+observes a partial or divergent answer no matter what failed under it.
 Oracle *call accounting* lives entirely in the oracle layer and is never
 touched here.  The equivalence suite pins all three trackers to
-bit-identical solutions, values and call counts under ``workers=2``.
+bit-identical solutions, values and call counts under ``workers=2``; the
+chaos suite (:mod:`tests.parallel.test_faults`) pins the same bar under
+seeded fault plans.
 
-Fallback ladder
----------------
-The executor degrades gracefully, never silently changing results:
-
-* ``workers <= 1`` — pure serial: every query routes to the owning
-  graph's :class:`~repro.tdn.csr.DeltaCSR` engine.
-* shared memory unavailable (locked-down container, no ``/dev/shm``) —
-  probed once at first use; serial thereafter.
-* batches smaller than ``min_batch`` — dispatch overhead would dominate;
-  served serially (identical values either way).
-* a worker dies or errors mid-request — the pool is torn down, the
-  request is answered serially, and the executor stays in serial mode
-  (``degraded``) with one warning.
+Supervision and degradation
+---------------------------
+Worker liveness is checked on every dispatch round-trip.  Dead workers
+are respawned by a :class:`~repro.parallel.supervisor.WorkerSupervisor`
+under a bounded restart budget with jittered exponential backoff; a task
+that kills two workers is quarantined (serial forever, never retried into
+the pool).  Pool-level failures move an explicit
+:class:`~repro.parallel.degradation.DegradationLadder` through
+``SHARDED → DEGRADED → SHARDED`` (recoverable reasons: publish failure,
+pool startup failure, total worker loss) or ``→ HALTED`` (terminal: no
+shared memory, restart budget exhausted, closed).  The whole machine is
+inspectable via :meth:`ShardedOracleExecutor.health_report`.
 
 Lifecycle
 ---------
 The pool and plane are created lazily on the first parallel-eligible
 request and torn down by :meth:`close` (also registered via
-``weakref.finalize``, so an abandoned executor cannot leak segments or
-processes).  Publishing is amortized per graph *epoch*:
+``weakref.finalize`` over the supervisor's *live* process table, so an
+abandoned executor cannot leak segments or processes — including
+respawned ones).  Publishing is amortized per graph *epoch*:
 :meth:`ensure_plane` republishes only when the owning graph's version
 moved since the last publish.
 """
@@ -47,13 +54,16 @@ moved since the last publish.
 from __future__ import annotations
 
 import os
+import queue as queue_mod
 import time
 import warnings
 import weakref
 from typing import (
     TYPE_CHECKING,
     Any,
+    Callable,
     Dict,
+    Hashable,
     Iterable,
     List,
     Optional,
@@ -68,12 +78,15 @@ if TYPE_CHECKING:
     from repro.tdn.graph import TDNGraph
 
 from repro.parallel import worker as worker_mod
+from repro.parallel.degradation import DegradationLadder, DegradationReason
+from repro.parallel.faults import FaultInjected, FaultPlan
 from repro.parallel.plane import (
     SharedCSRPlane,
     SharedWeights,
     shared_memory_available,
     weights_segment_name,
 )
+from repro.parallel.supervisor import QUARANTINE_STRIKES, WorkerSupervisor
 
 __all__ = ["ShardedOracleExecutor", "shard_slices", "merge_shard_counts"]
 
@@ -90,12 +103,21 @@ DEFAULT_MIN_BATCH = 8
 DEFAULT_ANCESTOR_MIN_BATCH = 64
 
 #: Default seconds without *any* shard result before declaring the pool
-#: dead — whether the workers exited or merely wedged.  The clock
-#: restarts on every received result, so a request making steady
+#: wedged — the last-ditch watchdog behind the per-task deadlines.  The
+#: clock restarts on every received result, so a request making steady
 #: progress never trips it; raise the bound (constructor or
 #: ``REPRO_RESULT_TIMEOUT``) for graphs whose single-shard sweeps
 #: legitimately run longer than this.
 RESULT_TIMEOUT = 60.0
+
+#: Default per-task deadline in seconds: a shard with no reply by then is
+#: retried once on the (healthy) pool, then recomputed serially for that
+#: task only.  Override via constructor or ``REPRO_TASK_TIMEOUT``.
+TASK_TIMEOUT = 30.0
+
+#: Result-queue poll interval while shards are outstanding; every poll is
+#: also a liveness round-trip over the worker table.
+_POLL_INTERVAL = 0.05
 
 
 def shard_slices(num_items: int, num_shards: int) -> List[Tuple[int, int]]:
@@ -135,7 +157,7 @@ def merge_shard_counts(
 
 
 class ShardedOracleExecutor:
-    """Partition batched oracle sweeps across a persistent worker pool.
+    """Partition batched oracle sweeps across a supervised worker pool.
 
     Args:
         workers: worker process count.  ``<= 1`` means serial (no pool,
@@ -147,10 +169,19 @@ class ShardedOracleExecutor:
             (ancestor / dirty-cone) sweeps — sharding those makes every
             worker build the plane transpose first, which only pays off
             for wide seed sets.
+        result_timeout: whole-request no-progress watchdog (seconds).
+        task_timeout: per-shard deadline (seconds): timeout → one retry
+            on the pool → serial fallback for that shard only.
+        restart_budget: total worker respawns allowed before the executor
+            degrades permanently (see :class:`WorkerSupervisor`).
         mp_context: multiprocessing start method (``"spawn"`` default:
             safe under threads and asyncio; ``"fork"`` starts faster).
             Override via ``REPRO_MP_CONTEXT`` as well.
         plane_prefix: shared-memory segment name prefix (random default).
+        fault_plan: injected fault schedule (chaos tests); defaults to
+            :meth:`FaultPlan.from_env` (``REPRO_FAULTS``), i.e. no faults.
+        supervisor_seed: backoff-jitter seed; the fault plan's ``seed``
+            is used when unset, so chaos runs are fully replayable.
     """
 
     def __init__(
@@ -160,9 +191,22 @@ class ShardedOracleExecutor:
         min_batch: int = DEFAULT_MIN_BATCH,
         ancestor_min_batch: int = DEFAULT_ANCESTOR_MIN_BATCH,
         result_timeout: Optional[float] = None,
+        task_timeout: Optional[float] = None,
+        restart_budget: Optional[int] = None,
         mp_context: Optional[str] = None,
         plane_prefix: Optional[str] = None,
+        fault_plan: Optional[FaultPlan] = None,
+        supervisor_seed: Optional[int] = None,
     ) -> None:
+        # The ladder exists before any validation so close() is safe even
+        # on a half-constructed instance.
+        self._ladder = DegradationLadder()
+        self._supervisor: Optional[WorkerSupervisor] = None
+        self._plane: Optional[SharedCSRPlane] = None
+        self._task_queue: Any = None
+        self._result_queue: Any = None
+        self._ctx: Any = None
+        self._finalizer = weakref.finalize(self, _noop)
         if workers < 0:
             raise ValueError(f"workers must be >= 0, got {workers}")
         self.workers = workers
@@ -173,120 +217,244 @@ class ShardedOracleExecutor:
                 os.environ.get("REPRO_RESULT_TIMEOUT", RESULT_TIMEOUT)
             )
         self.result_timeout = max(1.0, result_timeout)
+        if task_timeout is None:
+            task_timeout = float(os.environ.get("REPRO_TASK_TIMEOUT", TASK_TIMEOUT))
+        self.task_timeout = max(0.05, task_timeout)
+        self._restart_budget = restart_budget
         self._mp_method = mp_context or os.environ.get("REPRO_MP_CONTEXT", "spawn")
         self._plane_prefix = plane_prefix
-        self._plane: Optional[SharedCSRPlane] = None
+        self._fault_plan = fault_plan if fault_plan is not None else FaultPlan.from_env()
+        if supervisor_seed is None and self._fault_plan is not None:
+            supervisor_seed = self._fault_plan.seed
+        self._supervisor_seed = supervisor_seed
         # Published weight arrays, keyed by the caller's weights key.  The
         # dict object itself is shared with the GC finalizer, so segments
         # registered after pool startup still get unlinked on teardown.
         # Segment names are derived from a short monotone sequence, not
         # from key + length: macOS caps POSIX shm names at 31 characters,
         # which a '{prefix}-{key}-{length}' name would blow through.
-        self._weights: dict = {}
+        self._weights: Dict[str, SharedWeights] = {}
         self._weights_seq = 0
         self._weights_disabled: Optional[str] = None
-        self._procs: List = []
-        self._task_queue = None
-        self._result_queue = None
         self._started = False
-        self.degraded: Optional[str] = None  # reason we fell back to serial
         # Published-epoch stamp: a weakref (not id()) keeps graph identity
         # honest — CPython reuses id()s after collection, and a stale
         # plane served for a look-alike graph would be silently wrong.
-        self._published_graph = None
+        self._published_graph: Optional[weakref.ref] = None
         self._published_version: Optional[int] = None
         self._request_seq = 0
-        self._finalizer = weakref.finalize(self, _noop)
 
     # ------------------------------------------------------------------
-    # Pool lifecycle
+    # Health surface
     # ------------------------------------------------------------------
+    @property
+    def degraded(self) -> Optional[str]:
+        """Legacy one-line view: None while sharded, else the reason."""
+        if self._ladder.healthy:
+            return None
+        reason = self._ladder.reason
+        text = reason.value if reason is not None else "degraded"
+        detail = self._ladder.detail
+        return f"{text}: {detail}" if detail else text
+
     @property
     def parallel_available(self) -> bool:
         """Whether requests can currently be served by the pool."""
-        return self.workers > 1 and self.degraded is None
+        return self.workers > 1 and self._ladder.healthy
 
     @property
     def pool_running(self) -> bool:
         """Whether worker processes are actually up (pool started, live)."""
-        return bool(self._procs) and self.degraded is None
+        return bool(self._procs) and self._ladder.healthy
 
+    @property
+    def _procs(self) -> List[Any]:
+        """The live worker processes (current incarnations)."""
+        if self._supervisor is None:
+            return []
+        return [proc for _, proc in sorted(self._supervisor.procs.items())]
+
+    def health_report(self) -> Dict[str, object]:
+        """Inspectable snapshot of the whole degradation machine.
+
+        Keys: ``state`` / ``reason`` / ``detail`` / ``recoveries`` /
+        ``incidents`` / ``transitions`` (from the ladder), ``workers``,
+        ``pool`` (supervisor liveness, restart budget, quarantine count;
+        None before first use), ``plane_generation`` and
+        ``weights_disabled``.
+        """
+        report = self._ladder.report()
+        report["workers"] = self.workers
+        report["pool"] = (
+            self._supervisor.report() if self._supervisor is not None else None
+        )
+        report["plane_generation"] = (
+            self._plane.generation if self._plane is not None else None
+        )
+        report["weights_disabled"] = self._weights_disabled
+        return report
+
+    # ------------------------------------------------------------------
+    # Pool lifecycle
+    # ------------------------------------------------------------------
     def _ensure_pool(self) -> bool:
-        """Start plane + workers on first use; returns pool usability."""
-        if self._started:
-            return self.degraded is None
-        self._started = True
-        if self.workers <= 1:
-            self.degraded = "workers <= 1"
+        """Start (or recover) plane + workers; returns pool usability."""
+        if self._ladder.halted:
             return False
-        if not shared_memory_available():
-            self.degraded = "shared memory unavailable"
-            warnings.warn(
-                "shared memory unavailable; sharded executor running serially",
-                RuntimeWarning,
-                stacklevel=3,
-            )
-            return False
+        if not self._started:
+            self._started = True
+            if self.workers <= 1:
+                self._ladder.degrade(DegradationReason.SINGLE_WORKER)
+                return False
+            if not shared_memory_available():
+                self._ladder.degrade(DegradationReason.NO_SHM)
+                return False
+            return self._start_pool()
+        if self._ladder.healthy:
+            return self._supervisor is not None
+        if self._ladder.can_attempt_recovery():
+            return self._attempt_recovery()
+        return False
+
+    def _start_pool(self) -> bool:
+        """Create plane, queues and supervised workers; arm the finalizer."""
         import multiprocessing
 
         try:
             ctx = multiprocessing.get_context(self._mp_method)
+            self._ctx = ctx
             self._plane = SharedCSRPlane(self._plane_prefix)
             self._task_queue = ctx.Queue()
             self._result_queue = ctx.Queue()
-            for _ in range(self.workers):
+            prefix = self._plane.prefix
+            plan = self._fault_plan
+
+            def spawn(index: int) -> Any:
+                # Queues are read at spawn time, not captured: the
+                # supervisor's reset hook replaces them on pool recycle.
                 proc = ctx.Process(
                     target=worker_mod.worker_main,
-                    args=(self._task_queue, self._result_queue, self._plane.prefix),
+                    args=(
+                        self._task_queue,
+                        self._result_queue,
+                        prefix,
+                        index,
+                        plan.for_worker(index) if plan is not None else None,
+                    ),
                     daemon=True,
                 )
                 proc.start()
-                self._procs.append(proc)
+                return proc
+
+            kwargs: Dict[str, Any] = {"seed": self._supervisor_seed}
+            if self._restart_budget is not None:
+                kwargs["restart_budget"] = self._restart_budget
+            self._supervisor = WorkerSupervisor(
+                spawn, self.workers, reset=self._reset_queues, **kwargs
+            )
+            self._supervisor.start()
         except Exception as exc:  # pragma: no cover - depends on host
-            self._mark_degraded(f"pool startup failed: {exc}")
+            self._ladder.degrade(
+                DegradationReason.POOL_START_FAILED, str(exc), retry_delay=0.5
+            )
+            self._release_pool_resources()
             return False
-        # Real teardown work is registered only once resources exist.
+        self._arm_finalizer()
+        return True
+
+    def _arm_finalizer(self) -> None:
+        """(Re)register GC teardown over the current plane and queue set.
+
+        The supervisor's procs dict is shared by reference, so respawned
+        workers are always visible to the finalizer; the queues are *not*
+        — they are replaced on pool recycle, hence the re-arm from
+        :meth:`_reset_queues`.
+        """
+        assert self._supervisor is not None
         self._finalizer.detach()
         self._finalizer = weakref.finalize(
             self,
             _teardown,
             self._plane,
             self._task_queue,
-            list(self._procs),
+            self._supervisor.procs,
             self.workers,
             self._weights,
         )
+
+    def _reset_queues(self) -> None:
+        """Replace the queue set (the supervisor's pool-recycle hook).
+
+        A worker that dies blocked inside ``Queue.get()`` dies holding
+        the queue's shared reader lock, wedging it for every future
+        reader — only a fresh queue set is guaranteed usable by the
+        respawned pool.
+        """
+        for stale in (self._task_queue, self._result_queue):
+            if stale is None:
+                continue
+            try:
+                stale.close()
+                stale.cancel_join_thread()
+            except Exception:  # repro-lint: disable=RPL304
+                pass  # a broken queue is already as released as it gets
+        self._task_queue = self._ctx.Queue()
+        self._result_queue = self._ctx.Queue()
+        if self._supervisor is not None:
+            self._arm_finalizer()
+
+    def _attempt_recovery(self) -> bool:
+        """Try to return a DEGRADED executor to SHARDED."""
+        if self._supervisor is None or self._plane is None:
+            # Pool infrastructure was released (startup failure): rebuild.
+            if self._start_pool():
+                self._ladder.recover("pool restarted")
+                return True
+            return False
+        outcome = self._supervisor.respawn_dead()
+        if outcome == "exhausted":
+            self._halt(
+                DegradationReason.RESTART_BUDGET_EXHAUSTED,
+                f"{self._supervisor.restarts_used} restarts used",
+            )
+            return False
+        if outcome == "waiting":
+            return False
+        # Workers are up again (or never all died, e.g. after a publish
+        # failure); recover optimistically — the next dispatch verifies.
+        self._ladder.recover("worker pool healthy again")
         return True
 
-    def _mark_degraded(self, reason: str) -> None:
-        if self.degraded is None:
-            self.degraded = reason
-            warnings.warn(
-                f"sharded executor falling back to serial: {reason}",
-                RuntimeWarning,
-                stacklevel=3,
-            )
-        self._shutdown_pool()
+    def _halt(self, reason: DegradationReason, detail: str = "") -> None:
+        """Terminal degradation: record it and release every resource."""
+        self._ladder.degrade(reason, detail)
+        self._release_pool_resources()
 
-    def _shutdown_pool(self) -> None:
+    def _release_pool_resources(self) -> None:
+        """Tear down pool infrastructure (idempotent, never raises)."""
         self._finalizer.detach()
-        _teardown(
-            self._plane, self._task_queue, self._procs, self.workers, self._weights
-        )
+        procs = self._supervisor.procs if self._supervisor is not None else {}
+        _teardown(self._plane, self._task_queue, procs, self.workers, self._weights)
         self._plane = None
         self._task_queue = None
         self._result_queue = None
-        self._procs = []
+        self._supervisor = None
         self._weights = {}
         self._published_graph = None
         self._published_version = None
         self._finalizer = weakref.finalize(self, _noop)
 
     def close(self) -> None:
-        """Stop the workers and unlink the plane (idempotent)."""
-        self._shutdown_pool()
-        if self.degraded is None:
-            self.degraded = "closed"
+        """Stop the workers and unlink the plane (idempotent, crash-safe).
+
+        Safe to call twice, after a failed ``__init__``, and concurrently
+        with the GC finalizer — the finalizer is detached before teardown
+        runs, and every teardown step tolerates already-released state.
+        """
+        if not hasattr(self, "_ladder"):  # __init__ died before any state
+            return
+        self._release_pool_resources()
+        self._ladder.degrade(DegradationReason.CLOSED)
         self._started = True
 
     # ------------------------------------------------------------------
@@ -298,7 +466,10 @@ class ShardedOracleExecutor:
         Returns whether the plane is usable.  Republishing happens at
         most once per graph version — the executor's epoch — so a stream
         of queries against an unchanged graph pays one O(V + P) snapshot
-        build total, exactly like the serial engine's compaction.
+        build total, exactly like the serial engine's compaction.  A
+        failed publish degrades *recoverably*: the epoch stamp is not
+        advanced, so the next eligible request retries the publish and
+        recovers to sharded mode when it succeeds.
         """
         if not self._ensure_pool():
             return False
@@ -308,10 +479,15 @@ class ShardedOracleExecutor:
             and self._published_version == graph.version
         ):
             return True
+        assert self._plane is not None
         try:
+            if self._fault_plan is not None and self._fault_plan.next_publish_fails():
+                raise FaultInjected("injected fault: plane publish failed")
             self._plane.publish(graph)
-        except OSError as exc:
-            self._mark_degraded(f"plane publish failed: {exc}")
+        except (OSError, FaultInjected) as exc:
+            self._ladder.degrade(
+                DegradationReason.PUBLISH_FAILED, str(exc), retry_delay=0.05
+            )
             return False
         self._published_graph = weakref.ref(graph)
         self._published_version = graph.version
@@ -320,55 +496,189 @@ class ShardedOracleExecutor:
     # ------------------------------------------------------------------
     # Dispatch machinery
     # ------------------------------------------------------------------
-    def _dispatch(self, op: str, shards: Sequence) -> Optional[List]:
-        """Send one task per shard, gather results in shard order.
+    @staticmethod
+    def _task_key(op: str, payload: Any, eff: float) -> Hashable:
+        """Stable identity for quarantine strikes (survives retries)."""
+        return (op, repr(payload), eff)
 
-        Returns ``None`` (after degrading to serial) when any worker
-        errored or died; the caller then recomputes serially so the
-        request never observes a partial answer.
+    def _dispatch(
+        self,
+        op: str,
+        shards: Sequence[Tuple[Any, float]],
+        serial_shard: Callable[[int], Any],
+    ) -> List[Any]:
+        """Send one task per shard; gather a *complete* result list.
+
+        Unlike the pre-supervision executor this never returns ``None``:
+        any shard the pool fails to answer — quarantined task, worker
+        death past the restart backoff, reported error after one retry,
+        missed deadline after one retry — is recomputed serially via
+        ``serial_shard`` (the same kernel physics), so the caller always
+        receives exact, complete results.  Worker deaths strike the
+        claimed task and trigger supervised respawn; budget exhaustion is
+        the only path that degrades terminally.
         """
+        assert self._supervisor is not None and self._plane is not None
+        supervisor = self._supervisor
         self._request_seq += 1
         request_id = self._request_seq
         generation = self._plane.generation
-        for shard_index, payload_eff in enumerate(shards):
-            payload, eff = payload_eff
+        total = len(shards)
+        results: List[Any] = [None] * total
+        filled = [False] * total
+        keys = [self._task_key(op, payload, eff) for payload, eff in shards]
+        outstanding: Set[int] = set()
+        now = time.monotonic()
+        deadlines: Dict[int, float] = {}
+        retries: Dict[int, int] = {}
+        claimed: Dict[int, int] = {}  # shard -> worker index holding it
+
+        def enqueue(shard_index: int) -> None:
+            payload, eff = shards[shard_index]
             self._task_queue.put(
                 (op, request_id, shard_index, generation, payload, eff)
             )
-        results: List = [None] * len(shards)
-        pending = len(shards)
-        deadline = time.monotonic() + self.result_timeout
-        while pending:
-            try:
-                got_id, shard_index, outcome = self._result_queue.get(timeout=1.0)
-            except Exception:
-                if not self._alive():
-                    self._mark_degraded("worker process died mid-request")
-                    return None
-                if time.monotonic() > deadline:
-                    # Alive but wedged (stuck attach, lost message):
-                    # abandon the request rather than hang the owner —
-                    # teardown terminates the stuck processes.
-                    self._mark_degraded(
-                        f"no worker result within {self.result_timeout:.0f}s "
-                        "(raise result_timeout / REPRO_RESULT_TIMEOUT for "
-                        "legitimately long sweeps)"
-                    )
-                    return None
-                continue
-            if got_id != request_id:
-                continue  # stale result from an abandoned request
-            status, value = outcome
-            if status != "ok":
-                self._mark_degraded(f"worker error: {value}")
-                return None
-            results[shard_index] = value
-            pending -= 1
-            deadline = time.monotonic() + self.result_timeout  # progress resets
-        return results
+            deadlines[shard_index] = time.monotonic() + self.task_timeout
 
-    def _alive(self) -> bool:
-        return bool(self._procs) and all(proc.is_alive() for proc in self._procs)
+        def fill_serial(shard_index: int) -> None:
+            results[shard_index] = serial_shard(shard_index)
+            filled[shard_index] = True
+            outstanding.discard(shard_index)
+            claimed.pop(shard_index, None)
+
+        for index in range(total):
+            if supervisor.is_quarantined(keys[index]):
+                fill_serial(index)  # flagged poison: never re-enters the pool
+            else:
+                outstanding.add(index)
+                retries[index] = 0
+                enqueue(index)
+        had_death = False
+        global_deadline = now + self.result_timeout
+        while outstanding:
+            try:
+                got_id, shard_index, outcome = self._result_queue.get(
+                    timeout=_POLL_INTERVAL
+                )
+            except queue_mod.Empty:
+                got_id = None
+            if got_id is not None:
+                if got_id != request_id or shard_index >= total:
+                    continue  # stale result from an abandoned request
+                status, value = outcome
+                if status == "started":
+                    if not filled[shard_index]:
+                        claimed[shard_index] = int(value)
+                    continue
+                if filled[shard_index]:
+                    continue  # late first attempt after a retry already won
+                if status == "ok":
+                    results[shard_index] = value
+                    filled[shard_index] = True
+                    outstanding.discard(shard_index)
+                    claimed.pop(shard_index, None)
+                    global_deadline = time.monotonic() + self.result_timeout
+                    continue
+                # Worker reported an error: one pool retry, then serial.
+                reason = (
+                    DegradationReason.ATTACH_TIMEOUT
+                    if "attach" in str(value) or "generation skew" in str(value)
+                    else DegradationReason.WORKER_ERROR
+                )
+                claimed.pop(shard_index, None)
+                if retries[shard_index] < 1:
+                    retries[shard_index] += 1
+                    enqueue(shard_index)
+                else:
+                    fill_serial(shard_index)
+                    self._ladder.note_incident(reason, str(value))
+                continue
+            # No result this poll: liveness + deadline round-trip.
+            now = time.monotonic()
+            dead = supervisor.dead_workers()
+            if dead:
+                had_death = True
+                dead_set = set(dead)
+                struck = [
+                    s for s in sorted(outstanding) if claimed.get(s) in dead_set
+                ]
+                for index in struck:
+                    strikes = supervisor.strike(keys[index])
+                    claimed.pop(index, None)
+                    if strikes >= QUARANTINE_STRIKES:
+                        fill_serial(index)
+                        self._ladder.note_incident(
+                            DegradationReason.WORKER_DEATH,
+                            f"task quarantined after {strikes} worker deaths",
+                        )
+                outcome_str = supervisor.respawn_dead(now)
+                if outcome_str == "exhausted":
+                    for index in sorted(outstanding):
+                        fill_serial(index)
+                    self._halt(
+                        DegradationReason.RESTART_BUDGET_EXHAUSTED,
+                        f"{supervisor.restarts_used} restarts used",
+                    )
+                    return results
+                if outcome_str == "ok":
+                    self._ladder.note_incident(
+                        DegradationReason.WORKER_DEATH,
+                        f"respawned worker(s) {dead}",
+                    )
+                    # The pool was recycled onto fresh queues: every
+                    # outstanding task (and any in-flight result) lived
+                    # on the old set, so re-enqueue the lot.
+                    claimed.clear()
+                    for index in sorted(outstanding):
+                        enqueue(index)
+                    global_deadline = time.monotonic() + self.result_timeout
+                elif not any(p.is_alive() for p in supervisor.procs.values()):
+                    # Whole pool down and the respawn backoff is pending:
+                    # answer this request serially and mark the executor
+                    # DEGRADED so later requests skip dispatch until the
+                    # supervisor may respawn (recovery in _ensure_pool).
+                    for index in sorted(outstanding):
+                        fill_serial(index)
+                    self._ladder.degrade(
+                        DegradationReason.WORKER_DEATH,
+                        "all workers dead; respawn backoff pending",
+                        retry_delay=_POLL_INTERVAL,
+                    )
+                    return results
+                else:
+                    # Backoff pending but survivors remain: hand the
+                    # shards the dead consumed back to the old queue.
+                    for index in struck:
+                        if index in outstanding:
+                            enqueue(index)
+            for index in sorted(outstanding):
+                if now > deadlines[index]:
+                    if retries[index] < 1:
+                        retries[index] += 1
+                        claimed.pop(index, None)
+                        enqueue(index)
+                    else:
+                        fill_serial(index)
+                        self._ladder.note_incident(
+                            DegradationReason.TASK_TIMEOUT,
+                            f"shard exceeded {self.task_timeout:.2f}s twice",
+                        )
+            if now > global_deadline:
+                # Alive but wedged (stuck attach, lost message): answer
+                # serially rather than hang the owner; recoverable.
+                for index in sorted(outstanding):
+                    fill_serial(index)
+                self._ladder.degrade(
+                    DegradationReason.TASK_TIMEOUT,
+                    f"no worker result within {self.result_timeout:.0f}s "
+                    "(raise result_timeout / REPRO_RESULT_TIMEOUT for "
+                    "legitimately long sweeps)",
+                    retry_delay=1.0,
+                )
+                return results
+        if not had_death:
+            supervisor.note_success()
+        return results
 
     @staticmethod
     def _effective_horizon(graph: "TDNGraph", min_expiry: Optional[float]) -> float:
@@ -381,7 +691,6 @@ class ShardedOracleExecutor:
     def _parallel_ready(self, graph: "TDNGraph", batch_size: int) -> bool:
         return (
             self.workers > 1
-            and self.degraded is None
             and batch_size >= self.min_batch
             and self.ensure_plane(graph)
         )
@@ -402,9 +711,14 @@ class ShardedOracleExecutor:
             eff = self._effective_horizon(graph, min_expiry)
             slices = shard_slices(len(id_sets), self.workers)
             shards = [(list(id_sets[start:stop]), eff) for start, stop in slices]
-            results = self._dispatch(worker_mod.OP_SPREAD, shards)
-            if results is not None:
-                return merge_shard_counts(slices, results, len(id_sets))
+            results = self._dispatch(
+                worker_mod.OP_SPREAD,
+                shards,
+                lambda i: graph.csr().spread_counts(
+                    list(id_sets[slices[i][0] : slices[i][1]]), min_expiry
+                ),
+            )
+            return merge_shard_counts(slices, results, len(id_sets))
         return graph.csr().spread_counts(id_sets, min_expiry)
 
     def reachable_ids_many(
@@ -420,10 +734,18 @@ class ShardedOracleExecutor:
             eff = self._effective_horizon(graph, min_expiry)
             slices = shard_slices(len(id_sets), self.workers)
             shards = [(list(id_sets[start:stop]), eff) for start, stop in slices]
-            results = self._dispatch(worker_mod.OP_REACH, shards)
-            if results is not None:
-                merged = merge_shard_counts(slices, results, len(id_sets))
-                return [set(ids) for ids in merged]
+
+            def serial_shard(i: int) -> List[List[int]]:
+                engine = graph.csr()
+                start, stop = slices[i]
+                return [
+                    sorted(engine.reachable_ids(ids, min_expiry))
+                    for ids in id_sets[start:stop]
+                ]
+
+            results = self._dispatch(worker_mod.OP_REACH, shards, serial_shard)
+            merged = merge_shard_counts(slices, results, len(id_sets))
+            return [set(ids) for ids in merged]
         engine = graph.csr()
         return [engine.reachable_ids(ids, min_expiry) for ids in id_sets]
 
@@ -442,6 +764,7 @@ class ShardedOracleExecutor:
         """
         if self._weights_disabled is not None:
             return None
+        assert self._plane is not None
         record = self._weights.get(weights_key)
         if record is not None and record.length == int(weights.shape[0]):
             return record
@@ -484,7 +807,7 @@ class ShardedOracleExecutor:
         id_sets: Sequence[Sequence[int]],
         min_expiry: Optional[float] = None,
         *,
-        weights,
+        weights: "np.ndarray",
         weights_key: str,
     ) -> List[float]:
         """Per-set reached-weight sums; sharded when profitable, exact always.
@@ -517,9 +840,16 @@ class ShardedOracleExecutor:
                     )
                     for start, stop in slices
                 ]
-                results = self._dispatch(worker_mod.OP_WSPREAD, shards)
-                if results is not None:
-                    return merge_shard_counts(slices, results, len(id_sets))
+                results = self._dispatch(
+                    worker_mod.OP_WSPREAD,
+                    shards,
+                    lambda i: graph.csr().weighted_spread_sums(
+                        list(id_sets[slices[i][0] : slices[i][1]]),
+                        min_expiry,
+                        weights,
+                    ),
+                )
+                return merge_shard_counts(slices, results, len(id_sets))
         return graph.csr().weighted_spread_sums(id_sets, min_expiry, weights)
 
     def ancestor_ids(
@@ -538,12 +868,19 @@ class ShardedOracleExecutor:
             eff = self._effective_horizon(graph, min_expiry)
             slices = shard_slices(len(targets), self.workers)
             shards = [(targets[start:stop], eff) for start, stop in slices]
-            results = self._dispatch(worker_mod.OP_ANCESTORS, shards)
-            if results is not None:
-                merged: Set[int] = set()
-                for shard_ids in results:
-                    merged.update(shard_ids)
-                return merged
+            results = self._dispatch(
+                worker_mod.OP_ANCESTORS,
+                shards,
+                lambda i: sorted(
+                    graph.csr().ancestor_ids(
+                        targets[slices[i][0] : slices[i][1]], min_expiry
+                    )
+                ),
+            )
+            merged: Set[int] = set()
+            for shard_ids in results:
+                merged.update(shard_ids)
+            return merged
         return graph.csr().ancestor_ids(targets, min_expiry)
 
     def touched_cone_ids(self, graph: "TDNGraph", seed_ids: Iterable[int]) -> Set[int]:
@@ -562,29 +899,41 @@ def _noop() -> None:
 def _teardown(
     plane: Optional[SharedCSRPlane],
     task_queue: Any,
-    procs: List,
+    procs: Any,
     workers: int,
     weight_segments: Optional[Dict[str, SharedWeights]] = None,
 ) -> None:
-    """Best-effort pool shutdown shared by close() and the GC finalizer."""
+    """Best-effort pool shutdown shared by close() and the GC finalizer.
+
+    ``procs`` is the supervisor's live process table (a dict shared by
+    reference, so respawned workers are covered) or a plain list; it is
+    emptied afterwards so a second teardown — double close(), or the
+    finalizer racing an explicit close — is a clean no-op.
+    """
+    if isinstance(procs, dict):
+        proc_list = [proc for _, proc in sorted(procs.items())]
+    else:
+        proc_list = list(procs)
     if task_queue is not None:
-        for _ in range(max(workers, len(procs))):
+        for _ in range(max(workers, len(proc_list))):
             try:
                 task_queue.put((worker_mod.OP_STOP,))
-            except Exception:  # pragma: no cover - queue already broken
-                break
-    for proc in procs:
+            except Exception:  # repro-lint: disable=RPL304
+                break  # queue already broken; terminate below instead
+    for proc in proc_list:
         proc.join(timeout=5.0)
-    for proc in procs:
+    for proc in proc_list:
         if proc.is_alive():  # pragma: no cover - stuck worker
             proc.terminate()
             proc.join(timeout=5.0)
+    if isinstance(procs, dict):
+        procs.clear()
     if task_queue is not None:
         try:
             task_queue.close()
             task_queue.join_thread()
-        except Exception:  # pragma: no cover
-            pass
+        except Exception:  # repro-lint: disable=RPL304
+            pass  # teardown is best-effort; nothing to surface to
     if weight_segments:
         for record in list(weight_segments.values()):
             record.close()

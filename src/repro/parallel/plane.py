@@ -199,6 +199,14 @@ class SharedCSRPlane:
 
     def __init__(self, prefix: Optional[str] = None) -> None:
         self.prefix = prefix or f"repro-plane-{secrets.token_hex(4)}"
+        # Crash safety: every attribute close() touches exists *before*
+        # the first segment is created, so close() (or __del__) after a
+        # failed __init__ neither raises nor leaks.
+        self._hdr = None
+        self._header = None
+        self._segments: List = []  # live data segments of the current generation
+        self.generation = 0
+        self.closed = False
         shm = _shm_module()
         self._hdr = shm.SharedMemory(
             create=True, name=f"{self.prefix}-hdr", size=_HEADER_SLOTS * 8
@@ -207,9 +215,6 @@ class SharedCSRPlane:
             (_HEADER_SLOTS,), dtype=np.int64, buffer=self._hdr.buf
         )
         self._header[:] = 0
-        self._segments: List = []  # live data segments of the current generation
-        self.generation = 0
-        self.closed = False
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -266,7 +271,7 @@ class SharedCSRPlane:
         return generation
 
     def close(self) -> None:
-        """Unlink every segment this plane owns (idempotent)."""
+        """Unlink every segment this plane owns (idempotent, crash-safe)."""
         if self.closed:
             return
         self.closed = True
@@ -278,17 +283,19 @@ class SharedCSRPlane:
                 pass
         self._segments = []
         self._header = None
-        self._hdr.close()
-        try:
-            self._hdr.unlink()
-        except OSError:  # pragma: no cover
-            pass
+        if self._hdr is not None:  # None iff __init__ failed at creation
+            self._hdr.close()
+            try:
+                self._hdr.unlink()
+            except OSError:  # pragma: no cover
+                pass
+            self._hdr = None
 
     def __del__(self) -> None:  # pragma: no cover - belt and braces
         try:
             self.close()
-        except Exception:
-            pass
+        except Exception:  # repro-lint: disable=RPL304
+            pass  # interpreter teardown: modules may already be gone
 
 
 def weights_segment_name(prefix: str, seq: int) -> str:
@@ -317,9 +324,13 @@ class SharedWeights:
     __slots__ = ("name", "length", "_segment", "closed")
 
     def __init__(self, name: str, weights: np.ndarray) -> None:
-        shm = _shm_module()
+        # Attributes close() touches exist before the segment is created,
+        # so close()/__del__ after a failed create is a clean no-op.
         self.name = name
         self.length = int(weights.shape[0])
+        self._segment = None
+        self.closed = False
+        shm = _shm_module()
         self._segment = shm.SharedMemory(
             create=True, name=name, size=max(weights.nbytes, 8)
         )
@@ -327,13 +338,14 @@ class SharedWeights:
             (self.length,), dtype=np.float64, buffer=self._segment.buf
         )
         view[:] = weights
-        self.closed = False
 
     def close(self) -> None:
-        """Unlink the segment (idempotent)."""
+        """Unlink the segment (idempotent, crash-safe)."""
         if self.closed:
             return
         self.closed = True
+        if self._segment is None:  # __init__ failed at creation
+            return
         self._segment.close()
         try:
             self._segment.unlink()
@@ -343,8 +355,8 @@ class SharedWeights:
     def __del__(self) -> None:  # pragma: no cover - belt and braces
         try:
             self.close()
-        except Exception:
-            pass
+        except Exception:  # repro-lint: disable=RPL304
+            pass  # interpreter teardown: modules may already be gone
 
 
 @published_plane("weights", writers=("__init__", "detach"))

@@ -15,6 +15,23 @@ InfluenceTracker` into a small always-on service:
   solution — queries never block behind ingestion and never observe a
   half-applied batch.
 
+Failure handling
+----------------
+Batches are *journaled* with sequence numbers from the moment the
+consumer dequeues them until their epoch publishes (``_latest`` is
+assigned only after ``tracker.step`` and the plane republish complete).
+If the single writer thread dies (detected as :class:`WriterDeathError`
+or a broken thread pool), the service restarts the writer — within a
+bounded restart budget — and replays the journal's unapplied entries in
+order; because an entry leaves the journal only at its commit point,
+replay can never double-apply a batch, and ``top_k`` can never observe a
+half-applied epoch.  Republish failures are retried with backoff on the
+writer thread before the executor is left to its own degradation
+machinery.  While the service is degraded (poisoned consumer or writer
+mid-recovery), ``top_k`` keeps answering from the last consistent epoch
+but says so: the answer carries ``stale=True`` and the number of
+unapplied batches in ``lag``.  :meth:`health` exposes the whole picture.
+
 The apply thread is the only writer; the event loop only moves immutable
 :class:`TopKAnswer` records, so any number of concurrent producers and
 queriers is safe.  See ``examples/serve_topk.py`` for a runnable tour.
@@ -23,21 +40,46 @@ queriers is safe.  See ``examples/serve_topk.py`` for a runnable tour.
 from __future__ import annotations
 
 import asyncio
-from concurrent.futures import ThreadPoolExecutor
-from typing import Any, Iterable, NamedTuple, Optional, Sequence, Tuple
+import time
+from collections import deque
+from concurrent.futures import BrokenExecutor, ThreadPoolExecutor
+from typing import Any, Deque, Dict, Iterable, NamedTuple, Optional, Sequence, Tuple
 
-__all__ = ["IngestService", "TopKAnswer"]
+from repro.parallel.degradation import DegradationLadder, DegradationReason
+from repro.parallel.faults import FaultPlan
+
+__all__ = ["IngestService", "TopKAnswer", "WriterDeathError"]
 
 _STOP = object()
 
+#: Default writer-thread restarts allowed before the service poisons.
+WRITER_RESTART_BUDGET = 3
+
+
+class WriterDeathError(RuntimeError):
+    """The apply (writer) thread died before committing a batch.
+
+    Raised *before* ``tracker.step`` mutates anything — by the fault
+    harness, or by wrappers detecting an unusable writer — so the batch
+    is still journaled, untouched, and safe to replay on a fresh writer.
+    """
+
 
 class TopKAnswer(NamedTuple):
-    """One consistent query answer: the epoch it refers to and its solution."""
+    """One consistent query answer: the epoch it refers to and its solution.
+
+    ``stale`` / ``lag`` are staleness metadata stamped at *query* time:
+    a degraded service keeps serving the last consistent epoch but marks
+    it stale and reports how many accepted batches it has not applied.
+    Answers published at commit time always carry the defaults.
+    """
 
     epoch: int
     time: int
     nodes: Tuple
     value: float
+    stale: bool = False
+    lag: int = 0
 
 
 class IngestService:
@@ -50,6 +92,10 @@ class IngestService:
             driver — do not call ``step`` elsewhere while it runs.
         max_pending: bound of the ingest queue; :meth:`submit` awaits
             (backpressure) while the queue is full.
+        writer_restart_budget: writer-thread restarts allowed before the
+            service gives up and poisons (surfaced to every caller).
+        fault_plan: injected fault schedule (chaos tests); defaults to
+            :meth:`FaultPlan.from_env` (``REPRO_FAULTS``), i.e. no faults.
 
     Usage::
 
@@ -60,7 +106,14 @@ class IngestService:
         await service.close()
     """
 
-    def __init__(self, tracker: Any, *, max_pending: int = 64) -> None:
+    def __init__(
+        self,
+        tracker: Any,
+        *,
+        max_pending: int = 64,
+        writer_restart_budget: int = WRITER_RESTART_BUDGET,
+        fault_plan: Optional[FaultPlan] = None,
+    ) -> None:
         if max_pending <= 0:
             raise ValueError(f"max_pending must be positive, got {max_pending}")
         self._tracker = tracker
@@ -75,6 +128,17 @@ class IngestService:
         self._failure: Optional[BaseException] = None
         self._closed = False
         self.batches_applied = 0
+        self._ladder = DegradationLadder()
+        self._fault_plan = fault_plan if fault_plan is not None else FaultPlan.from_env()
+        self._writer_faults_fired: "set[int]" = set()
+        self._writer_restart_budget = max(0, writer_restart_budget)
+        self._writer_restarts = 0
+        # Sequence-numbered journal of dequeued-but-uncommitted batches.
+        # An entry is appended when the consumer picks the batch up and
+        # popped only once its epoch publishes, so writer recovery can
+        # replay exactly the unapplied work — never more, never less.
+        self._seq = 0
+        self._journal: Deque[Tuple[int, int, Sequence[Tuple]]] = deque()
 
     # ------------------------------------------------------------------
     @property
@@ -88,8 +152,43 @@ class IngestService:
 
     @property
     def pending(self) -> int:
-        """Batches accepted but not yet applied."""
+        """Batches waiting in the ingest queue (bounded by ``max_pending``)."""
         return self._queue.qsize() if self._queue is not None else 0
+
+    @property
+    def _unapplied(self) -> int:
+        """Batches accepted but not yet committed (queued + journaled)."""
+        return self.pending + len(self._journal)
+
+    def health(self) -> Dict[str, object]:
+        """Inspectable service health (mirrors ``executor.health_report``).
+
+        Keys: ``running`` / ``closed`` / ``epoch`` / ``pending`` /
+        ``journal_depth``, ``writer_restarts`` + ``writer_restart_budget``,
+        ``failure`` (repr of the poisoning exception, or None), the
+        service ladder's ``state`` / ``incidents``, and ``executor``
+        (the sharded executor's full health report, when one is wired).
+        """
+        ladder = self._ladder.report()
+        oracle = getattr(self._tracker, "oracle", None)
+        executor = getattr(oracle, "executor", None)
+        return {
+            "running": self.running,
+            "closed": self._closed,
+            "epoch": self.epoch,
+            "pending": self.pending,
+            "journal_depth": len(self._journal),
+            "writer_restarts": self._writer_restarts,
+            "writer_restart_budget": self._writer_restart_budget,
+            "failure": repr(self._failure) if self._failure is not None else None,
+            "state": ladder["state"],
+            "incidents": ladder["incidents"],
+            "executor": (
+                executor.health_report()
+                if executor is not None and hasattr(executor, "health_report")
+                else None
+            ),
+        }
 
     # ------------------------------------------------------------------
     async def start(self) -> None:
@@ -116,8 +215,15 @@ class IngestService:
         await self._queue.put((t, list(interactions)))
 
     async def top_k(self) -> TopKAnswer:
-        """The last consistent epoch's solution (never blocks on ingestion)."""
-        self._check_failure()
+        """The last consistent epoch's solution (never blocks on ingestion).
+
+        Degradation never silently serves stale data: when the consumer
+        is poisoned or the writer is mid-recovery, the answer is still
+        the last *fully applied* epoch, but flagged ``stale=True`` with
+        the count of unapplied batches in ``lag``.
+        """
+        if self._failure is not None or not self._ladder.healthy:
+            return self._latest._replace(stale=True, lag=self._unapplied)
         return self._latest
 
     async def drain(self) -> TopKAnswer:
@@ -171,34 +277,86 @@ class IngestService:
                     # up — both then observe the failure via
                     # _check_failure instead of hanging forever.
                     continue
-                try:
-                    answer = await loop.run_in_executor(
-                        self._apply_thread, self._apply, t, batch
-                    )
-                except asyncio.CancelledError:
-                    # Event-loop shutdown cancelling this task is not an
-                    # ingest failure — propagate so the loop can finish.
-                    raise
-                except BaseException as exc:
-                    # Surface the failure to every subsequent caller
-                    # instead of dying silently inside the task.
-                    self._failure = exc
-                    continue
-                self._latest = answer
-                self.batches_applied += 1
+                self._seq += 1
+                self._journal.append((self._seq, t, batch))
+                while self._journal and self._failure is None:
+                    try:
+                        await loop.run_in_executor(
+                            self._apply_thread, self._apply_journal
+                        )
+                    except asyncio.CancelledError:
+                        # Event-loop shutdown cancelling this task is not
+                        # an ingest failure — propagate so the loop can
+                        # finish.
+                        raise
+                    except (WriterDeathError, BrokenExecutor) as exc:
+                        # The writer died before committing: restart it
+                        # and loop to replay the journal — the dead
+                        # attempt never reached the commit point, so the
+                        # batch is applied exactly once.
+                        if not self._restart_writer(exc):
+                            break
+                    except BaseException as exc:
+                        # Surface the failure to every subsequent caller
+                        # instead of dying silently inside the task.
+                        self._failure = exc
+                        break
             finally:
                 self._queue.task_done()
 
-    def _apply(self, t: int, batch: Sequence[Tuple]) -> TopKAnswer:
-        """Apply one batch on the writer thread; returns the new epoch's answer."""
-        solution = self._tracker.step(t, batch)
-        self._republish()
-        return TopKAnswer(
-            epoch=self._latest.epoch + 1,
-            time=solution.time,
-            nodes=tuple(solution.nodes),
-            value=float(solution.value),
+    def _apply_journal(self) -> None:
+        """Apply every journaled batch in order (writer thread only).
+
+        Each entry commits atomically from the caller's point of view:
+        ``tracker.step`` + plane republish first, then ``_latest`` flips
+        to the new epoch and the entry leaves the journal.  A fault (or
+        death) before the commit point leaves the entry journaled for
+        replay; there is no state in which an epoch is served before its
+        batch fully applied.
+        """
+        while self._journal:
+            seq, t, batch = self._journal[0]
+            if (
+                self._fault_plan is not None
+                and self._fault_plan.writer_dies_at(seq)
+                and seq not in self._writer_faults_fired
+            ):
+                self._writer_faults_fired.add(seq)
+                raise WriterDeathError(
+                    f"injected fault: writer died before applying batch {seq}"
+                )
+            solution = self._tracker.step(t, batch)
+            self._republish()
+            self._latest = TopKAnswer(
+                epoch=self._latest.epoch + 1,
+                time=solution.time,
+                nodes=tuple(solution.nodes),
+                value=float(solution.value),
+            )
+            self.batches_applied += 1
+            self._journal.popleft()
+
+    def _restart_writer(self, exc: BaseException) -> bool:
+        """Replace the dead writer thread; False when the budget is gone."""
+        self._writer_restarts += 1
+        if self._writer_restarts > self._writer_restart_budget:
+            self._failure = exc
+            self._ladder.degrade(
+                DegradationReason.WRITER_DEATH,
+                f"writer restart budget ({self._writer_restart_budget}) exhausted",
+            )
+            return False
+        self._ladder.note_incident(
+            DegradationReason.WRITER_DEATH,
+            f"restarting writer (attempt {self._writer_restarts}), "
+            f"replaying {len(self._journal)} journaled batch(es)",
         )
+        dead = self._apply_thread
+        self._apply_thread = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-ingest"
+        )
+        dead.shutdown(wait=False)
+        return True
 
     def _republish(self) -> None:
         """Republish the CSR plane for the new epoch (sharded oracles only).
@@ -209,12 +367,23 @@ class IngestService:
         O(V + P) snapshot per batch for nothing.  Dispatch re-checks the
         plane against ``graph.version`` anyway; this merely keeps a live
         pool's plane warm so epoch-N query traffic never pays the
-        publish inside a query.
+        publish inside a query.  Publish failures are retried here with
+        backoff (we are on the writer thread — blocking is fine) before
+        the executor is left degraded; its own recovery machinery then
+        retries on later epochs.
         """
         oracle = getattr(self._tracker, "oracle", None)
         executor = getattr(oracle, "executor", None)
-        if executor is not None and executor.pool_running:
-            executor.ensure_plane(self._tracker.graph)
+        if executor is None or not executor.pool_running:
+            return
+        delay = 0.05
+        for _ in range(3):
+            if executor.ensure_plane(self._tracker.graph):
+                return
+            time.sleep(delay)  # writer thread, not the event loop
+            delay *= 2
+        # Still failing: the executor has recorded PUBLISH_FAILED and
+        # serves serially until a later publish succeeds.
 
     def _check_failure(self) -> None:
         if self._failure is not None:

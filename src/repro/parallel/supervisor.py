@@ -1,0 +1,218 @@
+"""Worker-pool supervision: liveness, respawn budget, quarantine.
+
+:class:`WorkerSupervisor` owns the executor's worker processes.  The
+executor checks liveness on every dispatch round-trip; when a worker is
+found dead the supervisor recycles the pool — subject to a bounded
+*restart budget* and exponential backoff with seeded jitter (via
+:func:`repro.utils.rng.make_rng`, the repo's one sanctioned randomness
+source) so a crash-looping pool neither spins hot nor thunders back all
+at once.  A successful round-trip resets the backoff; exhausting the
+budget is terminal (the executor degrades permanently rather than
+fork-bombing the host).
+
+Respawn recycles the *whole* pool, not just the dead slots: all workers
+share one task queue, and a process that dies blocked inside
+``Queue.get()`` dies holding the queue's reader lock — a replacement fed
+into the same queue would wedge forever.  The owner registers a ``reset``
+hook that rebuilds the queue set between teardown and respawn; only the
+dead workers are charged against the budget (survivors are recycled for
+queue hygiene, not because they failed).
+
+The supervisor also keeps the *poisoned-task* ledger: every task a dead
+worker had claimed gets a strike, and a task with two strikes is
+quarantined — it runs serially in the owner from then on and is never
+retried into the pool, so one pathological input cannot chew through the
+restart budget.
+
+The live-process table (``procs``) is a plain dict shared by reference
+with the executor's GC finalizer: respawned workers replace their dead
+predecessors *in that dict*, so teardown always sees the current
+incarnation and can never leak a respawned process.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Dict, Hashable, List, Optional
+
+from repro.utils.rng import make_rng
+
+__all__ = ["WorkerSupervisor"]
+
+#: Default cap on total worker respawns over the executor's lifetime.
+DEFAULT_RESTART_BUDGET = 16
+
+#: First-retry backoff in seconds; doubles per consecutive failure.
+DEFAULT_BACKOFF_BASE = 0.05
+
+#: Ceiling on the (pre-jitter) backoff delay in seconds.
+DEFAULT_BACKOFF_CAP = 2.0
+
+#: Strikes before a task is quarantined (runs serially forever).
+QUARANTINE_STRIKES = 2
+
+
+class WorkerSupervisor:
+    """Tracks worker liveness and respawns the dead, within budget.
+
+    Args:
+        spawn: factory called with a worker index; must return a
+            *started* process object (``is_alive`` / ``join`` /
+            ``terminate``).  The executor closes plane prefix, queues and
+            fault plan over it.
+        workers: pool width (worker indices ``0 .. workers - 1``).
+        restart_budget: total respawns allowed over the supervisor's
+            lifetime; the budget is deliberately global, not per-worker —
+            a pool where *any* mix of workers has crashed this many times
+            is not healthy enough to keep feeding.
+        backoff_base / backoff_cap: exponential backoff bounds (seconds).
+        seed: jitter seed.  Chaos tests pin it so backoff schedules are
+            replayable; production leaves it None.
+        clock: monotonic clock injection point (tests).
+        reset: owner hook run between pool teardown and respawn — the
+            executor rebuilds its task/result queues here, because the old
+            set may be wedged by a reader-lock-holding death.
+    """
+
+    def __init__(
+        self,
+        spawn: Callable[[int], Any],
+        workers: int,
+        *,
+        restart_budget: int = DEFAULT_RESTART_BUDGET,
+        backoff_base: float = DEFAULT_BACKOFF_BASE,
+        backoff_cap: float = DEFAULT_BACKOFF_CAP,
+        seed: Optional[int] = None,
+        clock: Callable[[], float] = time.monotonic,
+        reset: Optional[Callable[[], None]] = None,
+    ) -> None:
+        self._spawn = spawn
+        self._reset = reset
+        self.workers = workers
+        self.restart_budget = max(0, restart_budget)
+        self.restarts_used = 0
+        self._backoff_base = max(0.0, backoff_base)
+        self._backoff_cap = max(self._backoff_base, backoff_cap)
+        self._rng = make_rng(seed)
+        self._clock = clock
+        #: Live process per worker index — shared by reference with the
+        #: executor's GC finalizer so respawns can never leak.
+        self.procs: Dict[int, Any] = {}
+        self._consecutive_failures = 0
+        self._respawn_at = 0.0
+        self._strikes: Dict[Hashable, int] = {}
+        self.quarantined: "set[Hashable]" = set()
+
+    # ------------------------------------------------------------------
+    # liveness
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Spawn the initial pool (does not consume the restart budget)."""
+        for index in range(self.workers):
+            self.procs[index] = self._spawn(index)
+
+    def dead_workers(self) -> List[int]:
+        """Indices whose current incarnation is no longer alive."""
+        return [
+            index
+            for index, proc in sorted(self.procs.items())
+            if not proc.is_alive()
+        ]
+
+    def all_alive(self) -> bool:
+        return bool(self.procs) and not self.dead_workers()
+
+    def note_success(self) -> None:
+        """A full round-trip succeeded: reset the backoff ramp."""
+        self._consecutive_failures = 0
+        self._respawn_at = 0.0
+
+    # ------------------------------------------------------------------
+    # respawn
+    # ------------------------------------------------------------------
+    def respawn_dead(self, now: Optional[float] = None) -> str:
+        """Recycle the pool if any worker is dead, within budget/backoff.
+
+        Returns one of:
+
+        * ``"ok"`` — nothing was dead, or the pool was recycled with
+          fresh workers (the owner must re-enqueue outstanding tasks:
+          the queue set was rebuilt by the ``reset`` hook).
+        * ``"waiting"`` — dead workers exist but the backoff window has
+          not elapsed; call again later (the owner keeps serving results
+          from the survivors meanwhile).
+        * ``"exhausted"`` — the restart budget ran out; the pool must not
+          be used again (terminal degradation).
+
+        Only the dead are charged against the budget; surviving workers
+        are recycled too (terminate + respawn) because they read from the
+        same queues the death may have wedged.
+        """
+        dead = self.dead_workers()
+        if not dead:
+            return "ok"
+        if now is None:
+            now = self._clock()
+        if now < self._respawn_at:
+            return "waiting"
+        if self.restarts_used + len(dead) > self.restart_budget:
+            return "exhausted"
+        self.restarts_used += len(dead)
+        for _, proc in sorted(self.procs.items()):
+            if proc.is_alive():
+                proc.terminate()
+        for _, proc in sorted(self.procs.items()):
+            proc.join(timeout=5.0)
+        if self._reset is not None:
+            self._reset()
+        for index in range(self.workers):
+            self.procs[index] = self._spawn(index)
+        self._consecutive_failures += 1
+        self._respawn_at = now + self._backoff_delay()
+        return "ok"
+
+    def _backoff_delay(self) -> float:
+        """Exponential backoff with jitter in [0.5, 1.5) of the nominal."""
+        nominal = min(
+            self._backoff_cap,
+            self._backoff_base * (2.0 ** (self._consecutive_failures - 1)),
+        )
+        return nominal * (0.5 + self._rng.random())
+
+    # ------------------------------------------------------------------
+    # poisoned-task quarantine
+    # ------------------------------------------------------------------
+    def strike(self, task_key: Hashable) -> int:
+        """Record that ``task_key`` was in flight when a worker died.
+
+        Two strikes quarantine the task: it is flagged, served serially,
+        and never retried into the pool.  Returns the new strike count.
+        """
+        count = self._strikes.get(task_key, 0) + 1
+        self._strikes[task_key] = count
+        if count >= QUARANTINE_STRIKES:
+            self.quarantined.add(task_key)
+        return count
+
+    def is_quarantined(self, task_key: Hashable) -> bool:
+        return task_key in self.quarantined
+
+    # ------------------------------------------------------------------
+    def report(self) -> Dict[str, object]:
+        """Health snapshot folded into ``executor.health_report()``."""
+        alive = sum(
+            1 for index in sorted(self.procs) if self.procs[index].is_alive()
+        )
+        return {
+            "workers": self.workers,
+            "alive": alive,
+            "restarts_used": self.restarts_used,
+            "restart_budget": self.restart_budget,
+            "quarantined_tasks": len(self.quarantined),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"WorkerSupervisor(workers={self.workers}, "
+            f"restarts={self.restarts_used}/{self.restart_budget})"
+        )

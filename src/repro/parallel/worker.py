@@ -12,19 +12,33 @@ map the owner's published weight segment by name
 return 64-wide per-set weight sums instead of shipping reachable-id sets
 back through the pipe.
 
-Every result is tagged with the request id and shard index so the owner
-can splice shard results back into submission order, and every failure is
-reported as an ``("error", message)`` payload instead of crashing the
-worker — the owner decides whether to retry serially.
+Supervision protocol: before computing, a worker acknowledges each claimed
+task with a ``("started", worker_index)`` outcome.  The owner uses the ack
+to know *which* shard a worker held when it died — that is what powers
+poisoned-task strikes and targeted re-enqueueing instead of whole-request
+serial recomputation.  Every result is tagged with the request id and
+shard index so the owner can splice shard results back into submission
+order, and every failure is reported as an ``("error", message)`` payload
+instead of crashing the worker — the owner decides whether to retry.
+
+Fault injection: an optional :class:`repro.parallel.faults.WorkerFaults`
+schedule (shipped pickled from the owner's :class:`FaultPlan`) can drop a
+task message, kill the process mid-task, delay a reply, or fail a plane
+attach — each hook is a single branch that evaluates to a no-op in
+production.  Ordinals are per incarnation: a respawned worker starts a
+fresh schedule.
 """
 
 from __future__ import annotations
 
+import os
+import time
 from typing import TYPE_CHECKING, Any, Callable, Dict, Optional
 
 if TYPE_CHECKING:  # keep the spawn-time import graph minimal
     import numpy as np
 
+    from repro.parallel.faults import WorkerFaults
     from repro.parallel.plane import PlaneEngine, _Attachment, _WeightsAttachment
 
 __all__ = ["worker_main"]
@@ -38,7 +52,13 @@ OP_PING = "ping"
 OP_STOP = "stop"
 
 
-def worker_main(task_queue: Any, result_queue: Any, prefix: str) -> None:
+def worker_main(
+    task_queue: Any,
+    result_queue: Any,
+    prefix: str,
+    worker_index: int = 0,
+    faults: Optional["WorkerFaults"] = None,
+) -> None:
     """Serve plane sweeps until an ``OP_STOP`` message arrives.
 
     Args:
@@ -48,9 +68,12 @@ def worker_main(task_queue: Any, result_queue: Any, prefix: str) -> None:
             weights_name, weights_len)``; for the other sweeps it is the
             id list(s) directly.
         result_queue: queue of ``(request_id, shard_index, outcome)``
-            tuples where ``outcome`` is ``("ok", value)`` or
-            ``("error", message)``.
+            tuples where ``outcome`` is ``("started", worker_index)``
+            (claim ack), ``("ok", value)`` or ``("error", message)``.
         prefix: the shared plane's segment-name prefix.
+        worker_index: this worker's stable slot in the pool (respawns
+            reuse the slot).
+        faults: optional injected fault schedule for this incarnation.
     """
     attachment: Optional[_Attachment] = None  # current generation's mapping
     weight_maps: Dict[str, _WeightsAttachment] = {}
@@ -64,6 +87,8 @@ def worker_main(task_queue: Any, result_queue: Any, prefix: str) -> None:
         if attachment is None or attachment.generation != generation:
             from repro.parallel.plane import attach_plane_engine
 
+            if faults is not None and faults.next_attach_fails():
+                raise RuntimeError("injected fault: plane attach failed")
             stale, attachment = attachment, None
             if stale is not None:
                 stale.detach()
@@ -93,9 +118,27 @@ def worker_main(task_queue: Any, result_queue: Any, prefix: str) -> None:
             result_queue.put((task[1], 0, ("ok", "pong")))
             continue
         _, request_id, shard_index, generation, payload, eff = task
+        delay = 0.0
+        if faults is not None:
+            ordinal = faults.next_task()
+            if faults.should_drop(ordinal):
+                continue  # simulate a lost task message: no ack, no reply
+            delay = faults.delay_for(ordinal)
+        # Claim ack: lets the owner strike exactly the shard we held if
+        # this process dies before replying.
+        result_queue.put((request_id, shard_index, ("started", worker_index)))
+        if faults is not None and faults.should_kill(ordinal):
+            # Flush the feeder thread first: the claim ack must reach the
+            # owner or the poisoned-task strike cannot be attributed.
+            if hasattr(result_queue, "close"):
+                result_queue.close()
+                result_queue.join_thread()
+            os._exit(1)  # simulate a hard crash mid-task (no cleanup)
         try:
             engine = engine_for(generation)
             value = _run(engine, op, payload, eff, weights_for)
+            if delay > 0.0:
+                time.sleep(delay)  # simulate a slow shard (past deadline)
             result_queue.put((request_id, shard_index, ("ok", value)))
         except BaseException as exc:  # report, never crash the loop
             result_queue.put(

@@ -131,12 +131,24 @@ def main(argv: Optional[list] = None) -> int:
         if args.checkpoint:
             save_checkpoint(args.checkpoint, tracker.graph, tracker.algorithm)
     finally:
+        # Snapshot parallel health before close() transitions it to CLOSED.
+        health = tracker.health_report()
         tracker.close()
 
     print("\nsummary")
     print(f"  events processed:   {len(interactions)}")
     if args.workers > 1:
         print(f"  evaluation workers: {args.workers}")
+        if health is not None:
+            state = health["state"]
+            reason = health["reason"]
+            detail = f" ({reason})" if reason else ""
+            print(f"  parallel engine:    {state}{detail}")
+            incidents = health.get("incidents") or {}
+            if incidents:
+                counts = ", ".join(f"{k}={v}" for k, v in incidents.items())
+                print(f"  recovered faults:   {counts} "
+                      f"({health['recoveries']} recoveries)")
     print(f"  elapsed:            {elapsed:.1f}s "
           f"({len(interactions) / max(elapsed, 1e-9):.0f} events/s)")
     print(f"  oracle calls:       {tracker.oracle_calls}")

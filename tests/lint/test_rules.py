@@ -361,6 +361,100 @@ def test_rpl303_declared_writer_passes():
     )
 
 
+def test_rpl304_swallowed_broad_except():
+    assert_fires(
+        """
+        def teardown(queue):
+            try:
+                queue.close()
+            except Exception:
+                pass
+        """,
+        "src/repro/parallel/fixture.py",
+        "RPL304",
+    )
+
+
+def test_rpl304_bare_except():
+    assert_fires(
+        """
+        def teardown(queue):
+            try:
+                queue.close()
+            except:
+                queue = None
+        """,
+        "src/repro/parallel/fixture.py",
+        "RPL304",
+    )
+
+
+def test_rpl304_reraise_passes():
+    assert not _lint(
+        """
+        def forward(queue):
+            try:
+                queue.close()
+            except Exception:
+                queue.cancel_join_thread()
+                raise
+        """,
+        "src/repro/parallel/fixture.py",
+    )
+
+
+def test_rpl304_degradation_record_passes():
+    assert not _lint(
+        """
+        def degrade_on_failure(ladder, reason, queue):
+            try:
+                queue.close()
+            except Exception:
+                ladder.degrade(reason, "queue close failed")
+        """,
+        "src/repro/parallel/fixture.py",
+    )
+
+
+def test_rpl304_used_exception_passes():
+    assert not _lint(
+        """
+        def record(self, queue):
+            try:
+                queue.close()
+            except BaseException as exc:
+                self._failure = exc
+        """,
+        "src/repro/parallel/fixture.py",
+    )
+
+
+def test_rpl304_narrow_type_passes():
+    assert not _lint(
+        """
+        def drain(queue):
+            try:
+                queue.get_nowait()
+            except (OSError, ValueError):
+                pass
+        """,
+        "src/repro/parallel/fixture.py",
+    )
+
+
+def test_rpl304_out_of_scope_path_not_flagged():
+    assert not _lint(
+        """
+        def teardown(queue):
+            try:
+                queue.close()
+            except Exception:
+                pass
+        """,
+        "src/repro/core/fixture.py",
+    )
+
+
 # ----------------------------------------------------------------------
 # RPL4xx — determinism
 # ----------------------------------------------------------------------

@@ -144,7 +144,12 @@ class TestPoolQueries:
         finally:
             executor.close()
 
-    def test_worker_death_degrades_to_serial_and_cleans_up(self):
+    def test_worker_death_is_supervised_and_recovers(self):
+        """Killing the whole pool no longer forfeits sharding forever:
+        the supervisor recycles the pool (fresh queues — a worker killed
+        inside Queue.get holds the reader lock), the interrupted request
+        still gets exact results, and later requests run sharded again.
+        Teardown afterwards must leak nothing."""
         graph = build_graph()
         executor = ShardedOracleExecutor(WORKERS, min_batch=1)
         prefix = None
@@ -153,18 +158,27 @@ class TestPoolQueries:
             expected = graph.csr().spread_counts(sets, None)
             assert executor.spread_counts(graph, sets) == expected
             prefix = executor._plane.prefix
-            for proc in executor._procs:
+            first_procs = list(executor._procs)
+            for proc in first_procs:
                 proc.terminate()
-            for proc in executor._procs:
+            for proc in first_procs:
                 proc.join(timeout=10)
             with warnings.catch_warnings():
                 warnings.simplefilter("ignore", RuntimeWarning)
                 after = executor.spread_counts(graph, sets)
-            assert after == expected  # the request is answered serially
-            assert executor.degraded is not None
-            assert not executor.parallel_available
+            assert after == expected  # exact despite the mid-flight deaths
+            report = executor.health_report()
+            assert report["incidents"].get("WORKER_DEATH", 0) >= 1
+            assert report["pool"]["restarts_used"] >= 1
+            # The pool came back: sharded serving resumes (possibly after
+            # one recovery step) and the respawned workers answer.
+            assert executor.spread_counts(graph, sets) == expected
+            assert executor.parallel_available
+            assert executor.pool_running
+            assert all(proc.is_alive() for proc in executor._procs)
         finally:
             executor.close()
+        assert executor.degraded is not None  # closed is terminal
         if prefix is not None:
             from multiprocessing import shared_memory
 

@@ -38,6 +38,20 @@ def loop_harness():
     plane.close()
 
 
+def get_reply(results, timeout=10):
+    """Next substantive result, skipping started-acks.
+
+    Every sweep op first acknowledges the claim with
+    ``(request, shard, ("started", worker_index))`` so the supervisor can
+    attribute in-flight shards to workers; the tests here mostly care
+    about the reply that follows.
+    """
+    while True:
+        item = results.get(timeout=timeout)
+        if item[2][0] != "started":
+            return item
+
+
 def build_graph(seed=3):
     rng = random.Random(seed)
     graph = TDNGraph()
@@ -60,19 +74,22 @@ class TestWorkerLoop:
         tasks.put((worker.OP_PING, 1))
         assert results.get(timeout=10) == (1, 0, ("ok", "pong"))
 
+        # Sweep ops first acknowledge the claim, tagged with the worker
+        # index, so the supervisor can strike in-flight tasks on death.
         sets = [[i] for i in ids[:10]]
         tasks.put((worker.OP_SPREAD, 2, 4, generation, sets, eff))
+        assert results.get(timeout=10) == (2, 4, ("started", 0))
         request, shard, (status, counts) = results.get(timeout=10)
         assert (request, shard, status) == (2, 4, "ok")
         assert counts == serial.spread_counts(sets, None)
 
         tasks.put((worker.OP_REACH, 3, 0, generation, sets, eff))
-        _, _, (status, reach) = results.get(timeout=10)
+        _, _, (status, reach) = get_reply(results)
         assert status == "ok"
         assert [set(r) for r in reach] == [serial.reachable_ids(s, None) for s in sets]
 
         tasks.put((worker.OP_ANCESTORS, 4, 0, generation, ids[:5], eff))
-        _, _, (status, ancestors) = results.get(timeout=10)
+        _, _, (status, ancestors) = get_reply(results)
         assert status == "ok"
         assert set(ancestors) == serial.ancestor_ids(ids[:5], None)
 
@@ -97,7 +114,7 @@ class TestWorkerLoop:
         try:
             payload = (sets, "wk", published.name, published.length)
             tasks.put((worker.OP_WSPREAD, 5, 2, generation, payload, eff))
-            request, shard, (status, sums) = results.get(timeout=10)
+            request, shard, (status, sums) = get_reply(results)
             assert (request, shard, status) == (5, 2, "ok")
             assert sums == serial.weighted_spread_sums(sets, None, weights)
 
@@ -108,7 +125,7 @@ class TestWorkerLoop:
             try:
                 payload = (sets, "wk", longer.name, longer.length)
                 tasks.put((worker.OP_WSPREAD, 6, 0, generation, payload, eff))
-                _, _, (status, sums) = results.get(timeout=10)
+                _, _, (status, sums) = get_reply(results)
                 assert status == "ok"
                 assert sums == serial.weighted_spread_sums(sets, None, rescaled)
             finally:
@@ -123,12 +140,12 @@ class TestWorkerLoop:
         sets = [[0], [1]]
         eff = float(graph.time + 1)
         tasks.put((worker.OP_SPREAD, 1, 0, first, sets, eff))
-        assert results.get(timeout=10)[2][0] == "ok"
+        assert get_reply(results)[2][0] == "ok"
         graph.advance_to(graph.time + 1)
         graph.add_interaction(Interaction("n0", "n1", graph.time, 9))
         second = plane.publish(graph)
         tasks.put((worker.OP_SPREAD, 2, 0, second, sets, float(graph.time + 1)))
-        _, _, (status, counts) = results.get(timeout=10)
+        _, _, (status, counts) = get_reply(results)
         assert status == "ok"
         assert counts == graph.csr().spread_counts(sets, None)
 
@@ -139,13 +156,69 @@ class TestWorkerLoop:
         eff = float(graph.time + 1)
         # Generation skew: the header does not match what the task expects.
         tasks.put((worker.OP_SPREAD, 1, 0, generation + 5, [[0]], eff))
-        _, _, (status, message) = results.get(timeout=10)
+        _, _, (status, message) = get_reply(results)
         assert status == "error"
         # Unknown opcode travels the same error path...
         tasks.put(("no-such-op", 2, 0, generation, [[0]], eff))
-        assert results.get(timeout=10)[2][0] == "error"
+        assert get_reply(results)[2][0] == "error"
         # ...and the loop is still alive afterwards.
         tasks.put((worker.OP_SPREAD, 3, 0, generation, [[0]], eff))
-        _, _, (status, counts) = results.get(timeout=10)
+        _, _, (status, counts) = get_reply(results)
         assert status == "ok"
         assert counts == graph.csr().spread_counts([[0]], None)
+
+
+class TestWorkerFaultHooks:
+    """The in-loop fault hooks, driven in-thread.
+
+    ``kill`` is deliberately excluded — its ``os._exit`` would take the
+    test process down with it; the chaos suite exercises it against real
+    child processes.
+    """
+
+    def _start(self, faults):
+        from repro.parallel.faults import WorkerFaults
+
+        tasks: queue.Queue = queue.Queue()
+        results: queue.Queue = queue.Queue()
+        plane = SharedCSRPlane()
+        thread = threading.Thread(
+            target=worker.worker_main,
+            args=(tasks, results, plane.prefix, 3, WorkerFaults(**faults)),
+            daemon=True,
+        )
+        thread.start()
+        return tasks, results, plane, thread
+
+    def test_drop_delay_and_attach_fault_sites(self):
+        tasks, results, plane, thread = self._start(
+            {
+                "drop_at": frozenset({1}),
+                "attach_fail_at": frozenset({1}),
+                "delay_at": {3: 0.01},
+            }
+        )
+        try:
+            graph = build_graph(seed=5)
+            generation = plane.publish(graph)
+            eff = float(graph.time + 1)
+            # Task 1 is dropped: no ack, no reply — the next reply on the
+            # queue belongs to task 2.
+            tasks.put((worker.OP_SPREAD, 1, 0, generation, [[0]], eff))
+            # Task 2 is acked (claimed, tagged with the worker index) but
+            # its first plane attach raises — reported as an error reply,
+            # loop alive.
+            tasks.put((worker.OP_SPREAD, 2, 1, generation, [[0]], eff))
+            assert results.get(timeout=10) == (2, 1, ("started", 3))
+            request, shard, (status, message) = results.get(timeout=10)
+            assert (request, shard, status) == (2, 1, "error")
+            assert "attach" in message
+            # Task 3 is delayed, then answers exactly (fresh attach works).
+            tasks.put((worker.OP_SPREAD, 3, 2, generation, [[0]], eff))
+            request, shard, (status, counts) = get_reply(results)
+            assert (request, shard, status) == (3, 2, "ok")
+            assert counts == graph.csr().spread_counts([[0]], None)
+        finally:
+            tasks.put((worker.OP_STOP,))
+            thread.join(timeout=10)
+            plane.close()
