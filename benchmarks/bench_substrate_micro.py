@@ -7,8 +7,10 @@ sparse-timestamp clock advancement, the dict-vs-CSR oracle backends on a
 50k-edge stream, the incremental delta-CSR engine versus the PR 1
 rebuild-per-version engine on an ingestion-heavy stream, the bit-plane
 batched singleton sweep versus sequential per-set BFS, the weighted
-bit-plane sweep versus per-set reachable-id weight folds, and the
-sharded 4-worker ``spread_many`` versus the serial bit-plane engine.
+bit-plane sweep versus per-set reachable-id weight folds, the
+sharded 4-worker ``spread_many`` versus the serial bit-plane engine,
+and the generic fold route under ``count`` semantics versus the direct
+popcount path it must not tax.
 Kernel-bound comparisons additionally gate their speedup ratios against
 the checked-in PR 4 snapshot (:func:`assert_kernel_parity`), so the
 traversal-kernel unification can never silently erode a margin.
@@ -503,6 +505,53 @@ def test_weighted_bitplane_vs_per_set_reachable(benchmark):
     )
     assert speedup >= 2.0, (
         f"weighted bit-plane speedup {speedup:.2f}x below the 2x floor"
+    )
+
+
+def test_count_fold_parity_vs_direct_counts(benchmark):
+    """The fold route under ``count`` must cost < 5% over spread_counts.
+
+    The semantics refactor threads every oracle evaluation through the
+    fold protocol (:mod:`repro.kernels.folds`).  ``CountFold.batch``
+    delegates straight to the pre-fold popcount path, so the only
+    admissible overhead is the dispatch itself plus the int-to-float
+    conversion of the result list — never a second traversal.  This
+    gate times the same 960-singleton sweep through both routes on the
+    50k-edge stream graph (best-of-5 minima, so a noisy shared runner
+    measures dispatch cost, not scheduler jitter) and pins the ratio at
+    1.05; values must agree exactly.
+    """
+    graph = build_50k_stream()
+    nodes = sorted(graph.node_set(), key=repr)
+    id_sets = [[graph.node_id(node)] for node in nodes[:960]]
+    horizon = graph.time + 10_000
+    engine = graph.csr()  # engine build billed to neither side
+
+    def direct():
+        return engine.spread_counts(id_sets, horizon)
+
+    def via_fold():
+        return engine.fold_spread_sums(id_sets, horizon, "count")
+
+    direct()  # shared warm-up: fault any lazy kernel state before timing
+    direct_counts, direct_seconds = _best_of(5, direct)
+    fold_sums, fold_seconds = _best_of(5, via_fold)
+    benchmark.pedantic(via_fold, rounds=1, iterations=1)
+
+    assert fold_sums == [float(count) for count in direct_counts]
+
+    overhead = fold_seconds / direct_seconds
+    benchmark.extra_info["direct_seconds"] = round(direct_seconds, 4)
+    benchmark.extra_info["fold_seconds"] = round(fold_seconds, 4)
+    benchmark.extra_info["overhead"] = round(overhead, 3)
+    print(
+        f"\ncount-fold parity on {len(id_sets)} sets: direct "
+        f"{direct_seconds:.3f}s, fold route {fold_seconds:.3f}s "
+        f"({(overhead - 1.0) * 100.0:+.1f}%)"
+    )
+    assert overhead < 1.05, (
+        f"count fold route costs {(overhead - 1.0) * 100.0:.1f}% over the "
+        "direct popcount path (floor: < 5%)"
     )
 
 

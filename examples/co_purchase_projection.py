@@ -13,9 +13,12 @@ Run:
 
 import random
 
-from repro import GeometricLifetime, InfluenceTracker
-from repro.datasets import one_mode_projection
-from repro.tdn.stream import MemoryStream
+from repro import (
+    GeometricLifetime,
+    InfluenceTracker,
+    MemoryStream,
+    one_mode_projection,
+)
 
 NUM_USERS = 200
 NUM_ITEMS = 60

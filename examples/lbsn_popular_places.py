@@ -11,12 +11,18 @@ Run:
     python examples/lbsn_popular_places.py
 """
 
-from repro.core.basic_reduction import BasicReduction
-from repro.core.hist_approx import HistApprox
-from repro.datasets import lbsn_stream
+from repro import (
+    BasicReduction,
+    GeometricLifetime,
+    HistApprox,
+    MemoryStream,
+    lbsn_stream,
+)
+
+# The multi-algorithm experiment harness is research tooling, not facade
+# API; this example reproduces the paper's Fig. 7 comparison with it.
+# repro-lint: disable-next=RPL105
 from repro.experiments.harness import run_tracking
-from repro.tdn.lifetimes import GeometricLifetime
-from repro.tdn.stream import MemoryStream
 
 K = 10
 EPSILON = 0.1

@@ -3,15 +3,15 @@
 Builds a small retweet-style stream, feeds it to the paper's HISTAPPROX
 tracker with geometric lifetimes (the configuration used throughout the
 paper's experiments), and prints the tracked influential users over time
-alongside the exact greedy reference.
+alongside the exact greedy reference.  Everything here comes through the
+public facade — ``open_tracker`` plus the re-exports on the bare
+``repro`` package.
 
 Run:
     python examples/quickstart.py
 """
 
-from repro import GeometricLifetime, InfluenceTracker
-from repro.datasets import retweet_stream
-from repro.tdn.stream import MemoryStream
+from repro import GeometricLifetime, MemoryStream, open_tracker, retweet_stream
 
 
 def main() -> None:
@@ -26,7 +26,7 @@ def main() -> None:
     #    Lifetimes follow the truncated geometric Geo(p=0.02, L=200) --
     #    equivalent to forgetting each interaction with probability 2% per
     #    step (paper Example 5).
-    tracker = InfluenceTracker(
+    tracker = open_tracker(
         "hist-approx",
         k=5,
         epsilon=0.2,
@@ -45,13 +45,18 @@ def main() -> None:
     print(f"total influence-oracle calls: {tracker.oracle_calls}")
 
     # 4. Cross-check against the exact lazy-greedy baseline on the final
-    #    graph (the paper's quality reference).
-    from repro.baselines.greedy_recompute import GreedyRecompute
-
-    greedy = GreedyRecompute(5, tracker.graph)
+    #    graph (the paper's quality reference) -- same facade, different
+    #    algorithm name, sharing the tracker's graph.
+    greedy = open_tracker("greedy", k=5, graph=tracker.graph)
     reference = greedy.query()
     ratio = final.value / reference.value if reference.value else 1.0
     print(f"greedy reference value: {reference.value:.0f} (ratio {ratio:.2f})")
+
+    # 5. Influence is pluggable: the same stream ranked by recency-weighted
+    #    reach instead of raw counts (see examples/semantics_tour.py).
+    trending = open_tracker("trend", k=5, graph=tracker.graph)
+    names = ", ".join(str(n) for n in trending.query().nodes)
+    print(f"trending now (time-decay semantics): {names}")
 
 
 if __name__ == "__main__":

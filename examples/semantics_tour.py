@@ -1,0 +1,95 @@
+"""Semantics tour: one stream, four influence semantics, four rankings.
+
+The influence oracle's accumulation step is a pluggable *fold*: the same
+time-decayed reachability sweep can score the reached set as a plain
+count (the paper's objective), a weighted sum, a hop-discounted Katz-style
+centrality, or a recency-weighted trend score.  This example replays one
+retweet stream under all four registered semantics and prints the
+resulting top-5 side by side — same graph, same sweep, different
+arithmetic.
+
+Everything comes through the public facade (`repro.api`).
+
+Run:
+    python examples/semantics_tour.py
+"""
+
+from repro import (
+    GeometricLifetime,
+    MemoryStream,
+    Semantics,
+    open_tracker,
+    retweet_stream,
+)
+
+K = 5
+
+
+def run(tracker, stream):
+    """Replay the stream; return the final solution."""
+    solution = None
+    for t, batch in stream:
+        solution = tracker.step(t, batch)
+    return solution
+
+
+def main() -> None:
+    events = retweet_stream(num_users=250, num_events=500, seed=13)
+    policy = lambda: GeometricLifetime(p=0.02, max_lifetime=150, seed=2)  # noqa: E731
+
+    # Every 8th user is a premium account for the weighted ranking.
+    premium = {f"u{i}": 20.0 for i in range(0, 250, 8)}
+
+    trackers = {
+        # The paper's objective: |R(S)|, distinct accounts reached.
+        "count": open_tracker(
+            "hist-approx", k=K, epsilon=0.2, lifetime_policy=policy()
+        ),
+        # Premium accounts count 20x: reach that converts, not just reach.
+        "weighted_sum": open_tracker(
+            "hist-approx",
+            k=K,
+            epsilon=0.2,
+            semantics=Semantics.WEIGHTED_SUM,
+            weights=premium,
+            lifetime_policy=policy(),
+        ),
+        # Katz-flavored: each extra hop halves the credit, so direct
+        # audiences beat long brittle chains.
+        "hop_discount": open_tracker(
+            "decayed-centrality",
+            k=K,
+            semantics=(Semantics.HOP_DISCOUNT.value, {"alpha": 0.5}),
+            lifetime_policy=policy(),
+        ),
+        # Trending now: reach backed by fresh, long-lived interactions
+        # outranks reach about to expire.
+        "trend (time_decay)": open_tracker(
+            "trend",
+            k=K,
+            semantics=(Semantics.TIME_DECAY.value, {"lam": 0.05}),
+            lifetime_policy=policy(),
+        ),
+    }
+
+    results = {
+        name: run(tracker, MemoryStream(events))
+        for name, tracker in trackers.items()
+    }
+
+    print(f"top-{K} influencers on one stream, per semantics\n")
+    print(f"{'semantics':>20}  {'value':>9}  nodes")
+    for name, solution in results.items():
+        nodes = ", ".join(str(n) for n in solution.nodes)
+        print(f"{name:>20}  {solution.value:>9.2f}  {nodes}")
+
+    # The count and weighted rankings agree only where premium accounts
+    # happen to sit in the biggest cascades; the decayed semantics
+    # reorder further.  That divergence is the point: pick the fold that
+    # matches what "influence" means for your application.
+    overlap = set(results["count"].nodes) & set(results["weighted_sum"].nodes)
+    print(f"\ncount vs weighted overlap: {len(overlap)}/{K}")
+
+
+if __name__ == "__main__":
+    main()

@@ -38,8 +38,11 @@ import argparse
 import asyncio
 import random
 
-from repro import GeometricLifetime, InfluenceTracker
-from repro.datasets import retweet_stream
+from repro import GeometricLifetime, InfluenceTracker, retweet_stream
+
+# The async ingest service is a power-user surface with no facade
+# equivalent yet; this example documents it deliberately.
+# repro-lint: disable-next=RPL105
 from repro.parallel import IngestService
 
 

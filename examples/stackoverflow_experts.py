@@ -11,13 +11,19 @@ Run:
     python examples/stackoverflow_experts.py
 """
 
+from repro import GeometricLifetime, HistApprox, MemoryStream, qa_stream
+
+# The multi-algorithm experiment harness and its report metrics are
+# research tooling, not facade API; this example is explicitly about
+# reproducing the paper's sweep with them.
+# repro-lint: disable-next=RPL105
 from repro.baselines.greedy_recompute import GreedyRecompute
-from repro.core.hist_approx import HistApprox
-from repro.datasets import qa_stream
+
+# repro-lint: disable-next=RPL105
 from repro.experiments.harness import run_tracking
+
+# repro-lint: disable-next=RPL105
 from repro.experiments.metrics import final_calls_ratio, mean_value_ratio
-from repro.tdn.lifetimes import GeometricLifetime
-from repro.tdn.stream import MemoryStream
 
 K = 10
 EPSILONS = (0.1, 0.2, 0.4)

@@ -14,13 +14,19 @@ Run:
     python examples/twitter_viral_burst.py
 """
 
+from repro import (
+    GeometricLifetime,
+    HistApprox,
+    InfluenceOracle,
+    MemoryStream,
+    TDNGraph,
+    retweet_stream,
+)
+
+# The static IMM baseline has no facade entry (it exists only as this
+# example's strawman); imported from its internal home deliberately.
+# repro-lint: disable-next=RPL105
 from repro.baselines.imm import IMM
-from repro.core.hist_approx import HistApprox
-from repro.datasets import retweet_stream
-from repro.influence.oracle import InfluenceOracle
-from repro.tdn.graph import TDNGraph
-from repro.tdn.lifetimes import GeometricLifetime
-from repro.tdn.stream import MemoryStream
 
 K = 5
 BURST_START, BURST_END = 300, 420

@@ -16,14 +16,22 @@ Run:
 import tempfile
 from pathlib import Path
 
-from repro import SolutionHistory, save_checkpoint
-from repro.core.hist_approx import HistApprox
-from repro.datasets import retweet_stream
-from repro.influence.oracle import InfluenceOracle
+from repro import (
+    GeometricLifetime,
+    HistApprox,
+    InfluenceOracle,
+    MemoryStream,
+    SolutionHistory,
+    TDNGraph,
+    retweet_stream,
+    save_checkpoint,
+)
+
+# Direct weighted-oracle construction is the power-user path (the facade
+# spelling is open_tracker(semantics=Semantics.WEIGHTED_SUM, weights=...));
+# this example wires it into HistApprox by hand on purpose.
+# repro-lint: disable-next=RPL105
 from repro.influence.weighted import WeightedInfluenceOracle
-from repro.tdn.graph import TDNGraph
-from repro.tdn.lifetimes import GeometricLifetime
-from repro.tdn.stream import MemoryStream
 
 K = 5
 PREMIUM_WEIGHT = 20.0
@@ -83,6 +91,9 @@ def main() -> None:
 
     # On restore, re-supply the custom objective: persistence stores graph
     # and sieve state, never objectives or RNGs (see repro.persistence docs).
+    # The dict-level round-trip helpers are internal on purpose — the
+    # facade spelling is save_checkpoint/load_checkpoint.
+    # repro-lint: disable-next=RPL105
     from repro.persistence import (
         algorithm_from_dict,
         algorithm_to_dict,
@@ -107,6 +118,7 @@ def main() -> None:
 
 
 def _reached(oracle, seeds):
+    # repro-lint: disable-next=RPL105
     from repro.influence.reachability import reachable_set
 
     return reachable_set(oracle.graph, seeds)

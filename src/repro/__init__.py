@@ -4,11 +4,13 @@ A from-scratch reproduction of Zhao, Shang, Wang, Lui and Zhang,
 "Tracking Influential Nodes in Time-Decaying Dynamic Interaction Networks"
 (ICDE 2019 / arXiv:1810.07917).
 
-Quickstart::
+The supported entry surface is the facade (:mod:`repro.api`, re-exported
+here): :func:`open_tracker`, the :class:`Semantics` enum, and the
+:mod:`repro.errors` hierarchy.  Quickstart::
 
-    from repro import InfluenceTracker, GeometricLifetime
+    from repro import GeometricLifetime, Semantics, open_tracker
 
-    tracker = InfluenceTracker(
+    tracker = open_tracker(
         "hist-approx", k=10, epsilon=0.2,
         lifetime_policy=GeometricLifetime(p=0.01, max_lifetime=1000, seed=42),
     )
@@ -16,21 +18,40 @@ Quickstart::
         solution = tracker.step(t, batch)
     print(solution.nodes, solution.value)
 
-See DESIGN.md for the system inventory and EXPERIMENTS.md for the
-paper-versus-measured record of every table and figure.
+    trending = open_tracker("trend", k=5)           # time-decay semantics
+
+See DESIGN.md for the system inventory, ARCHITECTURE.md for the public
+API vs internal layers table, and EXPERIMENTS.md for the paper-versus-
+measured record of every table and figure.
 """
 
 from repro.analysis import SolutionHistory
+from repro.api import Semantics, open_tracker
+from repro.datasets import (
+    lbsn_stream,
+    make_stream,
+    one_mode_projection,
+    qa_stream,
+    retweet_stream,
+)
 from repro.core import (
     BasicReduction,
+    DecayedCentralityTracker,
     HistApprox,
     InfluenceTracker,
     SieveADN,
     SieveStreaming,
     Solution,
+    TrendTracker,
+)
+from repro.errors import (
+    ConfigError,
+    DegradedExecutionError,
+    PersistenceError,
+    ReproError,
+    SemanticsError,
 )
 from repro.influence import InfluenceOracle, top_spreaders
-from repro.influence.weighted import WeightedInfluenceOracle
 from repro.persistence import load_checkpoint, save_checkpoint
 from repro.tdn import (
     ConstantLifetime,
@@ -42,22 +63,32 @@ from repro.tdn import (
     TDNGraph,
     UniformLifetime,
 )
+from repro.utils.deprecation import warn_once
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "open_tracker",
+    "Semantics",
     "InfluenceTracker",
     "Solution",
     "SieveADN",
     "BasicReduction",
     "HistApprox",
     "SieveStreaming",
+    "DecayedCentralityTracker",
+    "TrendTracker",
     "InfluenceOracle",
     "WeightedInfluenceOracle",
     "top_spreaders",
     "SolutionHistory",
     "save_checkpoint",
     "load_checkpoint",
+    "ReproError",
+    "ConfigError",
+    "SemanticsError",
+    "DegradedExecutionError",
+    "PersistenceError",
     "TDNGraph",
     "Interaction",
     "MemoryStream",
@@ -66,5 +97,32 @@ __all__ = [
     "GeometricLifetime",
     "UniformLifetime",
     "PowerLawLifetime",
+    "lbsn_stream",
+    "make_stream",
+    "one_mode_projection",
+    "qa_stream",
+    "retweet_stream",
     "__version__",
 ]
+
+
+def __getattr__(name: str):
+    """Deprecation shims for spellings the facade supersedes.
+
+    ``repro.WeightedInfluenceOracle`` keeps working for one release but
+    warns: weighted spread now enters through ``open_tracker(semantics=
+    Semantics.WEIGHTED_SUM, weights=...)`` (power users can still import
+    the class from :mod:`repro.influence.weighted` warning-free).
+    """
+    if name == "WeightedInfluenceOracle":
+        warn_once(
+            "root-weighted-oracle",
+            "importing WeightedInfluenceOracle from the bare 'repro' "
+            "package is deprecated; use repro.api.open_tracker(semantics="
+            "Semantics.WEIGHTED_SUM, weights=...) or import it from "
+            "repro.influence.weighted",
+        )
+        from repro.influence.weighted import WeightedInfluenceOracle
+
+        return WeightedInfluenceOracle
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

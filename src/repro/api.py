@@ -1,0 +1,176 @@
+"""The stable public facade: one documented way in.
+
+Everything a library user needs lives here (and is re-exported from the
+bare ``repro`` package): :func:`open_tracker` to build a configured
+tracker from names and plain values, the :class:`Semantics` enum naming
+the registered influence folds, and the exception hierarchy from
+:mod:`repro.errors`.  Internal layers (``repro.kernels``, ``repro.tdn``,
+``repro.influence``, ``repro.parallel``, ...) remain importable for power
+users and tests, but only this module and ``repro.errors`` are covered by
+the compatibility promise — the RPL105 lint rule keeps ``examples/`` and
+``tests/integration/`` honest about using the facade only.
+
+Quickstart::
+
+    from repro.api import Semantics, open_tracker
+
+    tracker = open_tracker("hist-approx", k=10, epsilon=0.2)
+    for t, batch in my_stream:                  # batches of (u, v) pairs
+        solution = tracker.step(t, batch)
+
+    trending = open_tracker("trend", k=5, semantics=Semantics.TIME_DECAY)
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Optional, Union
+
+from repro.core.tracker import InfluenceTracker, Solution
+from repro.errors import (
+    ConfigError,
+    DegradedExecutionError,
+    PersistenceError,
+    ReproError,
+    SemanticsError,
+)
+from repro.influence.weighted import WeightedInfluenceOracle
+from repro.kernels import Fold, resolve_fold
+from repro.tdn.graph import TDNGraph
+from repro.tdn.lifetimes import LifetimePolicy
+
+__all__ = [
+    "ConfigError",
+    "DegradedExecutionError",
+    "InfluenceTracker",
+    "PersistenceError",
+    "ReproError",
+    "Semantics",
+    "SemanticsError",
+    "Solution",
+    "open_tracker",
+]
+
+
+class Semantics(str, Enum):
+    """Registered influence semantics, one per fold in the kernel registry.
+
+    Values are the registry names, so a plain string works anywhere a
+    ``Semantics`` member does; the enum exists to make the choices
+    discoverable and typo-proof at the facade.
+    """
+
+    COUNT = "count"
+    WEIGHTED_SUM = "weighted_sum"
+    HOP_DISCOUNT = "hop_discount"
+    TIME_DECAY = "time_decay"
+
+
+def open_tracker(
+    algorithm: str = "hist-approx",
+    *,
+    k: int = 10,
+    epsilon: float = 0.1,
+    semantics: Union[Semantics, str, tuple, Fold, None] = None,
+    semantics_params: Optional[dict] = None,
+    weights=None,
+    default_weight: float = 1.0,
+    lifetime_policy: Optional[LifetimePolicy] = None,
+    L: Optional[int] = None,
+    changed_mode: str = "ancestors",
+    refine_head: bool = False,
+    seed=None,
+    workers: int = 1,
+    graph: Optional[TDNGraph] = None,
+) -> InfluenceTracker:
+    """Open a configured influence tracker — the one public constructor.
+
+    Args:
+        algorithm: ``"hist-approx"`` (default), ``"basic-reduction"``,
+            ``"sieve-adn"``, ``"decayed-centrality"``, ``"trend"``,
+            ``"greedy"`` or ``"random"``.
+        k: number of influential nodes to maintain.
+        epsilon: approximation knob of the sieve algorithms.
+        semantics: influence semantics — a :class:`Semantics` member, a
+            registry name, a ``(name, params)`` pair, or a ready
+            :class:`~repro.kernels.Fold`.  ``None`` picks the algorithm's
+            natural semantics (``hop_discount`` for decayed-centrality,
+            ``time_decay`` for trend, ``count`` otherwise).
+        semantics_params: fold parameters (e.g. ``{"alpha": 0.8}``) when
+            ``semantics`` is given by name; rejected if ``semantics``
+            already carries parameters.
+        weights: node weights (mapping or callable) for
+            :data:`Semantics.WEIGHTED_SUM` — the one semantics whose
+            per-node state cannot ride in a fold parameter, so it is
+            served by a :class:`WeightedInfluenceOracle` injected into
+            the tracker.  Only valid with ``weighted_sum``.
+        default_weight: weight for nodes missing from ``weights``.
+        lifetime_policy, L, changed_mode, refine_head, seed, workers,
+            graph: forwarded to :class:`InfluenceTracker` (see its docs).
+
+    Raises:
+        SemanticsError: unknown semantics name or invalid parameters.
+        ConfigError: inconsistent argument combinations (e.g. ``weights``
+            without ``weighted_sum``).
+    """
+    name = semantics.value if isinstance(semantics, Semantics) else semantics
+    if semantics_params is not None:
+        if not isinstance(name, str):
+            raise ConfigError(
+                "semantics_params requires semantics to be given by name; "
+                f"got semantics={semantics!r}"
+            )
+        name = (name, dict(semantics_params))
+    if _is_weighted(name):
+        if graph is None:
+            graph = TDNGraph()
+        oracle = WeightedInfluenceOracle(
+            graph,
+            weights,
+            default_weight=default_weight,
+            parallel=workers if workers > 1 else None,
+        )
+        return InfluenceTracker(
+            algorithm,
+            k=k,
+            epsilon=epsilon,
+            lifetime_policy=lifetime_policy,
+            L=L,
+            changed_mode=changed_mode,
+            refine_head=refine_head,
+            seed=seed,
+            graph=graph,
+            oracle=oracle,
+        )
+    if weights is not None:
+        raise ConfigError(
+            "weights are only meaningful with semantics='weighted_sum'; "
+            f"got semantics={semantics!r}"
+        )
+    if name is not None:
+        resolve_fold(name)  # fail fast at the facade on unknown semantics
+    return InfluenceTracker(
+        algorithm,
+        k=k,
+        epsilon=epsilon,
+        lifetime_policy=lifetime_policy,
+        L=L,
+        changed_mode=changed_mode,
+        refine_head=refine_head,
+        seed=seed,
+        graph=graph,
+        workers=workers,
+        semantics=name,
+    )
+
+
+def _is_weighted(name) -> bool:
+    if isinstance(name, Fold):
+        return name.name == Semantics.WEIGHTED_SUM.value
+    if name == Semantics.WEIGHTED_SUM.value:
+        return True
+    return (
+        isinstance(name, tuple)
+        and len(name) == 2
+        and name[0] == Semantics.WEIGHTED_SUM.value
+    )

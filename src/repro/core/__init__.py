@@ -8,6 +8,9 @@
 * :class:`HistApprox` — the smooth-histogram compression of BASICREDUCTION
   (paper Alg. 3); ``(1/3 - eps)``-approximate, with an optional head
   refinement recovering ``(1/2 - eps)``.
+* :class:`DecayedCentralityTracker` / :class:`TrendTracker` — singleton
+  rankers over the pluggable fold semantics (``hop_discount`` /
+  ``time_decay``), the first non-count consumers of the fold seam.
 * :class:`InfluenceTracker` — a facade that owns the TDN graph, assigns
   lifetimes, and drives any of the algorithms (or baselines) from a raw
   interaction feed.
@@ -18,6 +21,7 @@ from repro.core.sieve_streaming import SieveStreaming
 from repro.core.sieve_adn import SieveADN
 from repro.core.basic_reduction import BasicReduction
 from repro.core.hist_approx import HistApprox
+from repro.core.decayed import DecayedCentralityTracker, TrendTracker
 from repro.core.tracker import InfluenceTracker, Solution, TrackingAlgorithm
 
 __all__ = [
@@ -27,6 +31,8 @@ __all__ = [
     "SieveADN",
     "BasicReduction",
     "HistApprox",
+    "DecayedCentralityTracker",
+    "TrendTracker",
     "InfluenceTracker",
     "Solution",
     "TrackingAlgorithm",

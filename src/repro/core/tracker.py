@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Hashable, Iterable, Iterator, List, Optional, Protocol, Tuple, Union
 
+from repro.errors import ConfigError
 from repro.influence.oracle import InfluenceOracle
 from repro.tdn.graph import TDNGraph
 from repro.tdn.interaction import Interaction
@@ -77,8 +78,9 @@ class InfluenceTracker:
     Args:
         algorithm: one of ``"hist-approx"`` (default; the paper's
             recommendation), ``"basic-reduction"``, ``"sieve-adn"``,
-            ``"greedy"``, ``"random"``, or a callable
-            ``(graph, oracle) -> TrackingAlgorithm`` for custom setups.
+            ``"decayed-centrality"``, ``"trend"``, ``"greedy"``,
+            ``"random"``, or a callable ``(graph, oracle) ->
+            TrackingAlgorithm`` for custom setups.
         k: number of influential nodes to maintain.
         epsilon: approximation knob of the sieve algorithms.
         lifetime_policy: default lifetime assignment for interactions that
@@ -93,6 +95,20 @@ class InfluenceTracker:
             sweeps across N processes over the shared-memory CSR plane
             with bit-identical results).  Call :meth:`close` when done to
             release the pool.
+        semantics: influence semantics the oracle evaluates under — a
+            registered fold name (``"count"``, ``"hop_discount"``,
+            ``"time_decay"``), a ``(name, params)`` pair, or a
+            :class:`~repro.kernels.Fold` instance.  ``None`` (default)
+            picks the algorithm's natural semantics: ``hop_discount`` for
+            ``"decayed-centrality"``, ``time_decay`` for ``"trend"``,
+            plain ``count`` for everything else.
+        oracle: a prebuilt oracle to drive evaluations (must be bound to
+            the ``graph`` argument, which then becomes mandatory).  This
+            is how weighted spread enters the facade: construct a
+            :class:`~repro.influence.weighted.WeightedInfluenceOracle` on
+            a shared graph and inject it; ``semantics``/``workers`` are
+            then the oracle's business and must be left at their
+            defaults.
 
     Example:
         >>> from repro.tdn.lifetimes import GeometricLifetime
@@ -117,11 +133,30 @@ class InfluenceTracker:
         seed=None,
         graph: Optional[TDNGraph] = None,
         workers: int = 1,
+        semantics=None,
+        oracle=None,
     ) -> None:
         self.graph = graph if graph is not None else TDNGraph()
-        self.oracle = InfluenceOracle(
-            self.graph, parallel=workers if workers > 1 else None
-        )
+        if oracle is not None:
+            if getattr(oracle, "graph", None) is not self.graph:
+                raise ConfigError(
+                    "an injected oracle must be bound to the tracker's graph; "
+                    "construct the graph first and pass it via graph="
+                )
+            if semantics is not None or workers > 1:
+                raise ConfigError(
+                    "semantics/workers are owned by an injected oracle; "
+                    "configure them on the oracle instead"
+                )
+            self.oracle = oracle
+        else:
+            if semantics is None:
+                semantics = _default_semantics(algorithm)
+            self.oracle = InfluenceOracle(
+                self.graph,
+                parallel=workers if workers > 1 else None,
+                semantics=semantics,
+            )
         self.lifetime_policy = lifetime_policy
         self._last_time: Optional[int] = None
         if callable(algorithm):
@@ -149,7 +184,7 @@ class InfluenceTracker:
         lifetime policy (or remain infinite without one).
         """
         if self._last_time is not None and t <= self._last_time:
-            raise ValueError(
+            raise ConfigError(
                 f"steps must have strictly increasing times; got {t} after {self._last_time}"
             )
         self.graph.advance_to(t)
@@ -209,6 +244,23 @@ class InfluenceTracker:
         )
 
 
+def _default_semantics(algorithm) -> str:
+    """The natural influence semantics for a named algorithm.
+
+    The semantics-driven trackers are unusable under plain counts (their
+    constructors reject a count oracle), so naming them implies their
+    fold; every other algorithm keeps the paper's reachability count.
+    """
+    if callable(algorithm):
+        return "count"
+    key = str(algorithm).lower().replace("_", "-")
+    if key in ("decayed-centrality", "decayed", "decayedcentrality"):
+        return "hop_discount"
+    if key in ("trend", "trend-tracker", "trendtracker"):
+        return "time_decay"
+    return "count"
+
+
 def _build_algorithm(
     name: str,
     *,
@@ -238,7 +290,7 @@ def _build_algorithm(
         from repro.core.basic_reduction import BasicReduction
 
         if L is None:
-            raise ValueError("basic-reduction requires the maximum lifetime L")
+            raise ConfigError("basic-reduction requires the maximum lifetime L")
         return BasicReduction(
             k=k,
             epsilon=epsilon,
@@ -253,6 +305,14 @@ def _build_algorithm(
         return SieveADN(
             k=k, epsilon=epsilon, graph=graph, oracle=oracle, changed_mode=changed_mode
         )
+    if key in ("decayed-centrality", "decayed", "decayedcentrality"):
+        from repro.core.decayed import DecayedCentralityTracker
+
+        return DecayedCentralityTracker(k=k, graph=graph, oracle=oracle)
+    if key in ("trend", "trend-tracker", "trendtracker"):
+        from repro.core.decayed import TrendTracker
+
+        return TrendTracker(k=k, graph=graph, oracle=oracle)
     if key == "greedy":
         # Deliberate injection seam: the factory hands back baseline
         # trackers by name; lazy import keeps core free of baselines at
@@ -267,7 +327,8 @@ def _build_algorithm(
         from repro.baselines.random_baseline import RandomBaseline
 
         return RandomBaseline(k=k, graph=graph, oracle=oracle, seed=seed)
-    raise ValueError(
+    raise ConfigError(
         f"unknown algorithm {name!r}; expected one of hist-approx, "
-        "basic-reduction, sieve-adn, greedy, random, or a factory callable"
+        "basic-reduction, sieve-adn, decayed-centrality, trend, greedy, "
+        "random, or a factory callable"
     )

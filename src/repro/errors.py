@@ -1,0 +1,56 @@
+"""The public exception hierarchy.
+
+Every error the package raises on a *boundary* — configuration the
+caller got wrong, an unknown influence semantics, persistence payloads
+that cannot round-trip, parallel execution degrading below what the
+caller asked for — derives from :class:`ReproError`, so ``except
+ReproError`` catches everything this package can throw at an API seam.
+
+Each subclass additionally inherits the builtin exception the same
+boundary raised historically (``ValueError`` for validation,
+``RuntimeError`` for execution state), so pre-existing callers — and the
+tests that pin exact message text — keep working unchanged.  New code
+should catch the specific subclass.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ConfigError",
+    "DegradedExecutionError",
+    "PersistenceError",
+    "ReproError",
+    "SemanticsError",
+]
+
+
+class ReproError(Exception):
+    """Base class of every error raised at a repro API boundary."""
+
+
+class ConfigError(ReproError, ValueError):
+    """A constructor or setting received a value outside its contract."""
+
+
+class SemanticsError(ConfigError):
+    """An influence-semantics (fold) name or parameter was not recognized.
+
+    A :class:`ConfigError` subclass: asking for an unknown fold is a
+    configuration mistake, but a distinct one worth catching on its own
+    — it is the error persistence raises when a checkpoint names a
+    semantics this build does not ship.
+    """
+
+
+class PersistenceError(ReproError, ValueError):
+    """A checkpoint payload is malformed, unsupported, or inconsistent."""
+
+
+class DegradedExecutionError(ReproError, RuntimeError):
+    """Parallel/service execution cannot satisfy the caller's contract.
+
+    Raised at the service boundary when an operation is attempted against
+    a closed or never-started component; sharded evaluation itself never
+    raises this — it degrades to serial and records the fact in the
+    health report instead.
+    """

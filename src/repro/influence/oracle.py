@@ -110,14 +110,22 @@ from typing import (
     Sequence,
     Set,
     Tuple,
+    Union,
 )
 
+from repro.errors import ConfigError, SemanticsError
 from repro.influence.reachability import ancestors, reachable_set
+from repro.kernels import Fold, resolve_fold
 from repro.tdn.graph import TDNGraph
 from repro.utils.counters import CallCounter
+from repro.utils.deprecation import warn_once
 
 Node = Hashable
 
+#: Count-semantics cache key.  Non-count semantics append the fold's
+#: hashable token as a third element, so two semantics over one graph can
+#: never collide on a memo slot; the key-set nodes stay at index 1, which
+#: is the only position the table's inverted index relies on.
 _CacheKey = Tuple[Optional[float], FrozenSet[Node]]
 
 #: Selectable reachability engines.
@@ -133,7 +141,9 @@ MEMO_MODES = ("delta", "version")
 _PENDING = object()
 
 
-def replay_batch_protocol(memo, counter, sets, min_expiry, evaluate, zero):
+def replay_batch_protocol(
+    memo, counter, sets, min_expiry, evaluate, zero, semantics=None
+):
     """The sequential-replay cache protocol behind batched ``spread_many``.
 
     Shared by :class:`InfluenceOracle` and :class:`~repro.influence.
@@ -149,6 +159,11 @@ def replay_batch_protocol(memo, counter, sets, min_expiry, evaluate, zero):
     (unhashable member, exhausted iterator) must raise while the memo
     still holds no ``_PENDING`` reservation to leak, and reservations are
     likewise rolled back when ``evaluate`` itself raises.
+
+    ``semantics`` is an optional hashable token appended to every cache
+    key (``None`` keeps the historical two-element key), so oracles
+    evaluating different fold semantics over one shared graph keep fully
+    disjoint memo populations.
     """
     frozen_sets = [frozenset(nodes) for nodes in sets]
     results: list = [None] * len(sets)
@@ -160,7 +175,11 @@ def replay_batch_protocol(memo, counter, sets, min_expiry, evaluate, zero):
         if not key_nodes:
             results[i] = zero
             continue
-        key = (min_expiry, key_nodes)
+        key = (
+            (min_expiry, key_nodes)
+            if semantics is None
+            else (min_expiry, key_nodes, semantics)
+        )
         hit = memo.get(key)
         if hit is _PENDING:
             # Duplicate of an in-batch miss: a sequential run would hit
@@ -213,7 +232,7 @@ def resolve_executor(parallel, backend: str):
     if isinstance(parallel, bool):
         raise TypeError("parallel must be None, an int worker count, or an executor")
     if backend != "csr":
-        raise ValueError(
+        raise ConfigError(
             f"parallel evaluation requires backend='csr', got {backend!r}"
         )
     if isinstance(parallel, int):
@@ -281,13 +300,13 @@ class MemoTable:
         cone_backend: str = "csr",
     ) -> None:
         if memo_mode not in MEMO_MODES:
-            raise ValueError(
+            raise ConfigError(
                 f"memo_mode must be one of {MEMO_MODES}, got {memo_mode!r}"
             )
         if max_entries < 0:
-            raise ValueError(f"max_entries must be >= 0, got {max_entries}")
+            raise ConfigError(f"max_entries must be >= 0, got {max_entries}")
         if cone_backend not in ORACLE_BACKENDS:
-            raise ValueError(
+            raise ConfigError(
                 f"cone_backend must be one of {ORACLE_BACKENDS}, got {cone_backend!r}"
             )
         self.graph = graph
@@ -458,32 +477,85 @@ class InfluenceOracle:
             release it with :meth:`close`), or an executor instance to
             share across oracles.  Values, solutions and call counts are
             bit-identical to serial evaluation.
+        semantics: the influence fold this oracle evaluates — a name
+            from :data:`repro.kernels.FOLD_NAMES`, a ``(name, params)``
+            spec, or a :class:`~repro.kernels.Fold` instance.  The
+            default ``"count"`` keeps the paper's ``|R(S)|`` on its
+            historical byte-identical code path; ``"hop_discount"`` and
+            ``"time_decay"`` evaluate through the fold seam (CSR backend
+            only) with memo keys carrying the fold token, so two
+            semantics sharing one graph never share cache entries.
+            ``"weighted_sum"`` is rejected here — its per-node weights
+            live on :class:`~repro.influence.weighted.
+            WeightedInfluenceOracle`.
     """
 
     def __init__(
         self,
         graph: TDNGraph,
         counter: Optional[CallCounter] = None,
-        *,
+        *deprecated_positional,
         max_cache_entries: int = 200_000,
         backend: str = "csr",
         memo_mode: str = "delta",
         parallel=None,
+        semantics="count",
     ) -> None:
+        if deprecated_positional:
+            # Historical spelling: config passed positionally after the
+            # counter.  Kept working for one release; the keyword form is
+            # the supported API.
+            warn_once(
+                "oracle-positional-config",
+                "passing max_cache_entries/backend/memo_mode to "
+                "InfluenceOracle positionally is deprecated; pass them as "
+                "keywords (or use repro.api.open_tracker)",
+            )
+            names = ("max_cache_entries", "backend", "memo_mode")
+            if len(deprecated_positional) > len(names):
+                raise ConfigError(
+                    "InfluenceOracle takes at most graph, counter, "
+                    f"{', '.join(names)} positionally; "
+                    f"got {len(deprecated_positional) + 2} arguments"
+                )
+            values = dict(zip(names, deprecated_positional))
+            max_cache_entries = values.get("max_cache_entries", max_cache_entries)
+            backend = values.get("backend", backend)
+            memo_mode = values.get("memo_mode", memo_mode)
         if backend not in ORACLE_BACKENDS:
-            raise ValueError(
+            raise ConfigError(
                 f"backend must be one of {ORACLE_BACKENDS}, got {backend!r}"
             )
         if max_cache_entries < 0:
-            raise ValueError(f"max_cache_entries must be >= 0, got {max_cache_entries}")
+            raise ConfigError(f"max_cache_entries must be >= 0, got {max_cache_entries}")
+        fold = resolve_fold(semantics)
+        if fold.name == "weighted_sum":
+            raise SemanticsError(
+                "semantics 'weighted_sum' carries per-node weights; "
+                "construct a WeightedInfluenceOracle (or use "
+                "repro.api.open_tracker with Semantics.WEIGHTED_SUM) instead"
+            )
+        if fold.name != "count" and backend != "csr":
+            raise SemanticsError(
+                f"semantics {fold.name!r} requires backend='csr', got {backend!r}"
+            )
         self.graph = graph
         self.backend = backend
+        self.fold = fold
+        #: None on the count path (the pre-fold two-element memo keys and
+        #: int values), the fold's hashable token otherwise.
+        self._semantics_token = None if fold.name == "count" else fold.token()
         self.counter = counter if counter is not None else CallCounter("oracle")
         self._executor, self._owns_executor = resolve_executor(parallel, backend)
         self._memo = MemoTable(
             graph, max_cache_entries, memo_mode, cone_backend=backend
         )
         self._memo.executor = self._executor
+
+    @property
+    def semantics(self) -> str:
+        """The registered name of this oracle's fold."""
+        return self.fold.name
 
     @property
     def memo_mode(self) -> str:
@@ -522,15 +594,19 @@ class InfluenceOracle:
         return self._executor.health_report()
 
     # ------------------------------------------------------------------
-    def spread(self, nodes: Iterable[Node], min_expiry: Optional[float] = None) -> int:
-        """Return ``f_t(S)``: distinct nodes reachable from ``nodes``.
+    def spread(self, nodes: Iterable[Node], min_expiry: Optional[float] = None):
+        """Return ``f_t(S)`` under this oracle's semantics.
 
-        ``f_t(empty set) = 0`` (the function is normalized).  The horizon
-        ``min_expiry`` restricts traversal to edges expiring at or after it.
+        For the default ``"count"`` fold this is the distinct-node count
+        ``|R(S)|`` (an int, exactly as before the fold seam existed);
+        other semantics score the same reached set through their fold and
+        return a float.  ``f_t(empty set) = 0`` (the function is
+        normalized).  The horizon ``min_expiry`` restricts traversal to
+        edges expiring at or after it.
         """
         key_nodes = frozenset(nodes)
         if not key_nodes:
-            return 0
+            return 0 if self._semantics_token is None else 0.0
         self._memo.sync()
         return self._spread_cached(key_nodes, min_expiry)
 
@@ -550,7 +626,7 @@ class InfluenceOracle:
         self,
         sets: Sequence[Iterable[Node]],
         min_expiry: Optional[float] = None,
-    ) -> List[int]:
+    ) -> List[Union[int, float]]:
         """Evaluate ``f_t`` for a whole batch of sets at one horizon.
 
         Semantically identical to ``[self.spread(s, min_expiry) for s in
@@ -574,7 +650,13 @@ class InfluenceOracle:
                 )
             return reference
         return replay_batch_protocol(
-            self._memo, self.counter, sets, min_expiry, self._evaluate_batch, 0
+            self._memo,
+            self.counter,
+            sets,
+            min_expiry,
+            self._evaluate_batch,
+            0 if self._semantics_token is None else 0.0,
+            semantics=self._semantics_token,
         )
 
     def marginal_gain(
@@ -598,10 +680,13 @@ class InfluenceOracle:
         )
 
     # ------------------------------------------------------------------
-    def _spread_cached(
-        self, key_nodes: FrozenSet[Node], min_expiry: Optional[float]
-    ) -> int:
-        key: _CacheKey = (min_expiry, key_nodes)
+    def _spread_cached(self, key_nodes: FrozenSet[Node], min_expiry: Optional[float]):
+        token = self._semantics_token
+        key = (
+            (min_expiry, key_nodes)
+            if token is None
+            else (min_expiry, key_nodes, token)
+        )
         hit = self._memo.get(key)
         if hit is not None and hit is not _PENDING:
             return hit
@@ -610,22 +695,29 @@ class InfluenceOracle:
         self._memo.put(key, value)
         return value
 
-    def _evaluate(
-        self, key_nodes: FrozenSet[Node], min_expiry: Optional[float]
-    ) -> int:
+    def _evaluate(self, key_nodes: FrozenSet[Node], min_expiry: Optional[float]):
         if self.backend == "dict":
             return len(reachable_set(self.graph, key_nodes, min_expiry))
         ids, unknown = self.graph.intern_ids(key_nodes)
+        if self._semantics_token is None:
+            if not ids:
+                return unknown
+            return self.graph.csr().reachable_count(ids, min_expiry) + unknown
+        # Unknown (never-interned) seeds reach exactly themselves with no
+        # alive in-edge: every shipped fold scores such a node 1.0, added
+        # after the engine fold exactly as the count path adds them.
         if not ids:
-            return unknown
-        return self.graph.csr().reachable_count(ids, min_expiry) + unknown
+            return float(unknown)
+        sums = self.graph.csr().fold_spread_sums([ids], min_expiry, self.fold)
+        return sums[0] + unknown
 
     def _evaluate_batch(
         self, key_sets: Sequence[FrozenSet[Node]], min_expiry: Optional[float]
-    ) -> List[int]:
+    ) -> List:
         """Evaluate distinct cache misses via the shared bit-plane sweep."""
         graph = self.graph
-        values: List[int] = [0] * len(key_sets)
+        fold_token = self._semantics_token
+        values: List = [0] * len(key_sets)
         id_sets: List[List[int]] = []
         unknowns: List[int] = []
         pending: List[int] = []
@@ -636,12 +728,19 @@ class InfluenceOracle:
                 id_sets.append(ids)
                 unknowns.append(unknown)
             else:
-                values[j] = unknown
+                values[j] = unknown if fold_token is None else float(unknown)
         if id_sets:
-            if self._executor is not None:
-                counts = self._executor.spread_counts(graph, id_sets, min_expiry)
+            if fold_token is None:
+                if self._executor is not None:
+                    counts = self._executor.spread_counts(graph, id_sets, min_expiry)
+                else:
+                    counts = graph.csr().spread_counts(id_sets, min_expiry)
+            elif self._executor is not None:
+                counts = self._executor.fold_spread_sums(
+                    graph, id_sets, min_expiry, fold=self.fold
+                )
             else:
-                counts = graph.csr().spread_counts(id_sets, min_expiry)
+                counts = graph.csr().fold_spread_sums(id_sets, min_expiry, self.fold)
             for j, count, unknown in zip(pending, counts, unknowns):
                 values[j] = count + unknown
         return values
@@ -659,6 +758,7 @@ class InfluenceOracle:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"InfluenceOracle(backend={self.backend!r}, "
+            f"semantics={self.semantics!r}, "
             f"memo_mode={self.memo_mode!r}, "
             f"calls={self.counter.total}, cached={len(self._memo)})"
         )

@@ -43,6 +43,7 @@ from repro.influence.oracle import (
     replay_batch_protocol,
     resolve_executor,
 )
+from repro.errors import ConfigError
 from repro.kernels import dense_weight_sum
 from repro.influence.reachability import reachable_set
 from repro.tdn.graph import TDNGraph
@@ -121,11 +122,11 @@ class WeightedInfluenceOracle:
         parallel=None,
     ) -> None:
         if default_weight < 0:
-            raise ValueError(f"default_weight must be >= 0, got {default_weight}")
+            raise ConfigError(f"default_weight must be >= 0, got {default_weight}")
         if max_cache_entries < 0:
-            raise ValueError(f"max_cache_entries must be >= 0, got {max_cache_entries}")
+            raise ConfigError(f"max_cache_entries must be >= 0, got {max_cache_entries}")
         if backend not in ORACLE_BACKENDS:
-            raise ValueError(
+            raise ConfigError(
                 f"backend must be one of {ORACLE_BACKENDS}, got {backend!r}"
             )
         self.graph = graph
@@ -156,7 +157,7 @@ class WeightedInfluenceOracle:
             mapping = dict(weights)
             for node, weight in mapping.items():
                 if weight < 0:
-                    raise ValueError(
+                    raise ConfigError(
                         f"weight for {node!r} is negative ({weight}); weighted "
                         "spread requires non-negative weights to stay monotone"
                     )
@@ -259,7 +260,7 @@ class WeightedInfluenceOracle:
     def _checked_weight(self, node: Node) -> float:
         weight = self._weight_of(node)
         if weight < 0:
-            raise ValueError(f"weight callable returned negative value for {node!r}")
+            raise ConfigError(f"weight callable returned negative value for {node!r}")
         return weight
 
     def _node_order_key(self, node: Node) -> Tuple[int, object]:

@@ -1,13 +1,26 @@
-"""Shared array-level traversal kernels.
+"""Shared array-level traversal kernels and fold semantics.
 
 One implementation of the time-decayed frontier sweep — forward level
-expansion, the 64-wide uint64 bit-plane multi-source sweep (counted and
-weighted), and the transpose helper behind reverse (ancestor) sweeps —
-that :class:`~repro.tdn.csr.CSRSnapshot`, :class:`~repro.tdn.csr.
-DeltaCSR` and the worker-side :class:`~repro.parallel.plane.PlaneEngine`
-all adapt over.  See :mod:`repro.kernels.traversal`.
+expansion, the 64-wide uint64 bit-plane multi-source sweep (counted,
+weighted, and level-histogrammed), and the transpose helper behind
+reverse (ancestor) sweeps — that :class:`~repro.tdn.csr.CSRSnapshot`,
+:class:`~repro.tdn.csr.DeltaCSR` and the worker-side :class:`~repro.
+parallel.plane.PlaneEngine` all adapt over.  See :mod:`repro.kernels.
+traversal` for the physics and :mod:`repro.kernels.folds` for the
+pluggable accumulation semantics layered on top of it.
 """
 
+from repro.kernels.folds import (
+    FOLD_NAMES,
+    CountFold,
+    Fold,
+    HopDiscountFold,
+    TimeDecayFold,
+    WeightedSumFold,
+    hop_discount_sum,
+    max_in_expiries,
+    resolve_fold,
+)
 from repro.kernels.traversal import (
     PLANE_WIDTH,
     DictOverlay,
@@ -18,10 +31,19 @@ from repro.kernels.traversal import (
 )
 
 __all__ = [
+    "FOLD_NAMES",
     "PLANE_WIDTH",
+    "CountFold",
     "DictOverlay",
+    "Fold",
+    "HopDiscountFold",
+    "TimeDecayFold",
     "TraversalKernel",
+    "WeightedSumFold",
     "build_transpose",
     "dense_weight_sum",
+    "hop_discount_sum",
+    "max_in_expiries",
+    "resolve_fold",
     "seed_range_error",
 ]

@@ -384,6 +384,72 @@ class TraversalKernel:
             ]
         return results
 
+    def spread_level_counts(
+        self, id_sets: Sequence[Sequence[int]], eff: Optional[float]
+    ) -> List[List[int]]:
+        """Per-set histogram of first-reach hop levels.
+
+        ``result[i][d]`` is the number of distinct nodes whose shortest
+        alive-edge hop distance from seed set ``i`` is exactly ``d``
+        (seeds are level 0); the list ends at the set's eccentricity.
+        This is the physics under hop-discounted folds: the fold layer
+        turns each histogram into a score without ever re-walking the
+        graph, and up to :data:`PLANE_WIDTH` sets share each physical
+        traversal exactly as :meth:`spread_counts` does.  A set's counts
+        always sum to its :meth:`spread_counts` entry — levels refine
+        the reached set, they never change it.
+        """
+        if self._use_scalar():
+            return [self._level_counts_scalar(ids, eff) for ids in id_sets]
+        results: List[List[int]] = [[] for _ in id_sets]
+        for start in range(0, len(id_sets), PLANE_WIDTH):
+            chunk = id_sets[start : start + PLANE_WIDTH]
+            per_plane = self._plane_level_counts(chunk, eff)
+            results[start : start + len(chunk)] = per_plane
+        return results
+
+    def _level_counts_scalar(
+        self, seed_ids: Sequence[int], eff: Optional[float]
+    ) -> List[int]:
+        """Level-synchronous plain-Python BFS (the scalar-cutover twin of
+        :meth:`_plane_level_counts` for a single seed set)."""
+        indptr, indices, expiries = self._scalar_view()
+        overlay = self.overlay
+        base_nodes = len(indptr) - 1
+        num_nodes = self.num_nodes
+        visited: Set[int] = set()
+        frontier: List[int] = []
+        for node_id in seed_ids:
+            if node_id < 0 or node_id >= num_nodes:
+                raise seed_range_error(node_id, num_nodes)
+            if node_id not in visited:
+                visited.add(node_id)
+                frontier.append(node_id)
+        counts: List[int] = []
+        while frontier:
+            counts.append(len(frontier))
+            successors: List[int] = []
+            for node_id in frontier:
+                if node_id < base_nodes:
+                    for slot in range(indptr[node_id], indptr[node_id + 1]):
+                        if eff is not None and expiries[slot] < eff:
+                            continue
+                        successor = indices[slot]
+                        if successor not in visited:
+                            visited.add(successor)
+                            successors.append(successor)
+                if overlay is not None:
+                    entries = overlay.entries(node_id)
+                    if entries:
+                        for successor, expiry in entries:
+                            if (eff is None or expiry >= eff) and (
+                                successor not in visited
+                            ):
+                                visited.add(successor)
+                                successors.append(successor)
+            frontier = successors
+        return counts
+
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
@@ -545,6 +611,128 @@ class TraversalKernel:
                 else changed_parts[0]
             )
         return masks
+
+    def _plane_level_counts(
+        self, chunk: Sequence[Sequence[int]], eff: Optional[float]
+    ) -> List[List[int]]:
+        """One shared fixpoint sweep that also histograms first-reach levels.
+
+        The same bit-plane propagation as :meth:`_plane_masks`, with one
+        addition: after each round's or-update the newly-set bits
+        (``after & ~before``) are counted per plane, because a bit that
+        flips in round ``r`` marks a node first reached at hop level
+        ``r``.  Kept separate from :meth:`_plane_masks` so the count and
+        weighted sweeps stay byte-identical to their pre-fold selves.
+        """
+        num_nodes = self.num_nodes
+        masks = np.zeros(num_nodes, dtype=np.uint64)
+        counts: List[List[int]] = [[] for _ in chunk]
+        seed_parts = []
+        for plane, ids in enumerate(chunk):
+            seeds = np.asarray(list(ids), dtype=np.int64)
+            if seeds.size == 0:
+                continue
+            low = int(seeds.min())
+            if low < 0:
+                raise seed_range_error(low, num_nodes)
+            high = int(seeds.max())
+            if high >= num_nodes:
+                raise seed_range_error(high, num_nodes)
+            masks[seeds] |= np.uint64(1 << plane)
+            counts[plane].append(int(np.unique(seeds).size))
+            seed_parts.append(seeds)
+        if not seed_parts:
+            return counts
+        indptr = self.indptr
+        indices = self.indices
+        expiries = self.expiries
+        overlay = self.overlay
+        base_nodes = indptr.shape[0] - 1
+        frontier = np.unique(np.concatenate(seed_parts))
+        while frontier.size:
+            changed_parts = []
+            gained_parts = []
+            extra_gained: List[int] = []
+            in_base = (
+                frontier[frontier < base_nodes]
+                if base_nodes < num_nodes
+                else frontier
+            )
+            if in_base.size:
+                starts = indptr[in_base]
+                plane_counts = indptr[in_base + 1] - starts
+                nonzero = plane_counts > 0
+                in_base = in_base[nonzero]
+                starts = starts[nonzero]
+                plane_counts = plane_counts[nonzero]
+                total = int(plane_counts.sum())
+                if total:
+                    ends = np.cumsum(plane_counts)
+                    slots = np.repeat(starts - ends + plane_counts, plane_counts)
+                    slots += np.arange(total)
+                    sources = np.repeat(in_base, plane_counts)
+                    if eff is not None:
+                        keep = expiries[slots] >= eff
+                        slots = slots[keep]
+                        sources = sources[keep]
+                    if slots.size:
+                        targets = indices[slots]
+                        contrib = masks[sources]
+                        before = masks[targets]
+                        np.bitwise_or.at(masks, targets, contrib)
+                        gained = masks[targets] & ~before
+                        hit = gained != np.uint64(0)
+                        changed = targets[hit]
+                        if changed.size:
+                            # Duplicate targets carry identical before/
+                            # after gathers, so any one representative's
+                            # gained mask is the round's full flip set.
+                            uniq, first = np.unique(
+                                changed, return_index=True
+                            )
+                            changed_parts.append(uniq)
+                            gained_parts.append(gained[hit][first])
+            if overlay is not None:
+                overlay_nodes = overlay.select(frontier)
+                if overlay_nodes.size:
+                    extra = []
+                    for node_id in overlay_nodes.tolist():
+                        node_mask = int(masks[node_id])
+                        for successor, expiry in overlay.entries(node_id):
+                            if eff is not None and expiry < eff:
+                                continue
+                            old = int(masks[successor])
+                            new = old | node_mask
+                            if new != old:
+                                masks[successor] = new
+                                extra.append(successor)
+                                extra_gained.append(new & ~old)
+                    if extra:
+                        changed_parts.append(
+                            np.asarray(extra, dtype=np.int64)
+                        )
+            if not changed_parts:
+                break
+            for plane in range(len(chunk)):
+                bit = np.uint64(1 << plane)
+                flipped = sum(
+                    int(np.count_nonzero(part & bit))
+                    for part in gained_parts
+                )
+                flipped += sum(1 for g in extra_gained if g & (1 << plane))
+                if flipped:
+                    counts[plane].append(flipped)
+                elif counts[plane]:
+                    counts[plane].append(0)
+            frontier = np.unique(
+                np.concatenate(changed_parts)
+                if len(changed_parts) > 1
+                else changed_parts[0]
+            )
+        for plane_counts_list in counts:
+            while plane_counts_list and plane_counts_list[-1] == 0:
+                plane_counts_list.pop()
+        return counts
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

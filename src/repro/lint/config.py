@@ -17,6 +17,7 @@ from typing import Optional, Tuple
 #: the cross-layer drift the pass exists to stop.  Longest prefix wins,
 #: so the bare ``repro`` entry only catches the root package itself.
 LAYERS: Tuple[Tuple[str, int], ...] = (
+    ("repro.errors", 0),
     ("repro.utils", 0),
     ("repro.kernels", 1),
     ("repro.tdn", 2),
@@ -31,8 +32,18 @@ LAYERS: Tuple[Tuple[str, int], ...] = (
     ("repro.persistence", 7),
     ("repro.experiments", 7),
     ("repro.track", 8),
-    ("repro", 9),
+    ("repro.api", 9),
+    ("repro", 10),
 )
+
+#: Modules user-facing code (examples, integration tests) may import —
+#: the compatibility surface.  Everything else is an internal layer and
+#: RPL105 territory.  Exact module names, not prefixes: ``repro.api``
+#: does not bless ``repro.api.something_private``.
+FACADE_MODULES = frozenset({"repro", "repro.api", "repro.errors"})
+
+#: Path fragments whose files must import through the facade only.
+FACADE_ONLY_SCOPE = ("examples/", "tests/integration/")
 
 #: The one file allowed to contain array-level traversal loops.
 TRAVERSAL_OWNER = "repro/kernels/traversal.py"

@@ -12,9 +12,11 @@ regression we have had:
   stores) are deliberately not flagged — they are how commutative
   reductions should be written.  Scope: ``kernels/``, ``influence/``,
   ``parallel/`` (the bit-identical path).
-* **RPL402** — direct ``random`` / ``numpy.random`` use anywhere
-  outside ``repro/utils/rng.py``.  All randomness flows through the
-  seeded constructors there so experiments replay exactly.
+* **RPL402** — direct ``random`` / ``numpy.random`` use anywhere in the
+  ``repro`` package outside ``repro/utils/rng.py``.  All library
+  randomness flows through the seeded constructors there so experiments
+  replay exactly.  Files outside the package (examples, tests) may seed
+  their own demo RNGs — they are governed by RPL105, not RPL402.
 """
 
 from __future__ import annotations
@@ -28,6 +30,7 @@ from repro.lint.config import (
     SET_ANNOTATIONS,
     SET_RETURNING_CALLS,
     is_under,
+    module_of,
 )
 from repro.lint.findings import Finding
 
@@ -40,7 +43,7 @@ def check(tree: ast.Module, path: str) -> List[Finding]:
     findings: List[Finding] = []
     if any(is_under(path, fragment) for fragment in DETERMINISM_SCOPE):
         findings.extend(_check_unordered_folds(tree, path))
-    if not is_under(path, RNG_OWNER):
+    if module_of(path) is not None and not is_under(path, RNG_OWNER):
         findings.extend(_check_rng_use(tree, path))
     return findings
 

@@ -26,6 +26,11 @@ CODES = {
         "triple) outside repro/kernels/traversal.py"
     ),
     "RPL104": "import of a repro module not assigned to any declared layer",
+    "RPL105": (
+        "import of an internal repro layer from facade-only code "
+        "(examples/, tests/integration/); import repro, repro.api or "
+        "repro.errors instead"
+    ),
     # -- RPL2xx: shared-memory lifecycle -------------------------------
     "RPL201": (
         "SharedMemory(create=True) with no unlink() reachable through an "

@@ -18,6 +18,16 @@ Two rules:
   shape, and exactly one file may contain those
   (``repro/kernels/traversal.py``).  Engines adapt the kernel; they do
   not re-grow private sweeps.
+
+* **Facade-only imports** (RPL105): files under the declared facade-only
+  scopes (``examples/``, ``tests/integration/``) may import only the
+  compatibility surface (:data:`repro.lint.config.FACADE_MODULES`).
+  These trees are the library's *user-facing* code; the moment an
+  example reaches into ``repro.tdn`` or ``repro.parallel`` it starts
+  documenting internals as API.  Keyed on *path* rather than module
+  name — facade-only files live outside the ``repro`` package, so the
+  layer DAG cannot see them.  Pragma-able like every other code for the
+  rare test that deliberately probes an internal seam.
 """
 
 from __future__ import annotations
@@ -26,6 +36,8 @@ import ast
 from typing import List, Optional
 
 from repro.lint.config import (
+    FACADE_MODULES,
+    FACADE_ONLY_SCOPE,
     TRAVERSAL_OWNER,
     TRAVERSAL_TRIPLE,
     is_under,
@@ -39,6 +51,7 @@ from repro.lint.findings import Finding
 def check(tree: ast.Module, path: str) -> List[Finding]:
     findings = _check_imports(tree, path)
     findings.extend(_check_traversal_ownership(tree, path))
+    findings.extend(_check_facade_only(tree, path))
     return findings
 
 
@@ -114,6 +127,33 @@ def _function_scoped_nodes(tree: ast.Module) -> set:
                 if sub is not node:
                     scoped.add(id(sub))
     return scoped
+
+
+# ----------------------------------------------------------------------
+# Facade-only imports (RPL105)
+# ----------------------------------------------------------------------
+def _check_facade_only(tree: ast.Module, path: str) -> List[Finding]:
+    if not any(is_under(path, fragment) for fragment in FACADE_ONLY_SCOPE):
+        return []
+    if module_of(path) is not None:
+        return []  # inside the package itself: the layer DAG governs
+    findings: List[Finding] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.Import, ast.ImportFrom)):
+            continue
+        for imported in _imported_repro_modules(node):
+            if imported in FACADE_MODULES:
+                continue
+            findings.append(
+                Finding(
+                    path,
+                    node.lineno,
+                    "RPL105",
+                    f"facade-only code imports internal layer {imported!r}; "
+                    "use repro, repro.api or repro.errors",
+                )
+            )
+    return findings
 
 
 # ----------------------------------------------------------------------

@@ -77,6 +77,7 @@ if TYPE_CHECKING:
 
     from repro.tdn.graph import TDNGraph
 
+from repro.kernels import Fold, resolve_fold
 from repro.parallel import worker as worker_mod
 from repro.parallel.degradation import DegradationLadder, DegradationReason
 from repro.parallel.faults import FaultInjected, FaultPlan
@@ -851,6 +852,50 @@ class ShardedOracleExecutor:
                 )
                 return merge_shard_counts(slices, results, len(id_sets))
         return graph.csr().weighted_spread_sums(id_sets, min_expiry, weights)
+
+    def fold_spread_sums(
+        self,
+        graph: "TDNGraph",
+        id_sets: Sequence[Sequence[int]],
+        min_expiry: Optional[float] = None,
+        *,
+        fold: Fold,
+    ) -> List[float]:
+        """Per-set fold scores; sharded when profitable, exact always.
+
+        The fold crosses the pipe as its picklable ``(name, params)``
+        spec — a few bytes per task message — and workers rebuild it via
+        the same registry the owner resolved it from, so owner and worker
+        can never disagree about what a semantics name means.  Derived
+        node values (``time_decay``) are recomputed worker-side from the
+        mapped plane arrays; the derivation is elementwise over the same
+        float64 inputs the serial engine sees, which keeps sharded fold
+        scores bit-identical to serial ones.  Weight-carrying folds
+        (``weighted_sum``) stay on :meth:`weighted_spread_sums` — this
+        path never ships dense arrays through the task queue.
+        """
+        fold = resolve_fold(fold)
+        if not id_sets:
+            return []
+        if self._parallel_ready(graph, len(id_sets)):
+            eff = self._effective_horizon(graph, min_expiry)
+            slices = shard_slices(len(id_sets), self.workers)
+            spec = fold.spec()
+            shards = [
+                ((list(id_sets[start:stop]), spec), eff)
+                for start, stop in slices
+            ]
+            results = self._dispatch(
+                worker_mod.OP_FSPREAD,
+                shards,
+                lambda i: graph.csr().fold_spread_sums(
+                    list(id_sets[slices[i][0] : slices[i][1]]),
+                    min_expiry,
+                    fold,
+                ),
+            )
+            return merge_shard_counts(slices, results, len(id_sets))
+        return graph.csr().fold_spread_sums(id_sets, min_expiry, fold)
 
     def ancestor_ids(
         self,

@@ -51,7 +51,14 @@ from typing import TYPE_CHECKING, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
-from repro.kernels import PLANE_WIDTH, TraversalKernel, build_transpose
+from repro.kernels import (
+    PLANE_WIDTH,
+    Fold,
+    TraversalKernel,
+    build_transpose,
+    max_in_expiries,
+    resolve_fold,
+)
 from repro.parallel.markers import published_plane
 
 if TYPE_CHECKING:
@@ -183,6 +190,32 @@ class PlaneEngine:
         to the serial engine's.
         """
         return self._fwd.weighted_spread_sums(id_sets, eff, weights)
+
+    def fold_spread_sums(
+        self,
+        id_sets: Sequence[Sequence[int]],
+        eff: Optional[float],
+        fold: Fold,
+        weights: Optional[np.ndarray] = None,
+    ) -> List[float]:
+        """Per-set scores under a registered fold semantics.
+
+        Derived folds (``time_decay``) recompute their node values from
+        the mapped arrays on every call — the published plane holds
+        exactly the alive pairs a fresh snapshot would, and the
+        derivation is elementwise over identical float64 inputs, so
+        worker-side values match the owner's serial derivation bit for
+        bit.  The arrays themselves are never written (the plane is a
+        read-only mapping of the published segments).
+        """
+        fold = resolve_fold(fold)
+        node_values = weights
+        if fold.derives_node_values:
+            max_in = max_in_expiries(
+                self.indices, self.expiries, self.num_nodes, eff
+            )
+            node_values = fold.values_from_max_in(max_in, eff)
+        return fold.batch(self._fwd, id_sets, eff, node_values)
 
 
 class SharedCSRPlane:

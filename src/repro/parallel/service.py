@@ -45,6 +45,7 @@ from collections import deque
 from concurrent.futures import BrokenExecutor, ThreadPoolExecutor
 from typing import Any, Deque, Dict, Iterable, NamedTuple, Optional, Sequence, Tuple
 
+from repro.errors import ConfigError, DegradedExecutionError
 from repro.parallel.degradation import DegradationLadder, DegradationReason
 from repro.parallel.faults import FaultPlan
 
@@ -115,7 +116,7 @@ class IngestService:
         fault_plan: Optional[FaultPlan] = None,
     ) -> None:
         if max_pending <= 0:
-            raise ValueError(f"max_pending must be positive, got {max_pending}")
+            raise ConfigError(f"max_pending must be positive, got {max_pending}")
         self._tracker = tracker
         self._max_pending = max_pending
         self._queue: Optional[asyncio.Queue] = None
@@ -199,7 +200,7 @@ class IngestService:
         so the error is raised here, at the first wrong call.
         """
         if self._closed:
-            raise RuntimeError("service is closed; construct a new IngestService")
+            raise DegradedExecutionError("service is closed; construct a new IngestService")
         if self.running:
             return
         self._queue = asyncio.Queue(maxsize=self._max_pending)
@@ -209,9 +210,9 @@ class IngestService:
         """Enqueue one batch; awaits while the queue is full (backpressure)."""
         self._check_failure()
         if self._closed:
-            raise RuntimeError("service is closed; batch rejected")
+            raise DegradedExecutionError("service is closed; batch rejected")
         if not self.running:
-            raise RuntimeError("service is not running; call start() first")
+            raise DegradedExecutionError("service is not running; call start() first")
         await self._queue.put((t, list(interactions)))
 
     async def top_k(self) -> TopKAnswer:
@@ -387,6 +388,6 @@ class IngestService:
 
     def _check_failure(self) -> None:
         if self._failure is not None:
-            raise RuntimeError(
+            raise DegradedExecutionError(
                 f"ingest consumer failed: {self._failure!r}"
             ) from self._failure

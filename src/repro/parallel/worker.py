@@ -48,6 +48,7 @@ OP_SPREAD = "spread"
 OP_REACH = "reach"
 OP_ANCESTORS = "ancestors"
 OP_WSPREAD = "wspread"
+OP_FSPREAD = "fspread"
 OP_PING = "ping"
 OP_STOP = "stop"
 
@@ -65,8 +66,9 @@ def worker_main(
         task_queue: multiprocessing queue of task tuples
             ``(op, request_id, shard_index, generation, payload, eff)``.
             For :data:`OP_WSPREAD` the payload is ``(id_sets, weights_key,
-            weights_name, weights_len)``; for the other sweeps it is the
-            id list(s) directly.
+            weights_name, weights_len)``; for :data:`OP_FSPREAD` it is
+            ``(id_sets, fold_spec)`` with the fold's ``(name, params)``
+            wire form; for the other sweeps it is the id list(s) directly.
         result_queue: queue of ``(request_id, shard_index, outcome)``
             tuples where ``outcome`` is ``("started", worker_index)``
             (claim ack), ``("ok", value)`` or ``("error", message)``.
@@ -168,4 +170,9 @@ def _run(
         id_sets, weights_key, weights_name, weights_len = payload
         weights = weights_for(weights_key, weights_name, weights_len)
         return engine.weighted_spread_sums(id_sets, eff, weights)
+    if op == OP_FSPREAD:
+        from repro.kernels.folds import resolve_fold
+
+        id_sets, fold_spec = payload
+        return engine.fold_spread_sums(id_sets, eff, resolve_fold(fold_spec))
     raise ValueError(f"unknown worker op {op!r}")

@@ -48,6 +48,7 @@ from pathlib import Path
 from typing import Dict, Optional, Union
 
 from repro.core.basic_reduction import BasicReduction
+from repro.errors import PersistenceError
 from repro.core.hist_approx import HistApprox
 from repro.core.sieve_adn import SieveADN
 from repro.core.thresholds import SieveSet, ThresholdSet
@@ -123,14 +124,23 @@ def oracle_to_dict(oracle: InfluenceOracle) -> Dict:
     ``workers`` records the sharded-executor worker count so a restored
     run keeps its parallel evaluation setup; the pool itself is runtime
     state and is re-created lazily on the first parallel-eligible batch
-    (a restore never spawns processes by itself).
+    (a restore never spawns processes by itself).  ``semantics`` records
+    the oracle's fold as its ``(name, params)`` wire form so a restored
+    run evaluates under the same influence semantics (and keys its memo
+    table identically); unknown names fail loudly on restore.  The
+    default ``count`` fold is *omitted* so default-semantics checkpoints
+    stay byte-identical to pre-fold ones (restore treats a missing key
+    as ``count``).
     """
-    return {
+    payload = {
         "backend": oracle.backend,
         "memo_mode": oracle.memo_mode,
         "max_cache_entries": oracle.max_cache_entries,
         "workers": oracle.workers,
     }
+    if oracle.fold.spec() != ("count", {}):
+        payload["semantics"] = list(oracle.fold.spec())
+    return payload
 
 
 def oracle_from_dict(payload: Optional[Dict], graph: TDNGraph) -> InfluenceOracle:
@@ -140,7 +150,11 @@ def oracle_from_dict(payload: Optional[Dict], graph: TDNGraph) -> InfluenceOracl
     missing key) fall back to a *current-defaults* oracle: solutions and
     spread values are unaffected by the memo policy, but post-restore
     call accounting follows today's ``memo_mode="delta"`` rather than the
-    wholesale clear the original run used.
+    wholesale clear the original run used.  Checkpoints from before
+    semantics were serialized default to ``"count"`` (the only semantics
+    that existed then); a serialized name the registry does not know
+    raises :class:`~repro.errors.SemanticsError` rather than silently
+    resuming under different influence arithmetic.
     """
     if not payload:
         return InfluenceOracle(graph)
@@ -151,6 +165,7 @@ def oracle_from_dict(payload: Optional[Dict], graph: TDNGraph) -> InfluenceOracl
         memo_mode=payload.get("memo_mode", "delta"),
         max_cache_entries=payload.get("max_cache_entries", 200_000),
         parallel=workers if workers and workers > 1 else None,
+        semantics=payload.get("semantics", "count"),
     )
 
 
@@ -326,7 +341,7 @@ def algorithm_from_dict(payload: Dict, graph: TDNGraph, oracle=None):
             algorithm._horizons.append(horizon)  # noqa: SLF001
             algorithm._instances[horizon] = instance  # noqa: SLF001
         return algorithm
-    raise ValueError(f"unknown serialized algorithm type {kind!r}")
+    raise PersistenceError(f"unknown serialized algorithm type {kind!r}")
 
 
 # ----------------------------------------------------------------------
@@ -348,7 +363,7 @@ def load_checkpoint(path: Union[str, Path]):
     with open(path) as handle:
         payload = json.load(handle)
     if payload.get("format_version") != _FORMAT_VERSION:
-        raise ValueError(
+        raise PersistenceError(
             f"unsupported checkpoint format {payload.get('format_version')!r}"
         )
     graph = graph_from_dict(payload["graph"])
@@ -367,10 +382,10 @@ def _check_label(label) -> None:
 
 def _check_payload(payload: Dict, expected_type: str) -> None:
     if payload.get("type") != expected_type:
-        raise ValueError(
+        raise PersistenceError(
             f"expected serialized {expected_type}, got {payload.get('type')!r}"
         )
     if payload.get("format_version") != _FORMAT_VERSION:
-        raise ValueError(
+        raise PersistenceError(
             f"unsupported format version {payload.get('format_version')!r}"
         )

@@ -67,8 +67,11 @@ import numpy as np
 from repro.kernels import (
     PLANE_WIDTH,
     DictOverlay,
+    Fold,
     TraversalKernel,
     build_transpose,
+    max_in_expiries,
+    resolve_fold,
 )
 from repro.utils.rng import make_np_rng
 
@@ -307,6 +310,41 @@ class CSRSnapshot:
     ) -> Set[int]:
         """The reachable id set itself (tests and offline analysis)."""
         return self._kernel.reachable_ids(source_ids, min_expiry)
+
+    def fold_node_values(
+        self, fold: Fold, min_expiry: Optional[float] = None
+    ) -> np.ndarray:
+        """Dense node values a derived fold scores reached nodes with.
+
+        For :class:`~repro.kernels.folds.TimeDecayFold` this is the
+        per-node max alive in-expiry squashed through the decay curve;
+        derived fresh per ``(arrays, horizon)`` so the values always
+        describe the adjacency the sweep itself traverses.
+        """
+        max_in = max_in_expiries(
+            self.indices, self.expiries, self.num_nodes, min_expiry
+        )
+        return fold.values_from_max_in(max_in, min_expiry)
+
+    def fold_spread_sums(
+        self,
+        id_sets: Sequence[Sequence[int]],
+        min_expiry: Optional[float],
+        fold: Fold,
+        weights: Optional[np.ndarray] = None,
+    ) -> List[float]:
+        """Per-set scores under an arbitrary registered fold semantics.
+
+        ``count`` routes through the byte-identical popcount path,
+        ``weighted_sum`` expects caller-supplied ``weights``, and derived
+        folds (``time_decay``) compute their node values from this
+        snapshot's own arrays — see :mod:`repro.kernels.folds`.
+        """
+        fold = resolve_fold(fold)
+        node_values = weights
+        if fold.derives_node_values:
+            node_values = self.fold_node_values(fold, min_expiry)
+        return fold.batch(self._kernel, id_sets, min_expiry, node_values)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
@@ -626,6 +664,50 @@ class DeltaCSR:
         """
         eff = self._effective_horizon(min_expiry)
         return self._kernel(False).weighted_spread_sums(id_sets, eff, weights)
+
+    def fold_node_values(
+        self, fold: Fold, min_expiry: Optional[float] = None
+    ) -> np.ndarray:
+        """Dense node values for a derived fold, overlay included.
+
+        The base arrays may carry stale entries for updated pairs, but
+        every refresh also lives in the reverse overlay and ``max`` is
+        associative — so layering the overlay maxima over the stale base
+        lands on exactly the values a fresh :class:`CSRSnapshot` of the
+        current graph would derive, which is what keeps delta-served and
+        snapshot-served (and therefore sharded) fold scores bit-identical.
+        """
+        eff = self._effective_horizon(min_expiry)
+        base = self._base
+        max_in = max_in_expiries(
+            base.indices, base.expiries, self.num_nodes, eff
+        )
+        for vid, entries in self._ov_in.items():
+            for _, expiry in entries:
+                if expiry >= eff and expiry > max_in[vid]:
+                    max_in[vid] = expiry
+        return fold.values_from_max_in(max_in, eff)
+
+    def fold_spread_sums(
+        self,
+        id_sets: Sequence[Sequence[int]],
+        min_expiry: Optional[float],
+        fold: Fold,
+        weights: Optional[np.ndarray] = None,
+    ) -> List[float]:
+        """Per-set scores under an arbitrary registered fold semantics.
+
+        The delta twin of :meth:`CSRSnapshot.fold_spread_sums`: the
+        ``t + 1`` horizon clamp is resolved here, derived node values
+        fold the arrival overlay in, and the sweep itself runs through
+        the shared kernel with the overlay injected as usual.
+        """
+        fold = resolve_fold(fold)
+        eff = self._effective_horizon(min_expiry)
+        node_values = weights
+        if fold.derives_node_values:
+            node_values = self.fold_node_values(fold, min_expiry)
+        return fold.batch(self._kernel(False), id_sets, eff, node_values)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

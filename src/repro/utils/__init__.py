@@ -1,6 +1,7 @@
-"""Small shared utilities: counters, RNG helpers, validation."""
+"""Small shared utilities: counters, RNG helpers, validation, deprecation."""
 
 from repro.utils.counters import CallCounter
+from repro.utils.deprecation import reset_warned_keys, warn_once
 from repro.utils.rng import make_rng, spawn_rngs
 from repro.utils.validation import (
     check_fraction,
@@ -13,6 +14,8 @@ __all__ = [
     "CallCounter",
     "make_rng",
     "spawn_rngs",
+    "warn_once",
+    "reset_warned_keys",
     "check_fraction",
     "check_non_negative",
     "check_positive",

@@ -1,0 +1,31 @@
+"""Warn-once deprecation plumbing for the facade transition.
+
+The stdlib ``warnings`` "once" filter keys on (message, category, module,
+lineno) and is routinely reset by test harnesses (pytest's
+``recwarn``/``filterwarnings`` manipulate the filter state), which makes
+"warns exactly once per process" impossible to guarantee through filters
+alone.  This module keeps its own key set: each deprecated spelling warns
+the first time it is exercised and never again, independent of filter
+state.  ``tests/test_deprecations.py`` resets the set explicitly to
+assert the exactly-once contract.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Set
+
+_warned: Set[str] = set()
+
+
+def warn_once(key: str, message: str, *, stacklevel: int = 3) -> None:
+    """Emit ``DeprecationWarning(message)`` the first time ``key`` is seen."""
+    if key in _warned:
+        return
+    _warned.add(key)
+    warnings.warn(message, DeprecationWarning, stacklevel=stacklevel)
+
+
+def reset_warned_keys() -> None:
+    """Forget every warned key (test isolation only)."""
+    _warned.clear()

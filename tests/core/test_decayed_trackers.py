@@ -1,0 +1,201 @@
+"""The semantics-driven trackers: decayed centrality and trend detection.
+
+Both trackers rank alive nodes by singleton spread under a decaying fold
+and answer with the top-``k``; these tests pin that ranking against a
+brute-force dict-BFS reference computed without any oracle, kernel or
+numpy sweep, plus the constructor guardrails (an oracle under the wrong
+semantics is rejected loudly) and the :class:`~repro.core.tracker.
+InfluenceTracker` name routing with its semantics defaulting.
+"""
+
+import math
+import random
+from collections import deque
+
+import pytest
+
+from repro.core.decayed import DecayedCentralityTracker, TrendTracker
+from repro.core.tracker import InfluenceTracker
+from repro.errors import ConfigError, SemanticsError
+from repro.influence.oracle import InfluenceOracle
+from repro.tdn.graph import TDNGraph
+from repro.tdn.interaction import Interaction
+
+
+def build_graph(seed=7, num_nodes=14, num_events=90):
+    rng = random.Random(seed)
+    graph = TDNGraph()
+    t = 0
+    for _ in range(num_events):
+        if rng.random() < 0.3:
+            t += rng.randint(1, 3)
+            graph.advance_to(t)
+        u, v = rng.sample(range(num_nodes), 2)
+        graph.add_interaction(
+            Interaction(f"n{u}", f"n{v}", t, rng.randint(1, 20))
+        )
+    return graph
+
+
+def bfs_levels(graph, seeds, eff):
+    levels = {}
+    queue = deque()
+    for node in seeds:
+        levels[node] = 0
+        queue.append(node)
+    while queue:
+        node = queue.popleft()
+        for nxt in graph.out_neighbors(node, eff):
+            if nxt not in levels:
+                levels[nxt] = levels[node] + 1
+                queue.append(nxt)
+    return levels
+
+
+def hop_discount_score(graph, node, alpha, eff):
+    return sum(alpha**lvl for lvl in bfs_levels(graph, [node], eff).values())
+
+
+def time_decay_score(graph, node, lam, eff):
+    total = 0.0
+    for reached in bfs_levels(graph, [node], eff):
+        best = None
+        for u in graph.in_neighbors(reached, eff):
+            expiry = graph.max_expiry(u, reached)
+            if expiry >= eff and (best is None or expiry > best):
+                best = expiry
+        if best is None or math.isinf(best):
+            total += 1.0
+        else:
+            total += 1.0 - math.exp(-lam * (best - eff))
+    return total
+
+
+def brute_force_top_k(graph, score, k):
+    eff = float(graph.time + 1)
+    ranked = sorted(
+        ((node, score(graph, node, eff)) for node in graph.node_set()),
+        key=lambda pair: (-pair[1], repr(pair[0])),
+    )
+    return tuple(node for node, _ in ranked[:k])
+
+
+class TestDecayedCentralityTracker:
+    def test_ranking_matches_brute_force_reference(self):
+        graph = build_graph(seed=19)
+        tracker = DecayedCentralityTracker(4, graph, alpha=0.6)
+        expected = brute_force_top_k(
+            graph, lambda g, n, eff: hop_discount_score(g, n, 0.6, eff), 4
+        )
+        solution = tracker.query()
+        assert solution.nodes == expected
+        # The reported value is the fold spread of the selected *set*.
+        assert solution.value == pytest.approx(
+            float(tracker.oracle.spread(expected)), rel=1e-12
+        )
+
+    def test_singleton_scores_match_reference_everywhere(self):
+        graph = build_graph(seed=5, num_events=60)
+        tracker = DecayedCentralityTracker(3, graph, alpha=0.45)
+        eff = float(graph.time + 1)
+        for node, score in tracker.singleton_scores():
+            assert score == pytest.approx(
+                hop_discount_score(graph, node, 0.45, eff), rel=1e-12
+            )
+
+    def test_rejects_oracle_under_wrong_semantics(self):
+        graph = TDNGraph()
+        with pytest.raises(SemanticsError, match="requires an oracle"):
+            DecayedCentralityTracker(3, graph, InfluenceOracle(graph))
+
+    def test_alpha_rides_on_the_oracle_fold(self):
+        graph = TDNGraph()
+        tracker = DecayedCentralityTracker(3, graph, alpha=0.8)
+        assert tracker.alpha == 0.8
+        assert tracker.oracle.fold.spec() == ("hop_discount", {"alpha": 0.8})
+
+    def test_empty_graph_answers_empty_solution(self):
+        tracker = DecayedCentralityTracker(3, TDNGraph())
+        tracker.on_batch(4, [])
+        solution = tracker.query()
+        assert solution.nodes == () and solution.value == 0.0
+        assert solution.time == 4
+
+
+class TestTrendTracker:
+    def test_ranking_matches_brute_force_reference(self):
+        graph = build_graph(seed=31)
+        tracker = TrendTracker(4, graph, lam=0.12)
+        expected = brute_force_top_k(
+            graph, lambda g, n, eff: time_decay_score(g, n, 0.12, eff), 4
+        )
+        assert tracker.query().nodes == expected
+
+    def test_prefers_fresh_interactions_over_expiring_ones(self):
+        """Two hubs with identical reach; the fresher one must rank first."""
+        graph = TDNGraph()
+        for i in range(4):
+            graph.add_interaction(Interaction("stale", f"s{i}", 0, 2))
+            graph.add_interaction(Interaction("fresh", f"f{i}", 0, 50))
+        tracker = TrendTracker(1, graph, lam=0.3)
+        assert tracker.query().nodes == ("fresh",)
+
+    def test_rejects_oracle_under_wrong_semantics(self):
+        graph = TDNGraph()
+        hop = InfluenceOracle(graph, semantics="hop_discount")
+        with pytest.raises(SemanticsError, match="'time_decay'"):
+            TrendTracker(3, graph, hop)
+
+    def test_lam_rides_on_the_oracle_fold(self):
+        tracker = TrendTracker(2, TDNGraph())
+        assert tracker.lam == 0.1  # the documented default
+        assert tracker.oracle.semantics == "time_decay"
+
+
+class TestTrackerFacadeRouting:
+    @pytest.mark.parametrize(
+        "name, cls, semantics",
+        [
+            ("decayed-centrality", DecayedCentralityTracker, "hop_discount"),
+            ("trend", TrendTracker, "time_decay"),
+        ],
+    )
+    def test_names_route_with_their_natural_semantics(self, name, cls, semantics):
+        tracker = InfluenceTracker(name, k=3)
+        assert isinstance(tracker.algorithm, cls)
+        assert tracker.oracle.semantics == semantics
+        solution = tracker.step(0, [("a", "b"), ("b", "c"), ("d", "e")])
+        assert solution.nodes and len(solution.nodes) <= 3
+        assert tracker.query() == solution
+
+    def test_explicit_semantics_override_reaches_the_oracle(self):
+        tracker = InfluenceTracker(
+            "decayed-centrality", k=2, semantics=("hop_discount", {"alpha": 0.25})
+        )
+        assert tracker.algorithm.alpha == 0.25
+
+    def test_sieve_algorithms_keep_plain_counts(self):
+        tracker = InfluenceTracker("hist-approx", k=2)
+        assert tracker.oracle.semantics == "count"
+
+    def test_mismatched_semantics_fail_at_construction(self):
+        with pytest.raises(SemanticsError):
+            InfluenceTracker("trend", k=2, semantics="count")
+
+    def test_injected_oracle_must_share_the_graph(self):
+        with pytest.raises(ConfigError, match="bound to the tracker's graph"):
+            InfluenceTracker(
+                "hist-approx", k=2, oracle=InfluenceOracle(TDNGraph())
+            )
+
+    def test_injected_oracle_owns_semantics_and_workers(self):
+        graph = TDNGraph()
+        oracle = InfluenceOracle(graph)
+        with pytest.raises(ConfigError, match="owned by an injected oracle"):
+            InfluenceTracker(
+                "hist-approx", k=2, graph=graph, oracle=oracle, semantics="count"
+            )
+        with pytest.raises(ConfigError, match="owned by an injected oracle"):
+            InfluenceTracker(
+                "hist-approx", k=2, graph=graph, oracle=oracle, workers=2
+            )

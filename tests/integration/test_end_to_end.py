@@ -6,15 +6,26 @@ harness — and assert the cross-cutting behaviours the paper's evaluation
 depends on.
 """
 
+from repro import (
+    BasicReduction,
+    ConstantLifetime,
+    GeometricLifetime,
+    HistApprox,
+    InfluenceTracker,
+    TDNGraph,
+    make_stream,
+)
+
+# The baselines and the experiment harness stay internal (research
+# tooling); this end-to-end suite drives them on purpose.
+# repro-lint: disable-next=RPL105
 from repro.baselines.greedy_recompute import GreedyRecompute
+
+# repro-lint: disable-next=RPL105
 from repro.baselines.random_baseline import RandomBaseline
-from repro.core.basic_reduction import BasicReduction
-from repro.core.hist_approx import HistApprox
-from repro.core.tracker import InfluenceTracker
-from repro.datasets.registry import make_stream
+
+# repro-lint: disable-next=RPL105
 from repro.experiments.harness import run_tracking
-from repro.tdn.graph import TDNGraph
-from repro.tdn.lifetimes import ConstantLifetime, GeometricLifetime
 
 
 class TestQualityOrdering:
@@ -82,7 +93,7 @@ class TestModelEquivalences:
         graph_a, graph_b = TDNGraph(), TDNGraph()
         sieve = None
         hist = HistApprox(5, 0.2, graph_b)
-        from repro.core.sieve_adn import SieveADN
+        from repro import SieveADN
 
         sieve = SieveADN(5, 0.2, graph_a)
         for t, batch in stream:

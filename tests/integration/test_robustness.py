@@ -7,13 +7,15 @@ silence, duplicate queries, disabled caches.
 
 import pytest
 
-from repro.core.basic_reduction import BasicReduction
-from repro.core.hist_approx import HistApprox
-from repro.core.sieve_adn import SieveADN
-from repro.core.tracker import InfluenceTracker
-from repro.influence.oracle import InfluenceOracle
-from repro.tdn.graph import TDNGraph
-from repro.tdn.interaction import Interaction
+from repro import (
+    BasicReduction,
+    HistApprox,
+    InfluenceOracle,
+    InfluenceTracker,
+    Interaction,
+    SieveADN,
+    TDNGraph,
+)
 
 
 class TestDegenerateParameters:

@@ -98,6 +98,45 @@ def test_rpl104_unplaced_module():
     )
 
 
+def test_rpl105_internal_import_from_example():
+    findings = assert_fires(
+        "from repro.tdn.graph import TDNGraph\n",
+        "examples/fixture.py",
+        "RPL105",
+    )
+    assert "facade-only" in findings[0].message
+
+
+def test_rpl105_internal_import_from_integration_test():
+    assert_fires(
+        "import repro.parallel.executor\n",
+        "tests/integration/fixture.py",
+        "RPL105",
+    )
+
+
+def test_rpl105_facade_imports_allowed():
+    assert not _lint(
+        """
+        import repro
+        from repro import open_tracker
+        from repro.api import Semantics
+        from repro.errors import SemanticsError
+        """,
+        "examples/fixture.py",
+    )
+
+
+def test_rpl105_scope_is_path_keyed():
+    # The same internal import outside the facade-only trees is governed
+    # by the layer DAG, not RPL105.
+    findings = _lint(
+        "from repro.tdn.graph import TDNGraph\n",
+        "tests/core/fixture.py",
+    )
+    assert not [f for f in findings if f.code == "RPL105"]
+
+
 def test_rpl103_traversal_loop_outside_kernel():
     source = """
     def sweep(indptr, indices, n):
