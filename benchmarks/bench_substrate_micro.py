@@ -619,3 +619,63 @@ def test_sharded_vs_serial_spread_many(benchmark):
         assert speedup >= 1.5, (
             f"sharded speedup {speedup:.2f}x below the 1.5x floor"
         )
+
+
+def test_obs_sampling_overhead_gate(benchmark):
+    """The kernel metrics hook must cost < 3% — enabled *or* disabled.
+
+    The observability layer's contract with the kernels (ISSUE: repro.obs)
+    is one ``is not None`` branch per physical sweep when disabled, and a
+    1-in-``every`` sampled record when enabled.  This gate times the same
+    960-singleton sweep on the 50k-edge stream graph with the sampler off
+    and with it on (``every=8``, a fresh registry) and pins the enabled/
+    disabled ratio at 1.03 — which bounds the disabled branch too, since
+    the enabled path is a superset of it.  Counts must be identical:
+    instrumentation never touches values.
+    """
+    from repro.kernels.instrument import (
+        disable_kernel_metrics,
+        enable_kernel_metrics,
+    )
+    from repro.obs import names as metric_names
+    from repro.obs.registry import MetricsRegistry
+
+    graph = build_50k_stream()
+    nodes = sorted(graph.node_set(), key=repr)
+    id_sets = [[graph.node_id(node)] for node in nodes[:960]]
+    horizon = graph.time + 10_000
+    engine = graph.csr()  # engine build billed to neither side
+
+    def sweep():
+        return engine.spread_counts(id_sets, horizon)
+
+    disable_kernel_metrics()  # the baseline really is the no-sampler branch
+    sweep()  # shared warm-up: fault any lazy kernel state before timing
+    disabled_counts, disabled_seconds = _best_of(5, sweep)
+    registry = MetricsRegistry()
+    enable_kernel_metrics(every=8, registry=registry)
+    try:
+        sampled_counts, sampled_seconds = _best_of(5, sweep)
+    finally:
+        disable_kernel_metrics()
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    assert sampled_counts == disabled_counts  # bit-identical, not approx
+    recorded = registry.counter_values()
+    assert recorded[metric_names.KERNEL_SWEEPS_TOTAL] > 0, (
+        "the sampled run never reached the registry — the hook is dead"
+    )
+
+    overhead = sampled_seconds / disabled_seconds
+    benchmark.extra_info["disabled_seconds"] = round(disabled_seconds, 4)
+    benchmark.extra_info["sampled_seconds"] = round(sampled_seconds, 4)
+    benchmark.extra_info["overhead"] = round(overhead, 3)
+    print(
+        f"\nobs sampling gate on {len(id_sets)} sets: disabled "
+        f"{disabled_seconds:.3f}s, sampled (every=8) {sampled_seconds:.3f}s "
+        f"({(overhead - 1.0) * 100.0:+.1f}%)"
+    )
+    assert overhead < 1.03, (
+        f"kernel metrics sampling costs {(overhead - 1.0) * 100.0:.1f}% "
+        "over the disabled branch (floor: < 3%)"
+    )

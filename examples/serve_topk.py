@@ -38,7 +38,13 @@ import argparse
 import asyncio
 import random
 
-from repro import GeometricLifetime, InfluenceTracker, retweet_stream
+from repro import (
+    GeometricLifetime,
+    InfluenceTracker,
+    metric_names,
+    metrics_registry,
+    retweet_stream,
+)
 
 # The async ingest service is a power-user surface with no facade
 # equivalent yet; this example documents it deliberately.
@@ -62,9 +68,15 @@ async def watch(service: IngestService, done: asyncio.Event) -> None:
         answer = await service.top_k()
         if answer.epoch != last_epoch and answer.epoch % 40 == 0:
             nodes = ", ".join(str(n) for n in answer.nodes[:5])
+            # The service publishes its live state as gauges: how many
+            # batches wait in the queue and how far applies lag ingest.
+            registry = metrics_registry()
+            depth = registry.gauge(metric_names.INGEST_QUEUE_DEPTH).value
+            lag = registry.gauge(metric_names.INGEST_EPOCH_LAG).value
             print(
                 f"  [query] epoch={answer.epoch:>4}  t={answer.time:>4}  "
-                f"value={answer.value:>6.0f}  top=[{nodes}]"
+                f"value={answer.value:>6.0f}  queue={depth:>2.0f}  "
+                f"lag={lag:>2.0f}  top=[{nodes}]"
             )
             last_epoch = answer.epoch
         await asyncio.sleep(0.01)
@@ -123,6 +135,12 @@ async def main() -> int:
         print(f"  {rank}. {node}")
     print(f"  spread value: {answer.value:.0f}")
     print(f"  oracle calls: {tracker.oracle_calls}")
+    registry = metrics_registry()
+    applied = registry.counter(metric_names.INGEST_BATCHES_APPLIED_TOTAL)
+    lag_now = registry.gauge(metric_names.INGEST_EPOCH_LAG).value
+    depth_now = registry.gauge(metric_names.INGEST_QUEUE_DEPTH).value
+    print(f"  batches applied: {applied.value:.0f}")
+    print(f"  epoch lag now: {lag_now:.0f} (queue depth {depth_now:.0f})")
     return 0
 
 

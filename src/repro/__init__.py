@@ -26,7 +26,14 @@ measured record of every table and figure.
 """
 
 from repro.analysis import SolutionHistory
-from repro.api import Semantics, open_tracker
+from repro.api import (
+    Semantics,
+    disable_kernel_metrics,
+    enable_kernel_metrics,
+    metric_names,
+    metrics_registry,
+    open_tracker,
+)
 from repro.datasets import (
     lbsn_stream,
     make_stream,
@@ -102,6 +109,10 @@ __all__ = [
     "one_mode_projection",
     "qa_stream",
     "retweet_stream",
+    "metrics_registry",
+    "metric_names",
+    "enable_kernel_metrics",
+    "disable_kernel_metrics",
     "__version__",
 ]
 

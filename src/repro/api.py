@@ -19,6 +19,12 @@ Quickstart::
         solution = tracker.step(t, batch)
 
     trending = open_tracker("trend", k=5, semantics=Semantics.TIME_DECAY)
+
+Observability: :func:`repro.obs.registry.metrics_registry` (re-exported
+here) returns the process-wide metrics registry;
+:func:`~repro.kernels.instrument.enable_kernel_metrics` turns on sampled
+kernel sweep counters.  Metric names live in :mod:`repro.obs.names`
+(re-exported as ``metric_names``).
 """
 
 from __future__ import annotations
@@ -35,7 +41,14 @@ from repro.errors import (
     SemanticsError,
 )
 from repro.influence.weighted import WeightedInfluenceOracle
-from repro.kernels import Fold, resolve_fold
+from repro.kernels import (
+    Fold,
+    disable_kernel_metrics,
+    enable_kernel_metrics,
+    resolve_fold,
+)
+from repro.obs import names as metric_names
+from repro.obs.registry import metrics_registry
 from repro.tdn.graph import TDNGraph
 from repro.tdn.lifetimes import LifetimePolicy
 
@@ -48,6 +61,10 @@ __all__ = [
     "Semantics",
     "SemanticsError",
     "Solution",
+    "disable_kernel_metrics",
+    "enable_kernel_metrics",
+    "metric_names",
+    "metrics_registry",
     "open_tracker",
 ]
 

@@ -116,11 +116,24 @@ from typing import (
 from repro.errors import ConfigError, SemanticsError
 from repro.influence.reachability import ancestors, reachable_set
 from repro.kernels import Fold, resolve_fold
+from repro.obs import names as metric_names
+from repro.obs.registry import metrics_registry
 from repro.tdn.graph import TDNGraph
 from repro.utils.counters import CallCounter
 from repro.utils.deprecation import warn_once
 
 Node = Hashable
+
+# Instruments bound once at import (the registry pre-registers the whole
+# catalog, so these lookups cannot miss).  The oracle records into the
+# process registry; worker processes run their own oracle instances over
+# their own registries and ship counter deltas owner-side.
+_MEMO_HITS = metrics_registry().counter(metric_names.ORACLE_MEMO_HITS_TOTAL)
+_MEMO_MISSES = metrics_registry().counter(metric_names.ORACLE_MEMO_MISSES_TOTAL)
+_MEMO_EVICTIONS = metrics_registry().counter(
+    metric_names.ORACLE_MEMO_EVICTIONS_TOTAL
+)
+_CONE_SIZE = metrics_registry().histogram(metric_names.ORACLE_CONE_SIZE_NODES)
 
 #: Count-semantics cache key.  Non-count semantics append the fold's
 #: hashable token as a third element, so two semantics over one graph can
@@ -171,6 +184,10 @@ def replay_batch_protocol(
     miss_sets: list = []
     slot_of: dict = {}
     placements: list = []  # (result index, miss slot)
+    # Hit/miss accounting is accumulated locally and flushed once after
+    # the replay loop — the registry lock must not be taken per set.
+    hits = 0
+    misses = 0
     for i, key_nodes in enumerate(frozen_sets):
         if not key_nodes:
             results[i] = zero
@@ -185,11 +202,14 @@ def replay_batch_protocol(
             # Duplicate of an in-batch miss: a sequential run would hit
             # the (by then populated) cache entry — no call counted.
             placements.append((i, slot_of[key]))
+            hits += 1
             continue
         if hit is not None:
             results[i] = hit
+            hits += 1
             continue
         counter.increment()
+        misses += 1
         slot = slot_of.get(key)
         if slot is None:
             slot = len(miss_keys)
@@ -202,6 +222,10 @@ def replay_batch_protocol(
         # sequentially).
         memo.put(key, _PENDING)
         placements.append((i, slot))
+    if hits:
+        _MEMO_HITS.inc(hits)
+    if misses:
+        _MEMO_MISSES.inc(misses)
     if miss_sets:
         try:
             values = evaluate(miss_sets, min_expiry)
@@ -382,6 +406,8 @@ class MemoTable:
             victims.update(index[node])
         for key in victims:
             self.delete(key)
+        if victims:
+            _MEMO_EVICTIONS.inc(len(victims))
         return len(victims)
 
     # ------------------------------------------------------------------
@@ -416,6 +442,7 @@ class MemoTable:
                 self.clear()
             else:
                 cone_ids = self._closed_cone(seeds) if seeds else set()
+                _CONE_SIZE.observe(len(cone_ids))
                 if self.data and cone_ids:
                     node_of_id = graph.node_of_id
                     self.evict_nodes({node_of_id(i) for i in cone_ids})
@@ -689,8 +716,10 @@ class InfluenceOracle:
         )
         hit = self._memo.get(key)
         if hit is not None and hit is not _PENDING:
+            _MEMO_HITS.inc()
             return hit
         self.counter.increment()
+        _MEMO_MISSES.inc()
         value = self._evaluate(key_nodes, min_expiry)
         self._memo.put(key, value)
         return value

@@ -21,13 +21,19 @@ from repro.kernels.folds import (
     max_in_expiries,
     resolve_fold,
 )
+from repro.kernels.instrument import (
+    disable_kernel_metrics,
+    enable_kernel_metrics,
+)
 from repro.kernels.traversal import (
     PLANE_WIDTH,
     DictOverlay,
+    SweepSampler,
     TraversalKernel,
     build_transpose,
     dense_weight_sum,
     seed_range_error,
+    set_sweep_sampler,
 )
 
 __all__ = [
@@ -37,13 +43,17 @@ __all__ = [
     "DictOverlay",
     "Fold",
     "HopDiscountFold",
+    "SweepSampler",
     "TimeDecayFold",
     "TraversalKernel",
     "WeightedSumFold",
     "build_transpose",
     "dense_weight_sum",
+    "disable_kernel_metrics",
+    "enable_kernel_metrics",
     "hop_discount_sum",
     "max_in_expiries",
     "resolve_fold",
     "seed_range_error",
+    "set_sweep_sampler",
 ]

@@ -1,0 +1,43 @@
+"""Switchboard between the traversal kernel and the metrics layer.
+
+:mod:`repro.kernels.traversal` deliberately knows nothing about
+:mod:`repro.obs` (it only defines the ``SweepSampler`` protocol), and
+:mod:`repro.obs` is rank 0 so it cannot import kernels.  This module is
+the one place the two meet: it builds a
+:class:`~repro.obs.sampling.KernelSampler` over a registry and installs
+it process-wide.  Living in the kernels layer (rank 1) keeps it
+importable from everywhere above — including ``repro.track``, which sits
+below ``repro.api`` in the DAG and could not use an api-level helper.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.kernels.traversal import set_sweep_sampler
+from repro.obs.registry import MetricsRegistry, metrics_registry
+from repro.obs.sampling import KernelSampler
+
+__all__ = ["disable_kernel_metrics", "enable_kernel_metrics"]
+
+
+def enable_kernel_metrics(
+    every: int = 1, registry: Optional[MetricsRegistry] = None
+) -> KernelSampler:
+    """Start recording kernel sweeps, sampling 1 in ``every``.
+
+    Records into ``registry`` (default: the process registry).  Counter
+    increments are scaled by ``every`` so totals stay unbiased; histogram
+    observations are the sampled sweeps themselves.  Returns the
+    installed sampler.
+    """
+    sampler = KernelSampler(
+        metrics_registry() if registry is None else registry, every
+    )
+    set_sweep_sampler(sampler)
+    return sampler
+
+
+def disable_kernel_metrics() -> None:
+    """Remove the sweep sampler; the kernel reverts to the no-op branch."""
+    set_sweep_sampler(None)

@@ -59,6 +59,7 @@ from typing import (
     Iterator,
     List,
     Optional,
+    Protocol,
     Sequence,
     Set,
     Tuple,
@@ -69,14 +70,42 @@ import numpy as np
 __all__ = [
     "PLANE_WIDTH",
     "DictOverlay",
+    "SweepSampler",
     "TraversalKernel",
     "build_transpose",
     "dense_weight_sum",
     "seed_range_error",
+    "set_sweep_sampler",
 ]
 
 #: Seed sets packed per bit-plane traversal (uint64 mask width).
 PLANE_WIDTH = 64
+
+
+class SweepSampler(Protocol):
+    """The kernel's only observability seam (see RPL501).
+
+    ``record`` is called once per *physical* sweep — never per frontier
+    round or per edge — with the entry-point kind, the number of seed
+    sets the sweep served, and the reached-node total it computed anyway.
+    A ``None`` sampler (the default) costs one branch per sweep; the
+    standard implementation is :class:`repro.obs.sampling.KernelSampler`,
+    installed via :func:`repro.kernels.instrument.enable_kernel_metrics`.
+    The protocol lives here so this module keeps zero repro imports.
+    """
+
+    def record(self, kind: str, sets: int, reached: int) -> None: ...
+
+
+#: Process-wide sweep hook; ``None`` compiles every record site down to
+#: a single ``is not None`` branch.
+_SWEEP_SAMPLER: Optional[SweepSampler] = None
+
+
+def set_sweep_sampler(sampler: Optional[SweepSampler]) -> None:
+    """Install (or with ``None`` remove) the process-wide sweep sampler."""
+    global _SWEEP_SAMPLER
+    _SWEEP_SAMPLER = sampler
 
 
 def seed_range_error(node_id: int, num_nodes: int) -> IndexError:
@@ -264,6 +293,9 @@ class TraversalKernel:
         count = int(frontier.size)
         for frontier in self._frontiers(frontier, eff):
             count += int(frontier.size)
+        sampler = _SWEEP_SAMPLER
+        if sampler is not None:
+            sampler.record("reach", 1, count)
         return count
 
     def reach_scalar(
@@ -302,6 +334,9 @@ class TraversalKernel:
                         ):
                             visited.add(successor)
                             stack.append(successor)
+        sampler = _SWEEP_SAMPLER
+        if sampler is not None:
+            sampler.record("reach_scalar", 1, len(visited))
         return visited
 
     def reach_vector(
@@ -314,6 +349,9 @@ class TraversalKernel:
         reached = set(frontier.tolist())
         for frontier in self._frontiers(frontier, eff):
             reached.update(frontier.tolist())
+        sampler = _SWEEP_SAMPLER
+        if sampler is not None:
+            sampler.record("reach", 1, len(reached))
         return reached
 
     # ------------------------------------------------------------------
@@ -337,6 +375,9 @@ class TraversalKernel:
             if masks is None:
                 continue
             reached = masks[masks != np.uint64(0)]
+            sampler = _SWEEP_SAMPLER
+            if sampler is not None:
+                sampler.record("spread", len(chunk), int(reached.size))
             results[start : start + len(chunk)] = [
                 int(np.count_nonzero(reached & np.uint64(1 << plane)))
                 for plane in range(len(chunk))
@@ -371,6 +412,9 @@ class TraversalKernel:
                 continue
             reached_ids = np.flatnonzero(masks)
             reached_masks = masks[reached_ids]
+            sampler = _SWEEP_SAMPLER
+            if sampler is not None:
+                sampler.record("wspread", len(chunk), int(reached_ids.size))
             results[start : start + len(chunk)] = [
                 float(
                     weights[
@@ -405,6 +449,13 @@ class TraversalKernel:
         for start in range(0, len(id_sets), PLANE_WIDTH):
             chunk = id_sets[start : start + PLANE_WIDTH]
             per_plane = self._plane_level_counts(chunk, eff)
+            sampler = _SWEEP_SAMPLER
+            if sampler is not None:
+                sampler.record(
+                    "spread_levels",
+                    len(chunk),
+                    sum(sum(levels) for levels in per_plane),
+                )
             results[start : start + len(chunk)] = per_plane
         return results
 

@@ -19,6 +19,7 @@ from typing import Optional, Tuple
 LAYERS: Tuple[Tuple[str, int], ...] = (
     ("repro.errors", 0),
     ("repro.utils", 0),
+    ("repro.obs", 0),
     ("repro.kernels", 1),
     ("repro.tdn", 2),
     ("repro.influence", 3),

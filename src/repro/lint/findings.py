@@ -59,6 +59,12 @@ CODES = {
         "without an enclosing sorted(...)"
     ),
     "RPL402": "direct random / numpy.random use outside repro/utils/rng.py",
+    # -- RPL5xx: observability -------------------------------------------
+    "RPL501": (
+        "non-constant metric name at a registry call, runtime .register(), "
+        "or a direct instrument call inside a traversal-kernel loop "
+        "(kernel loops feed the sampled SweepSampler.record hook only)"
+    ),
     # -- internal -------------------------------------------------------
     "RPL001": "file does not parse",
 }

@@ -1,0 +1,154 @@
+"""RPL5xx — observability.
+
+The metrics layer (``repro.obs``) pre-registers every instrument in a
+constant catalog (``repro/obs/names.py``) so exporters can emit complete
+families and worker-delta merging can trust the name set.  Two lexical
+hazards would quietly undo that design:
+
+* **RPL501** — a registry lookup (``.counter(...)`` / ``.gauge(...)`` /
+  ``.histogram(...)``) whose name argument is not an UPPER_CASE
+  module-level constant (a bare ``NAME`` or ``metric_names.NAME``
+  attribute).  Inline strings and f-strings create unbounded series
+  cardinality and bypass the catalog's KeyError guard; computed names
+  cannot be cross-checked against the catalog by reading the call site.
+  The same code also covers ``.register(...)`` calls inside function
+  bodies (registration belongs at import time — a runtime ``register``
+  means the catalog is incomplete) and, inside the traversal kernel
+  owner, any direct instrument call (``inc`` / ``observe`` / ``set`` /
+  lookup) inside a ``for``/``while`` loop — kernel inner loops may only
+  feed the sampled ``.record`` hook, which is a single branch when
+  disabled (the < 3 % overhead gate in ``bench_substrate_micro``
+  depends on it).
+
+Scope: modules of the ``repro`` package, excluding ``repro/obs/`` itself
+(the registry's own implementation necessarily handles names as
+variables).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from repro.lint.config import TRAVERSAL_OWNER, is_under, module_of
+from repro.lint.findings import Finding
+
+__all__ = ["check"]
+
+#: Registry lookup methods whose first argument is a metric name.
+_LOOKUP_METHODS = ("counter", "gauge", "histogram")
+
+#: Instrument/registry methods forbidden inside traversal-kernel loops.
+_LOOP_FORBIDDEN = ("inc", "observe", "set", "counter", "gauge", "histogram")
+
+_OBS_OWNER = "repro/obs/"
+
+
+def check(tree: ast.Module, path: str) -> List[Finding]:
+    if module_of(path) is None or is_under(path, _OBS_OWNER):
+        return []
+    findings: List[Finding] = []
+    findings.extend(_check_constant_names(tree, path))
+    findings.extend(_check_runtime_registration(tree, path))
+    if is_under(path, TRAVERSAL_OWNER):
+        findings.extend(_check_traversal_loops(tree, path))
+    return findings
+
+
+def _flag(path: str, node: ast.AST, detail: str) -> Finding:
+    return Finding(path, node.lineno, "RPL501", detail)
+
+
+def _is_constant_name(node: ast.expr) -> bool:
+    """UPPER_CASE bare name or ``module.UPPER_CASE`` attribute."""
+    if isinstance(node, ast.Name):
+        return node.id.isupper()
+    if isinstance(node, ast.Attribute):
+        return node.attr.isupper()
+    return False
+
+
+# ----------------------------------------------------------------------
+# metric names must be module-level constants
+# ----------------------------------------------------------------------
+def _check_constant_names(tree: ast.Module, path: str) -> List[Finding]:
+    findings: List[Finding] = []
+    for node in ast.walk(tree):
+        if not (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _LOOKUP_METHODS
+            and node.args
+        ):
+            continue
+        if _is_constant_name(node.args[0]):
+            continue
+        findings.append(
+            _flag(
+                path,
+                node,
+                f".{node.func.attr}(...) called with a non-constant metric "
+                "name; use an UPPER_CASE constant from repro/obs/names.py "
+                "(inline or computed names bypass the pre-registered "
+                "catalog and create unbounded series)",
+            )
+        )
+    return findings
+
+
+# ----------------------------------------------------------------------
+# registration happens at import time, not inside functions
+# ----------------------------------------------------------------------
+def _check_runtime_registration(tree: ast.Module, path: str) -> List[Finding]:
+    findings: List[Finding] = []
+    for outer in ast.walk(tree):
+        if not isinstance(outer, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        for node in ast.walk(outer):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "register"
+                and node.args
+            ):
+                findings.append(
+                    _flag(
+                        path,
+                        node,
+                        ".register(...) inside a function body; metrics "
+                        "are registered at import time via the constant "
+                        "catalog so exporters always see the full family "
+                        "set",
+                    )
+                )
+    return findings
+
+
+# ----------------------------------------------------------------------
+# traversal kernel loops may only touch the sampled hook
+# ----------------------------------------------------------------------
+def _check_traversal_loops(tree: ast.Module, path: str) -> List[Finding]:
+    findings: List[Finding] = []
+    for loop in ast.walk(tree):
+        if not isinstance(loop, (ast.For, ast.While)):
+            continue
+        for node in ast.walk(loop):
+            if node is loop:
+                continue
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _LOOP_FORBIDDEN
+            ):
+                findings.append(
+                    _flag(
+                        path,
+                        node,
+                        f"direct instrument call .{node.func.attr}(...) "
+                        "inside a traversal-kernel loop; kernel inner "
+                        "loops feed the sampled SweepSampler.record hook "
+                        "only (one no-op branch when disabled — the "
+                        "bench overhead gate depends on it)",
+                    )
+                )
+    return findings

@@ -15,7 +15,7 @@ import sys
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.lint import concurrency, determinism, layers, shm
+from repro.lint import concurrency, determinism, layers, obs, shm
 from repro.lint.baseline import load_baseline, partition, write_baseline
 from repro.lint.concurrency import Registry
 from repro.lint.findings import CODES, Finding
@@ -62,6 +62,7 @@ def lint_source(
     findings.extend(shm.check(tree, path))
     findings.extend(concurrency.check(tree, path, registry))
     findings.extend(determinism.check(tree, path))
+    findings.extend(obs.check(tree, path))
     table = suppressions(source)
     kept = [
         finding

@@ -1,0 +1,46 @@
+"""repro.obs — zero-dependency metrics and tracing for the whole stack.
+
+Rank 0 in the layer DAG: this package imports nothing from repro beyond
+itself, so every other layer (kernels, influence, parallel, track, api)
+may instrument itself freely without creating cycles.  See the
+"Observability" section of ARCHITECTURE.md for the layer placement, the
+kernel sampling contract, and the worker-merge protocol.
+"""
+
+from repro.obs import names
+from repro.obs.export import (
+    JSON_SCHEMA_VERSION,
+    parse_prometheus_text,
+    render_json,
+    render_prometheus,
+    render_summary,
+)
+from repro.obs.names import CATALOG, MetricSpec
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    metrics_registry,
+)
+from repro.obs.sampling import KernelSampler
+from repro.obs.tracing import Span, current_span
+
+__all__ = [
+    "CATALOG",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "JSON_SCHEMA_VERSION",
+    "KernelSampler",
+    "MetricSpec",
+    "MetricsRegistry",
+    "Span",
+    "current_span",
+    "metrics_registry",
+    "names",
+    "parse_prometheus_text",
+    "render_json",
+    "render_prometheus",
+    "render_summary",
+]

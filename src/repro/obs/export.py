@@ -1,0 +1,237 @@
+"""Exporters for :class:`~repro.obs.registry.MetricsRegistry`.
+
+Three renderings of the same snapshot:
+
+* :func:`render_prometheus` — the Prometheus text exposition format
+  (``# HELP`` / ``# TYPE`` preamble, cumulative ``_bucket{le="..."}``
+  series with the mandatory ``+Inf`` bucket, ``_sum`` / ``_count``), fit
+  for a future ``/metrics`` scrape endpoint.
+* :func:`render_json` — a schema-stable dict for ``--metrics-json``
+  dumps (counters/gauges as name->value maps, histograms with bucket
+  edges, cumulative counts, sum, count, and the p50/p95/p99 triple).
+* :func:`render_summary` — a fixed-width table for CLI end-of-run
+  output, nonzero series only.
+
+:func:`parse_prometheus_text` is the strict inverse used by the
+round-trip tests: it accepts exactly what :func:`render_prometheus`
+emits (no escapes, no labels besides ``le``, no timestamps) and raises
+``ValueError`` on anything else, so a formatting regression fails loudly
+instead of drifting.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import TYPE_CHECKING, Dict, List, Tuple
+
+if TYPE_CHECKING:  # import cycle: registry delegates to this module
+    from repro.obs.registry import MetricsRegistry
+
+__all__ = [
+    "render_prometheus",
+    "render_json",
+    "render_summary",
+    "parse_prometheus_text",
+]
+
+#: JSON export schema version; bump on any shape change and say why in
+#: ARCHITECTURE.md.  Consumers pin against this, not against key sets.
+JSON_SCHEMA_VERSION = 1
+
+
+def _fmt(value: float) -> str:
+    """Render a float the Prometheus way: integral values without ``.0``."""
+    if value != value or value in (float("inf"), float("-inf")):
+        raise ValueError(f"non-finite sample value {value!r}")
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _cumulative(counts: List[int]) -> List[int]:
+    out: List[int] = []
+    running = 0
+    for count in counts:
+        running += count
+        out.append(running)
+    return out
+
+
+def render_prometheus(registry: "MetricsRegistry") -> str:
+    """The registry snapshot in Prometheus text exposition format."""
+    lines: List[str] = []
+    for counter in registry.counters():
+        lines.append(f"# HELP {counter.name} {counter.help}")
+        lines.append(f"# TYPE {counter.name} counter")
+        lines.append(f"{counter.name} {_fmt(counter.value)}")
+    for gauge in registry.gauges():
+        lines.append(f"# HELP {gauge.name} {gauge.help}")
+        lines.append(f"# TYPE {gauge.name} gauge")
+        lines.append(f"{gauge.name} {_fmt(gauge.value)}")
+    for histogram in registry.histograms():
+        lines.append(f"# HELP {histogram.name} {histogram.help}")
+        lines.append(f"# TYPE {histogram.name} histogram")
+        cumulative = _cumulative(histogram.counts)
+        for edge, count in zip(histogram.buckets, cumulative):
+            lines.append(f'{histogram.name}_bucket{{le="{_fmt(edge)}"}} {count}')
+        lines.append(f'{histogram.name}_bucket{{le="+Inf"}} {cumulative[-1]}')
+        lines.append(f"{histogram.name}_sum {_fmt(histogram.sum)}")
+        lines.append(f"{histogram.name}_count {histogram.count}")
+    return "\n".join(lines) + "\n"
+
+
+def render_json(registry: "MetricsRegistry") -> Dict[str, object]:
+    """Schema-stable JSON-ready snapshot (see :data:`JSON_SCHEMA_VERSION`)."""
+    histograms: Dict[str, object] = {}
+    for histogram in registry.histograms():
+        histograms[histogram.name] = {
+            "help": histogram.help,
+            "buckets": list(histogram.buckets),
+            "cumulative_counts": _cumulative(histogram.counts),
+            "sum": histogram.sum,
+            "count": histogram.count,
+            **histogram.percentiles(),
+        }
+    return {
+        "schema_version": JSON_SCHEMA_VERSION,
+        "counters": {c.name: c.value for c in registry.counters()},
+        "gauges": {g.name: g.value for g in registry.gauges()},
+        "histograms": histograms,
+    }
+
+
+def render_summary(registry: "MetricsRegistry") -> str:
+    """Fixed-width end-of-run table; series that never moved are elided."""
+    width = max(
+        [len(c.name) for c in registry.counters()]
+        + [len(g.name) for g in registry.gauges()]
+        + [len(h.name) for h in registry.histograms()]
+    )
+    lines = ["-- metrics summary " + "-" * max(0, width - 8)]
+    for counter in registry.counters():
+        if counter.value:
+            lines.append(f"{counter.name:<{width}}  {_fmt(counter.value)}")
+    for gauge in registry.gauges():
+        if gauge.value:
+            lines.append(f"{gauge.name:<{width}}  {_fmt(gauge.value)}")
+    for histogram in registry.histograms():
+        if histogram.count:
+            p = histogram.percentiles()
+            lines.append(
+                f"{histogram.name:<{width}}  count={histogram.count} "
+                f"sum={histogram.sum:.6g} p50={p['p50']:.6g} "
+                f"p95={p['p95']:.6g} p99={p['p99']:.6g}"
+            )
+    if len(lines) == 1:
+        lines.append("(no samples recorded)")
+    return "\n".join(lines)
+
+
+# A sample line as render_prometheus writes it: bare metric name, one
+# optional le label, a finite float value.  Anything else is a parse
+# error by design.
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r'(?:\{le="(?P<le>[^"]+)"\})?'
+    r" (?P<value>-?(?:\d+(?:\.\d+)?(?:e-?\d+)?))$"
+)
+
+
+def parse_prometheus_text(
+    text: str,
+) -> Dict[str, Dict[str, object]]:
+    """Strictly parse :func:`render_prometheus` output back into families.
+
+    Returns ``{family_name: {"help": str, "type": str, "samples":
+    {sample_key: float}}}`` where ``sample_key`` is the bare series name,
+    or ``name_bucket{le="..."}`` for histogram buckets.  Raises
+    ``ValueError`` on unknown line shapes, samples without a preceding
+    ``# TYPE``, or duplicate series.
+    """
+    families: Dict[str, Dict[str, object]] = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            name, _, help_text = line[len("# HELP ") :].partition(" ")
+            families.setdefault(
+                name, {"help": "", "type": "", "samples": {}}
+            )["help"] = help_text
+            continue
+        if line.startswith("# TYPE "):
+            name, _, type_text = line[len("# TYPE ") :].partition(" ")
+            if type_text not in ("counter", "gauge", "histogram"):
+                raise ValueError(f"line {lineno}: unknown type {type_text!r}")
+            families.setdefault(
+                name, {"help": "", "type": "", "samples": {}}
+            )["type"] = type_text
+            continue
+        if line.startswith("#"):
+            raise ValueError(f"line {lineno}: unexpected comment {line!r}")
+        match = _SAMPLE_RE.match(line)
+        if match is None and line.endswith("}"):
+            # +Inf bucket: the one value _SAMPLE_RE's float cannot spell.
+            match = re.match(
+                r'^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)\{le="\+Inf"\}'
+                r" (?P<value>\d+)$",
+                line,
+            )
+            if match is None:
+                raise ValueError(f"line {lineno}: malformed sample {line!r}")
+            family = _family_of(match.group("name"))
+            _add_sample(
+                families,
+                family,
+                f'{match.group("name")}{{le="+Inf"}}',
+                float(match.group("value")),
+                lineno,
+            )
+            continue
+        if match is None:
+            raise ValueError(f"line {lineno}: malformed sample {line!r}")
+        name = match.group("name")
+        le = match.group("le")
+        family = _family_of(name)
+        key = name if le is None else f'{name}{{le="{le}"}}'
+        _add_sample(families, family, key, float(match.group("value")), lineno)
+    return families
+
+
+def _family_of(series: str) -> str:
+    for suffix in ("_bucket", "_sum", "_count"):
+        if series.endswith(suffix):
+            return series[: -len(suffix)]
+    return series
+
+
+def _add_sample(
+    families: Dict[str, Dict[str, object]],
+    family: str,
+    key: str,
+    value: float,
+    lineno: int,
+) -> None:
+    if family not in families or not families[family]["type"]:
+        raise ValueError(f"line {lineno}: sample {key!r} before its # TYPE")
+    samples = families[family]["samples"]
+    assert isinstance(samples, dict)
+    if key in samples:
+        raise ValueError(f"line {lineno}: duplicate series {key!r}")
+    samples[key] = value
+
+
+def _edges_and_counts(
+    family: Dict[str, object],
+) -> Tuple[List[float], List[float]]:
+    """Helper for tests: (finite edges, cumulative counts incl. +Inf)."""
+    samples = family["samples"]
+    assert isinstance(samples, dict)
+    edges: List[float] = []
+    counts: List[float] = []
+    for key, value in samples.items():
+        if '{le="' not in key:
+            continue
+        le = key.split('{le="', 1)[1].rstrip('"}')
+        edges.append(float("inf") if le == "+Inf" else float(le))
+        counts.append(value)
+    return edges, counts

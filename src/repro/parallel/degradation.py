@@ -33,7 +33,10 @@ from __future__ import annotations
 import enum
 import time
 import warnings
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional
+
+from repro.obs import names as metric_names
+from repro.obs.registry import metrics_registry
 
 __all__ = [
     "DegradationLadder",
@@ -41,6 +44,15 @@ __all__ = [
     "DegradationState",
     "TERMINAL_REASONS",
 ]
+
+# Bound once at import; every ladder in the process feeds the same two
+# series.  The counters are bumped at the exact sites that mutate the
+# ladder's own history/incident bookkeeping, so health_report() and the
+# registry can never drift apart.
+_TRANSITIONS = metrics_registry().counter(
+    metric_names.DEGRADATION_TRANSITIONS_TOTAL
+)
+_INCIDENTS = metrics_registry().counter(metric_names.DEGRADATION_INCIDENTS_TOTAL)
 
 
 class DegradationReason(enum.Enum):
@@ -163,7 +175,7 @@ class DegradationLadder:
         self.reason: Optional[DegradationReason] = None
         self.detail: str = ""
         self.retry_at: float = 0.0
-        self.transitions: List[Tuple[str, str, str]] = []
+        self.transitions: List[Dict[str, object]] = []
         self.incidents: Dict[str, int] = {}
         self.recoveries = 0
         self._warned_at: Dict[DegradationReason, float] = {}
@@ -197,6 +209,7 @@ class DegradationLadder:
         (and warned, rate-limited) but the state machine does not move.
         """
         self.incidents[reason.name] = self.incidents.get(reason.name, 0) + 1
+        _INCIDENTS.inc()
         self._record("incident", reason, detail)
         self._warn(reason, detail)
 
@@ -216,6 +229,7 @@ class DegradationLadder:
         if self.halted:
             return
         self.incidents[reason.name] = self.incidents.get(reason.name, 0) + 1
+        _INCIDENTS.inc()
         terminal = reason in TERMINAL_REASONS
         self.state = (
             DegradationState.HALTED if terminal else DegradationState.DEGRADED
@@ -241,7 +255,21 @@ class DegradationLadder:
     def _record(
         self, event: str, reason: Optional[DegradationReason], detail: str
     ) -> None:
-        self.transitions.append((event, reason.name if reason else "", detail))
+        # Transition-record schema (stable; consumers rely on these keys,
+        # see the health_report docs in ARCHITECTURE.md):
+        #   event  -- "incident" | "degraded" | "halted" | "recovered"
+        #   reason -- DegradationReason.name, or "" for recoveries
+        #   detail -- free-text context
+        #   at     -- the ladder's (injectable, monotonic) clock reading
+        self.transitions.append(
+            {
+                "event": event,
+                "reason": reason.name if reason else "",
+                "detail": detail,
+                "at": self._clock(),
+            }
+        )
+        _TRANSITIONS.inc()
         if len(self.transitions) > self._history_limit:
             del self.transitions[: -self._history_limit]
 
@@ -264,14 +292,21 @@ class DegradationLadder:
         )
 
     def report(self) -> Dict[str, object]:
-        """Inspectable snapshot (the executor's ``health_report`` core)."""
+        """Inspectable snapshot (the executor's ``health_report`` core).
+
+        ``transitions`` is the bounded history as a list of dicts with the
+        stable keys ``event`` / ``reason`` / ``detail`` / ``at`` (the
+        ladder clock's reading when the record was made — monotonic
+        seconds by default).  Each dict is copied, so callers may keep or
+        mutate the snapshot freely.
+        """
         return {
             "state": self.state.value,
             "reason": self.reason.name if self.reason else None,
             "detail": self.detail,
             "recoveries": self.recoveries,
             "incidents": dict(sorted(self.incidents.items())),
-            "transitions": list(self.transitions),
+            "transitions": [dict(record) for record in self.transitions],
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -78,6 +78,8 @@ if TYPE_CHECKING:
     from repro.tdn.graph import TDNGraph
 
 from repro.kernels import Fold, resolve_fold
+from repro.obs import names as metric_names
+from repro.obs.registry import metrics_registry
 from repro.parallel import worker as worker_mod
 from repro.parallel.degradation import DegradationLadder, DegradationReason
 from repro.parallel.faults import FaultInjected, FaultPlan
@@ -119,6 +121,17 @@ TASK_TIMEOUT = 30.0
 #: Result-queue poll interval while shards are outstanding; every poll is
 #: also a liveness round-trip over the worker table.
 _POLL_INTERVAL = 0.05
+
+# Owner-side instruments, bound once at import.  Worker-side counters
+# arrive as ("metrics", {name: delta}) outcomes on the result queue and
+# are folded into the same process registry (see _dispatch).
+_DISPATCHES = metrics_registry().counter(metric_names.EXECUTOR_DISPATCHES_TOTAL)
+_SHARD_LATENCY = metrics_registry().histogram(
+    metric_names.EXECUTOR_SHARD_LATENCY_SECONDS
+)
+_SERIAL_FALLBACKS = metrics_registry().counter(
+    metric_names.EXECUTOR_SERIAL_FALLBACKS_TOTAL
+)
 
 
 def shard_slices(num_items: int, num_shards: int) -> List[Tuple[int, int]]:
@@ -525,6 +538,7 @@ class ShardedOracleExecutor:
         request_id = self._request_seq
         generation = self._plane.generation
         total = len(shards)
+        _DISPATCHES.inc()
         results: List[Any] = [None] * total
         filled = [False] * total
         keys = [self._task_key(op, payload, eff) for payload, eff in shards]
@@ -533,15 +547,18 @@ class ShardedOracleExecutor:
         deadlines: Dict[int, float] = {}
         retries: Dict[int, int] = {}
         claimed: Dict[int, int] = {}  # shard -> worker index holding it
+        sent: Dict[int, float] = {}  # shard -> enqueue time (latency)
 
         def enqueue(shard_index: int) -> None:
             payload, eff = shards[shard_index]
             self._task_queue.put(
                 (op, request_id, shard_index, generation, payload, eff)
             )
-            deadlines[shard_index] = time.monotonic() + self.task_timeout
+            sent[shard_index] = time.monotonic()
+            deadlines[shard_index] = sent[shard_index] + self.task_timeout
 
         def fill_serial(shard_index: int) -> None:
+            _SERIAL_FALLBACKS.inc()
             results[shard_index] = serial_shard(shard_index)
             filled[shard_index] = True
             outstanding.discard(shard_index)
@@ -564,9 +581,16 @@ class ShardedOracleExecutor:
             except queue_mod.Empty:
                 got_id = None
             if got_id is not None:
+                status, value = outcome
+                if status == "metrics":
+                    # Worker-drained counter deltas.  Merged before the
+                    # stale-request check: a drain advances the worker's
+                    # high-water marks, so a dropped message would lose
+                    # those counts forever.
+                    metrics_registry().merge_counter_deltas(value)
+                    continue
                 if got_id != request_id or shard_index >= total:
                     continue  # stale result from an abandoned request
-                status, value = outcome
                 if status == "started":
                     if not filled[shard_index]:
                         claimed[shard_index] = int(value)
@@ -578,7 +602,11 @@ class ShardedOracleExecutor:
                     filled[shard_index] = True
                     outstanding.discard(shard_index)
                     claimed.pop(shard_index, None)
-                    global_deadline = time.monotonic() + self.result_timeout
+                    received = time.monotonic()
+                    sent_at = sent.get(shard_index)
+                    if sent_at is not None:
+                        _SHARD_LATENCY.observe(received - sent_at)
+                    global_deadline = received + self.result_timeout
                     continue
                 # Worker reported an error: one pool retry, then serial.
                 reason = (

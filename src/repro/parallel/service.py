@@ -46,6 +46,8 @@ from concurrent.futures import BrokenExecutor, ThreadPoolExecutor
 from typing import Any, Deque, Dict, Iterable, NamedTuple, Optional, Sequence, Tuple
 
 from repro.errors import ConfigError, DegradedExecutionError
+from repro.obs import names as metric_names
+from repro.obs.registry import MetricsRegistry, metrics_registry
 from repro.parallel.degradation import DegradationLadder, DegradationReason
 from repro.parallel.faults import FaultPlan
 
@@ -97,6 +99,12 @@ class IngestService:
             service gives up and poisons (surfaced to every caller).
         fault_plan: injected fault schedule (chaos tests); defaults to
             :meth:`FaultPlan.from_env` (``REPRO_FAULTS``), i.e. no faults.
+        metrics: the :class:`~repro.obs.registry.MetricsRegistry` the
+            service records into — queue depth, epoch, epoch lag,
+            batch-apply and republish timings.  Defaults to the process
+            registry (:func:`repro.obs.metrics_registry`), which is what
+            a scrape endpoint will read; pass a private registry to
+            isolate one service's series (tests do).
 
     Usage::
 
@@ -114,11 +122,28 @@ class IngestService:
         max_pending: int = 64,
         writer_restart_budget: int = WRITER_RESTART_BUDGET,
         fault_plan: Optional[FaultPlan] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         if max_pending <= 0:
             raise ConfigError(f"max_pending must be positive, got {max_pending}")
         self._tracker = tracker
         self._max_pending = max_pending
+        self.metrics = metrics_registry() if metrics is None else metrics
+        self._queue_depth = self.metrics.gauge(metric_names.INGEST_QUEUE_DEPTH)
+        self._epoch_gauge = self.metrics.gauge(metric_names.INGEST_EPOCH)
+        self._lag_gauge = self.metrics.gauge(metric_names.INGEST_EPOCH_LAG)
+        self._lag_hist = self.metrics.histogram(
+            metric_names.INGEST_EPOCH_LAG_BATCHES
+        )
+        self._apply_hist = self.metrics.histogram(
+            metric_names.INGEST_BATCH_APPLY_SECONDS
+        )
+        self._republish_hist = self.metrics.histogram(
+            metric_names.INGEST_REPUBLISH_SECONDS
+        )
+        self._batches_counter = self.metrics.counter(
+            metric_names.INGEST_BATCHES_APPLIED_TOTAL
+        )
         self._queue: Optional[asyncio.Queue] = None
         self._consumer: Optional[asyncio.Task] = None
         # One thread = one writer: batches apply strictly in submit order.
@@ -214,6 +239,8 @@ class IngestService:
         if not self.running:
             raise DegradedExecutionError("service is not running; call start() first")
         await self._queue.put((t, list(interactions)))
+        self._queue_depth.set(self.pending)
+        self._lag_gauge.set(self._unapplied)
 
     async def top_k(self) -> TopKAnswer:
         """The last consistent epoch's solution (never blocks on ingestion).
@@ -280,6 +307,13 @@ class IngestService:
                     continue
                 self._seq += 1
                 self._journal.append((self._seq, t, batch))
+                # Lag is observed per journaled batch (always >= 1 here),
+                # so the histogram's _count series reflects accepted
+                # batches even after a drain zeroes the gauge.
+                self._queue_depth.set(self.pending)
+                lag = self._unapplied
+                self._lag_gauge.set(lag)
+                self._lag_hist.observe(lag)
                 while self._journal and self._failure is None:
                     try:
                         await loop.run_in_executor(
@@ -326,6 +360,7 @@ class IngestService:
                 raise WriterDeathError(
                     f"injected fault: writer died before applying batch {seq}"
                 )
+            apply_started = time.monotonic()
             solution = self._tracker.step(t, batch)
             self._republish()
             self._latest = TopKAnswer(
@@ -336,6 +371,10 @@ class IngestService:
             )
             self.batches_applied += 1
             self._journal.popleft()
+            self._apply_hist.observe(time.monotonic() - apply_started)
+            self._batches_counter.inc()
+            self._epoch_gauge.set(self._latest.epoch)
+            self._lag_gauge.set(self._unapplied)
 
     def _restart_writer(self, exc: BaseException) -> bool:
         """Replace the dead writer thread; False when the budget is gone."""
@@ -377,9 +416,13 @@ class IngestService:
         executor = getattr(oracle, "executor", None)
         if executor is None or not executor.pool_running:
             return
+        republish_started = time.monotonic()
         delay = 0.05
         for _ in range(3):
             if executor.ensure_plane(self._tracker.graph):
+                self._republish_hist.observe(
+                    time.monotonic() - republish_started
+                )
                 return
             time.sleep(delay)  # writer thread, not the event loop
             delay *= 2

@@ -35,9 +35,16 @@ from __future__ import annotations
 import time
 from typing import Any, Callable, Dict, Hashable, List, Optional
 
+from repro.obs import names as metric_names
+from repro.obs.registry import metrics_registry
 from repro.utils.rng import make_rng
 
 __all__ = ["WorkerSupervisor"]
+
+# Bound once at import; bumped at the same sites that charge the restart
+# budget / flip the quarantine flag, so report() and the registry agree.
+_RESTARTS = metrics_registry().counter(metric_names.WORKER_RESTARTS_TOTAL)
+_QUARANTINES = metrics_registry().counter(metric_names.TASK_QUARANTINES_TOTAL)
 
 #: Default cap on total worker respawns over the executor's lifetime.
 DEFAULT_RESTART_BUDGET = 16
@@ -158,6 +165,7 @@ class WorkerSupervisor:
         if self.restarts_used + len(dead) > self.restart_budget:
             return "exhausted"
         self.restarts_used += len(dead)
+        _RESTARTS.inc(len(dead))
         for _, proc in sorted(self.procs.items()):
             if proc.is_alive():
                 proc.terminate()
@@ -190,8 +198,9 @@ class WorkerSupervisor:
         """
         count = self._strikes.get(task_key, 0) + 1
         self._strikes[task_key] = count
-        if count >= QUARANTINE_STRIKES:
+        if count >= QUARANTINE_STRIKES and task_key not in self.quarantined:
             self.quarantined.add(task_key)
+            _QUARANTINES.inc()
         return count
 
     def is_quarantined(self, task_key: Hashable) -> bool:

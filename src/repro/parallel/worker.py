@@ -77,6 +77,29 @@ def worker_main(
             reuse the slot).
         faults: optional injected fault schedule for this incarnation.
     """
+    # Worker-local metrics: a private registry plus the kernel sweep
+    # sampler, drained as tiny name->delta dicts after each task and
+    # shipped through the result queue (one aggregate message per task,
+    # never per-event traffic).  The owner folds the deltas into its own
+    # registry; see ShardedOracleExecutor._dispatch.  Imported here, not
+    # at module top, to keep the spawn-time import graph minimal.
+    from repro.kernels.instrument import enable_kernel_metrics
+    from repro.obs import names as metric_names
+    from repro.obs.registry import MetricsRegistry
+
+    registry = MetricsRegistry()
+    enable_kernel_metrics(registry=registry)
+    tasks_done = registry.counter(metric_names.WORKER_TASKS_TOTAL)
+
+    def flush_metrics(request_id: int, shard_index: int) -> None:
+        # Sent BEFORE the ok/error reply: once the owner has every shard
+        # result its dispatch loop returns, and a metrics message behind
+        # the final "ok" would be dropped as stale on the next request —
+        # losing the drained deltas (the drain high-water mark advanced).
+        deltas = registry.drain_counter_deltas()
+        if deltas:
+            result_queue.put((request_id, shard_index, ("metrics", deltas)))
+
     attachment: Optional[_Attachment] = None  # current generation's mapping
     weight_maps: Dict[str, _WeightsAttachment] = {}
     # A worker only ever needs the keys of currently-live oracles; cap
@@ -141,8 +164,11 @@ def worker_main(
             value = _run(engine, op, payload, eff, weights_for)
             if delay > 0.0:
                 time.sleep(delay)  # simulate a slow shard (past deadline)
+            tasks_done.inc()
+            flush_metrics(request_id, shard_index)
             result_queue.put((request_id, shard_index, ("ok", value)))
         except BaseException as exc:  # report, never crash the loop
+            flush_metrics(request_id, shard_index)
             result_queue.put(
                 (request_id, shard_index, ("error", f"{type(exc).__name__}: {exc}"))
             )

@@ -76,6 +76,15 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--checkpoint-every", type=int, default=1_000)
     parser.add_argument("--quiet", action="store_true",
                         help="suppress per-step reports; print only the summary")
+    parser.add_argument("--metrics", action="store_true",
+                        help="enable kernel sweep sampling and print the "
+                             "metrics summary after the run")
+    parser.add_argument("--metrics-json", default=None, metavar="PATH",
+                        help="write the full metrics registry as JSON to "
+                             "PATH (implies --metrics)")
+    parser.add_argument("--metrics-every", type=int, default=16,
+                        help="sample 1 in N kernel sweeps (counter totals "
+                             "are rescaled; lower = finer, slower)")
     return parser
 
 
@@ -99,6 +108,13 @@ def main(argv: Optional[list] = None) -> int:
     if not interactions:
         print("no interactions to process", file=sys.stderr)
         return 1
+    metrics_enabled = args.metrics or args.metrics_json is not None
+    if metrics_enabled:
+        # Imported from the kernels layer, not the api facade: track sits
+        # below api in the layer DAG (see repro.lint.config.LAYERS).
+        from repro.kernels.instrument import enable_kernel_metrics
+
+        enable_kernel_metrics(every=max(1, args.metrics_every))
     stream = BatchedStream(interactions, batch_size=args.batch_size)
     tracker = InfluenceTracker(
         args.algorithm,
@@ -158,6 +174,22 @@ def main(argv: Optional[list] = None) -> int:
     if len(history) >= 2:
         print(f"  solution stability: {history.mean_stability():.3f} "
               f"(mean Jaccard between consecutive reports)")
+    if metrics_enabled:
+        from repro.kernels.instrument import disable_kernel_metrics
+        from repro.obs.registry import metrics_registry
+
+        registry = metrics_registry()
+        if args.metrics_json is not None:
+            import json
+
+            with open(args.metrics_json, "w", encoding="utf-8") as handle:
+                json.dump(registry.render_json(), handle, indent=2)
+                handle.write("\n")
+            print(f"\nmetrics written to {args.metrics_json}")
+        if args.metrics:
+            print("\nmetrics")
+            print(registry.render_summary())
+        disable_kernel_metrics()
     return 0
 
 

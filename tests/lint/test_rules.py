@@ -602,6 +602,128 @@ def test_rpl402_exempt_in_rng_owner():
 
 
 # ----------------------------------------------------------------------
+# RPL5xx — observability
+# ----------------------------------------------------------------------
+def test_rpl501_inline_metric_name():
+    findings = assert_fires(
+        """
+        from repro.obs.registry import metrics_registry
+
+        hits = metrics_registry().counter("repro_memo_hits_total")
+        """,
+        "src/repro/influence/fixture.py",
+        "RPL501",
+    )
+    assert "non-constant metric name" in findings[0].message
+
+
+def test_rpl501_fstring_metric_name():
+    assert_fires(
+        """
+        from repro.obs.registry import metrics_registry
+
+        def series_for(shard: int):
+            return metrics_registry().gauge(f"repro_shard_{shard}_depth")
+        """,
+        "src/repro/parallel/fixture.py",
+        "RPL501",
+    )
+
+
+def test_rpl501_constant_names_pass():
+    assert not _lint(
+        """
+        from repro.obs import names as metric_names
+        from repro.obs.registry import metrics_registry
+
+        MY_SERIES = "repro_my_series_total"
+
+        a = metrics_registry().counter(MY_SERIES)
+        b = metrics_registry().histogram(metric_names.ORACLE_CONE_SIZE_NODES)
+        """,
+        "src/repro/influence/fixture.py",
+    )
+
+
+def test_rpl501_runtime_register():
+    assert_fires(
+        """
+        from repro.obs.names import MetricSpec
+        from repro.obs.registry import metrics_registry
+
+        def lazy_register():
+            spec = MetricSpec("repro_late_total", "counter", "late", None)
+            metrics_registry().register(spec)
+        """,
+        "src/repro/influence/fixture.py",
+        "RPL501",
+    )
+
+
+def test_rpl501_instrument_call_in_traversal_loop():
+    assert_fires(
+        """
+        from repro.obs import names as metric_names
+        from repro.obs.registry import metrics_registry
+
+        SWEEPS = metrics_registry().counter(metric_names.KERNEL_SWEEPS_TOTAL)
+
+        def sweep(frontiers):
+            for frontier in frontiers:
+                SWEEPS.inc()
+        """,
+        "src/repro/kernels/traversal.py",
+        "RPL501",
+    )
+
+
+def test_rpl501_sampled_record_hook_allowed_in_traversal_loop():
+    assert not _lint(
+        """
+        def sweep(frontiers, sampler):
+            for frontier in frontiers:
+                if sampler is not None:
+                    sampler.record("reach", 1, len(frontier))
+        """,
+        "src/repro/kernels/traversal.py",
+    )
+
+
+def test_rpl501_instrument_call_outside_loop_allowed_elsewhere():
+    # Other modules may touch instruments inside loops (e.g. the ingest
+    # service); only the traversal kernel owner is loop-restricted.
+    assert not _lint(
+        """
+        from repro.obs import names as metric_names
+        from repro.obs.registry import metrics_registry
+
+        DEPTH = metrics_registry().gauge(metric_names.INGEST_QUEUE_DEPTH)
+
+        def drain(batches):
+            for batch in batches:
+                DEPTH.set(len(batch))
+        """,
+        "src/repro/parallel/fixture.py",
+    )
+
+
+def test_rpl501_exempt_in_obs_owner():
+    assert not _lint(
+        """
+        def counter(self, name):
+            return self._instruments[name]
+
+        def register(self, spec):
+            self._do_register(spec)
+
+        def lookup(registry, name):
+            return registry.counter(name)
+        """,
+        "src/repro/obs/registry.py",
+    )
+
+
+# ----------------------------------------------------------------------
 # Internal + meta
 # ----------------------------------------------------------------------
 def test_rpl001_unparseable():

@@ -1,0 +1,92 @@
+"""Histogram quantiles pinned against a numpy reference (hypothesis).
+
+A fixed-bucket histogram can only answer quantiles at bucket-edge
+resolution, so the property is not equality with ``numpy.quantile`` but
+the two-sided bracketing that defines the estimator: the reported edge
+covers at least fraction ``q`` of the samples, and the next-lower edge
+covers less than ``q``.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.registry import Histogram
+
+BUCKETS = (0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0)
+
+
+def _build(samples) -> Histogram:
+    hist = Histogram("h", "help", BUCKETS, threading.Lock())
+    for value in samples:
+        hist.observe(value)
+    return hist
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    samples=st.lists(
+        st.floats(min_value=0.0, max_value=200.0, allow_nan=False),
+        min_size=1,
+        max_size=200,
+    ),
+    q=st.sampled_from([0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99]),
+)
+def test_quantile_brackets_numpy_empirical_cdf(samples, q):
+    hist = _build(samples)
+    edge = hist.quantile(q)
+    data = np.asarray(samples, dtype=np.float64)
+    # The reported edge covers at least fraction q of the samples...
+    assert float(np.mean(data <= edge)) >= q - 1e-12
+    # ...and the next-lower finite edge covers strictly less than q.
+    lower = [b for b in BUCKETS if b < edge]
+    if lower:
+        assert float(np.mean(data <= lower[-1])) < q
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    samples=st.lists(
+        st.floats(min_value=0.0, max_value=200.0, allow_nan=False),
+        min_size=1,
+        max_size=200,
+    )
+)
+def test_quantile_edge_agrees_with_numpy_on_bucketized_data(samples):
+    """When samples are snapped to bucket edges, the estimator is exact.
+
+    Snapping removes the resolution gap, so our edge-valued quantile must
+    equal numpy's 'inverted_cdf' quantile of the snapped data exactly.
+    """
+    edges = np.asarray(BUCKETS, dtype=np.float64)
+    snapped = []
+    for value in samples:
+        covering = edges[edges >= value]
+        snapped.append(float(covering[0]) if covering.size else float("inf"))
+    hist = _build(snapped)
+    finite = [value for value in snapped if value != float("inf")]
+    for q in (0.25, 0.5, 0.9, 0.95):
+        ours = hist.quantile(q)
+        if ours == float("inf"):
+            # More than (1-q) of the mass lies past the last finite edge;
+            # numpy on the finite subset cannot express that.
+            assert len(finite) < q * len(snapped) + 1e-9
+            continue
+        reference = float(
+            np.quantile(
+                np.asarray(snapped, dtype=np.float64),
+                q,
+                method="inverted_cdf",
+            )
+        )
+        assert ours == reference
+
+
+def test_quantile_monotone_in_q():
+    hist = _build([0.1, 0.7, 3.0, 3.0, 8.0, 60.0, 150.0])
+    quantiles = [hist.quantile(q) for q in (0.0, 0.25, 0.5, 0.75, 0.9, 1.0)]
+    assert quantiles == sorted(quantiles)

@@ -1,0 +1,76 @@
+"""Span tracer: nesting, timing, rendering, thread isolation."""
+
+from __future__ import annotations
+
+import threading
+
+from repro.obs import Span, current_span
+
+
+def test_nesting_builds_a_tree():
+    with Span("outer") as outer:
+        assert current_span() is outer
+        with Span("inner-a") as inner_a:
+            assert current_span() is inner_a
+        with Span("inner-b"):
+            pass
+    assert current_span() is None
+    assert [child.name for child in outer.children] == ["inner-a", "inner-b"]
+    assert inner_a.parent is outer
+    assert outer.parent is None
+
+
+def test_durations_are_set_and_nonnegative():
+    with Span("outer") as outer:
+        with Span("inner") as inner:
+            pass
+    assert inner.duration is not None and inner.duration >= 0.0
+    assert outer.duration is not None and outer.duration >= inner.duration
+
+
+def test_to_dict_and_report():
+    with Span("outer") as outer:
+        with Span("inner"):
+            pass
+    tree = outer.to_dict()
+    assert tree["name"] == "outer"
+    assert [c["name"] for c in tree["children"]] == ["inner"]
+    assert tree["children"][0]["children"] == []
+    rendered = outer.report()
+    lines = rendered.splitlines()
+    assert lines[0].startswith("outer: ")
+    assert lines[1].startswith("  inner: ")
+
+
+def test_open_span_reports_open():
+    span = Span("pending")
+    with span:
+        assert "open" in span.report()
+    assert "open" not in span.report()
+
+
+def test_exception_still_closes_the_span():
+    try:
+        with Span("outer") as outer:
+            raise RuntimeError("boom")
+    except RuntimeError:
+        pass
+    assert outer.duration is not None
+    assert current_span() is None
+
+
+def test_threads_do_not_share_a_stack():
+    seen = {}
+
+    def worker() -> None:
+        seen["inside"] = current_span()
+        with Span("thread-local") as span:
+            seen["own"] = current_span() is span
+
+    with Span("main-thread"):
+        thread = threading.Thread(target=worker)
+        thread.start()
+        thread.join()
+    # The worker thread saw no inherited parent and tracked its own span.
+    assert seen["inside"] is None
+    assert seen["own"] is True

@@ -39,16 +39,17 @@ def loop_harness():
 
 
 def get_reply(results, timeout=10):
-    """Next substantive result, skipping started-acks.
+    """Next substantive result, skipping started-acks and metrics.
 
     Every sweep op first acknowledges the claim with
     ``(request, shard, ("started", worker_index))`` so the supervisor can
-    attribute in-flight shards to workers; the tests here mostly care
-    about the reply that follows.
+    attribute in-flight shards to workers, and flushes its drained
+    counter deltas as a ``("metrics", {name: delta})`` message before the
+    ok/error reply; the tests here mostly care about the reply itself.
     """
     while True:
         item = results.get(timeout=timeout)
-        if item[2][0] != "started":
+        if item[2][0] not in ("started", "metrics"):
             return item
 
 
@@ -79,6 +80,11 @@ class TestWorkerLoop:
         sets = [[i] for i in ids[:10]]
         tasks.put((worker.OP_SPREAD, 2, 4, generation, sets, eff))
         assert results.get(timeout=10) == (2, 4, ("started", 0))
+        # The worker-local metrics drain rides the result queue between
+        # the claim ack and the reply, tagged with the same request.
+        request, shard, (status, deltas) = results.get(timeout=10)
+        assert (request, shard, status) == (2, 4, "metrics")
+        assert deltas.get("repro_worker_tasks_total") == 1.0
         request, shard, (status, counts) = results.get(timeout=10)
         assert (request, shard, status) == (2, 4, "ok")
         assert counts == serial.spread_counts(sets, None)
@@ -210,7 +216,7 @@ class TestWorkerFaultHooks:
             # loop alive.
             tasks.put((worker.OP_SPREAD, 2, 1, generation, [[0]], eff))
             assert results.get(timeout=10) == (2, 1, ("started", 3))
-            request, shard, (status, message) = results.get(timeout=10)
+            request, shard, (status, message) = get_reply(results)
             assert (request, shard, status) == (2, 1, "error")
             assert "attach" in message
             # Task 3 is delayed, then answers exactly (fresh attach works).

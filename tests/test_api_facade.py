@@ -138,6 +138,10 @@ class TestRootReExports:
             "DegradedExecutionError",
             "DecayedCentralityTracker",
             "TrendTracker",
+            "enable_kernel_metrics",
+            "disable_kernel_metrics",
+            "metric_names",
+            "metrics_registry",
         ):
             assert name in repro.__all__
             assert getattr(repro, name) is not None
@@ -154,5 +158,9 @@ class TestRootReExports:
             "Semantics",
             "SemanticsError",
             "Solution",
+            "disable_kernel_metrics",
+            "enable_kernel_metrics",
+            "metric_names",
+            "metrics_registry",
             "open_tracker",
         ]
