@@ -103,6 +103,15 @@ def main() -> int:
     print(f"\njson export: schema_version={snapshot['schema_version']}, "
           f"{len(snapshot['counters'])} counters, "
           f"{len(snapshot['histograms'])} histograms")
+
+    # 5. Backend dispatch is observable too: the kernels record which
+    # traversal backend resolved (0 = python, 1 = native/numba) and the
+    # one-time JIT compile cost where the native backend is in play.
+    backend_gauge = registry.gauge(metric_names.KERNEL_BACKEND)
+    compile_gauge = registry.gauge(metric_names.KERNEL_NATIVE_COMPILE_SECONDS)
+    backend = "native" if backend_gauge.value == 1.0 else "python"
+    print(f"\nkernel backend: {backend} "
+          f"(native compile: {compile_gauge.value:.2f}s)")
     return 0
 
 

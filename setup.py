@@ -17,6 +17,12 @@ setup(
     # repro.lint checker (no extra dep — it ships with the package).
     extras_require={
         "lint": ["ruff==0.8.4", "mypy"],
+        # `pip install -e .[native]` enables the compiled traversal
+        # backend (repro/kernels/native.py).  Strictly optional: without
+        # it every engine serves the pure-python reference kernels, and
+        # REPRO_KERNEL_BACKEND=native degrades to python with a single
+        # RuntimeWarning (never an error).
+        "native": ["numba>=0.57"],
     },
     package_data={"repro": ["py.typed"]},
 )

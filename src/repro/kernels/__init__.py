@@ -10,6 +10,14 @@ traversal` for the physics and :mod:`repro.kernels.folds` for the
 pluggable accumulation semantics layered on top of it.
 """
 
+from repro.kernels.backend import (
+    BACKEND_ENV,
+    BACKENDS,
+    native_available,
+    native_compile_seconds,
+    reset_backend_state,
+    resolve_backend,
+)
 from repro.kernels.folds import (
     FOLD_NAMES,
     CountFold,
@@ -37,6 +45,8 @@ from repro.kernels.traversal import (
 )
 
 __all__ = [
+    "BACKEND_ENV",
+    "BACKENDS",
     "FOLD_NAMES",
     "PLANE_WIDTH",
     "CountFold",
@@ -53,7 +63,10 @@ __all__ = [
     "enable_kernel_metrics",
     "hop_discount_sum",
     "max_in_expiries",
-    "resolve_fold",
+    "native_available",
+    "native_compile_seconds",
+    "reset_backend_state",
+    "resolve_backend",
     "seed_range_error",
     "set_sweep_sampler",
 ]

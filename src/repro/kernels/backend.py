@@ -1,0 +1,300 @@
+"""Backend dispatch for the traversal kernel: python reference vs numba.
+
+One question, answered in one place: *which implementation of the hot
+fixpoints does a kernel instance run?*  The pure-python
+:class:`~repro.kernels.traversal.TraversalKernel` loops are the
+reference; :mod:`repro.kernels.native` holds ``@njit(nogil=True)``
+twins of the three integer fixpoints.  Resolution order:
+
+1. an explicit ``backend=`` argument (``"python"`` | ``"native"`` |
+   ``"auto"``) passed to an engine or kernel constructor,
+2. the ``REPRO_KERNEL_BACKEND`` environment variable,
+3. ``"auto"``: probe for numba and warm the jit up once; on success
+   every subsequently built kernel runs native, otherwise the python
+   path serves silently.
+
+The policy is *degrade, never error*: numba missing, broken, or failing
+to compile always lands on the python kernel.  An **explicit**
+``"native"`` request that cannot be honored emits a single structured
+``RuntimeWarning`` per process (tests and operators see it once, log
+noise never compounds); ``"auto"`` stays silent.  The one-time warm-up
+compiles all three fixpoints against the real array signatures and
+records backend identity plus compile wall time in the obs registry.
+
+This module is also the **only sanctioned caller** of
+:mod:`repro.kernels.native` (lint rule RPL106): the wrappers below own
+buffer allocation and ``eff``-handling so the jitted bodies stay free of
+Python-object operations.  Everything float stays out of here — the
+kernel folds plane masks through the same numpy expressions on both
+backends, which is what keeps results bit-identical.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import warnings
+from types import ModuleType
+from typing import Optional
+
+import numpy as np
+
+from repro.obs import names as metric_names
+from repro.obs.registry import metrics_registry
+
+__all__ = [
+    "BACKENDS",
+    "BACKEND_ENV",
+    "native_available",
+    "native_compile_seconds",
+    "native_plane_level_flips",
+    "native_plane_masks",
+    "native_reach",
+    "reset_backend_state",
+    "resolve_backend",
+]
+
+#: Environment override consulted when no explicit backend is passed.
+BACKEND_ENV = "REPRO_KERNEL_BACKEND"
+
+#: Accepted backend spellings (resolution always lands on the first two).
+BACKENDS = ("python", "native", "auto")
+
+_BACKEND_GAUGE = metrics_registry().gauge(metric_names.KERNEL_BACKEND)
+_COMPILE_GAUGE = metrics_registry().gauge(
+    metric_names.KERNEL_NATIVE_COMPILE_SECONDS
+)
+
+#: Probe state: (probed, usable, native module, compile seconds).
+_probed = False
+_usable = False
+_native: Optional[ModuleType] = None
+_compile_seconds: Optional[float] = None
+_warned_unavailable = False
+_warned_env = False
+
+
+def reset_backend_state() -> None:
+    """Forget probe results and one-shot warnings (test isolation hook)."""
+    global _probed, _usable, _native, _compile_seconds
+    global _warned_unavailable, _warned_env
+    _probed = False
+    _usable = False
+    _native = None
+    _compile_seconds = None
+    _warned_unavailable = False
+    _warned_env = False
+
+
+def _warm_up(native: ModuleType) -> None:
+    """Compile all three fixpoints against the production signatures.
+
+    A three-node toy CSR exercises every jitted function once with the
+    exact dtypes the engines pass (int64 indptr/indices/frontier,
+    float64 expiries, uint64 masks), so the first real sweep never pays
+    compilation latency and a broken toolchain fails *here*, inside the
+    probe's try block.
+    """
+    # 0 -> 1 (alive), 0 -> 2 (expired at eff=2.5), 1 -> 2 (alive): the
+    # sweep must take two rounds and drop exactly one edge.
+    indptr = np.asarray([0, 2, 3, 3], dtype=np.int64)
+    indices = np.asarray([1, 2, 2], dtype=np.int64)
+    expiries = np.asarray([5.0, 1.0, 5.0], dtype=np.float64)
+    frontier = np.asarray([0], dtype=np.int64)
+    visit = np.zeros(3, dtype=np.int64)
+    visit[0] = 1
+    out = np.empty(3, dtype=np.int64)
+    count = native.reach_fixpoint(
+        indptr, indices, expiries, frontier, visit, np.int64(1),
+        2.5, True, out,
+    )
+    masks = np.zeros(3, dtype=np.uint64)
+    masks[0] = np.uint64(1)
+    scratch_frontier = np.empty(3, dtype=np.int64)
+    scratch_frontier[0] = 0
+    contrib = np.empty(3, dtype=np.uint64)
+    nxt = np.empty(3, dtype=np.int64)
+    in_next = np.zeros(3, dtype=np.bool_)
+    native.plane_fixpoint(
+        indptr, indices, expiries, masks, scratch_frontier, 1,
+        2.5, True, contrib, nxt, in_next,
+    )
+    masks[:] = 0
+    masks[0] = np.uint64(1)
+    scratch_frontier[0] = 0
+    old = np.empty(3, dtype=np.uint64)
+    flips = np.zeros((4, 64), dtype=np.int64)
+    rounds = native.plane_level_fixpoint(
+        indptr, indices, expiries, masks, scratch_frontier, 1,
+        2.5, True, contrib, nxt, old, in_next, flips,
+    )
+    if count != 3 or int(masks[2]) != 1 or rounds != 2:
+        raise RuntimeError("native kernel warm-up produced wrong results")
+
+
+def native_available() -> bool:
+    """Probe (once) whether the compiled backend can actually serve.
+
+    True only when numba imports *and* all three fixpoints compile and
+    pass the warm-up check.  The result — and the measured compile time
+    — is cached for the life of the process (see
+    :func:`reset_backend_state`).
+    """
+    global _probed, _usable, _native, _compile_seconds
+    if _probed:
+        return _usable
+    _probed = True
+    try:
+        from repro.kernels import native
+    except Exception:
+        _usable = False
+        return False
+    try:
+        started = time.perf_counter()
+        _warm_up(native)
+        elapsed = time.perf_counter() - started
+    except Exception:
+        _usable = False
+        return False
+    _native = native
+    _compile_seconds = elapsed
+    _usable = True
+    _COMPILE_GAUGE.set(elapsed)
+    return True
+
+
+def native_compile_seconds() -> Optional[float]:
+    """Warm-up (JIT compile) wall time, or ``None`` before/without it."""
+    return _compile_seconds
+
+
+def _warn_once_native_unavailable() -> None:
+    global _warned_unavailable
+    if _warned_unavailable:
+        return
+    _warned_unavailable = True
+    warnings.warn(
+        "kernel backend 'native' requested but unavailable "
+        "(numba missing or JIT warm-up failed); serving the python "
+        "reference kernel instead — install the [native] extra to "
+        "enable compilation",
+        RuntimeWarning,
+        stacklevel=3,
+    )
+
+
+def resolve_backend(explicit: Optional[str] = None) -> str:
+    """The backend a kernel built *now* should run: python or native.
+
+    Precedence: ``explicit`` argument > :data:`BACKEND_ENV` environment
+    variable > ``"auto"``.  An unknown explicit value raises
+    ``ValueError`` (programmer error); an unknown environment value
+    warns once and falls back to ``"auto"`` (operator typo must not take
+    the service down).  The resolved identity is recorded in the
+    :data:`~repro.obs.names.KERNEL_BACKEND` gauge.
+    """
+    global _warned_env
+    choice = explicit
+    if choice is None:
+        choice = os.environ.get(BACKEND_ENV) or "auto"
+        if choice not in BACKENDS:
+            if not _warned_env:
+                _warned_env = True
+                warnings.warn(
+                    f"ignoring unknown {BACKEND_ENV}={choice!r} "
+                    f"(expected one of {BACKENDS}); using 'auto'",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+            choice = "auto"
+    elif choice not in BACKENDS:
+        raise ValueError(
+            f"unknown kernel backend {choice!r}; expected one of {BACKENDS}"
+        )
+    if choice == "native":
+        resolved = "native" if native_available() else "python"
+        if resolved == "python":
+            _warn_once_native_unavailable()
+    elif choice == "auto":
+        resolved = "native" if native_available() else "python"
+    else:
+        resolved = "python"
+    _BACKEND_GAUGE.set(1.0 if resolved == "native" else 0.0)
+    return resolved
+
+
+# ----------------------------------------------------------------------
+# Native sweep wrappers — the only call sites of repro.kernels.native.
+# ----------------------------------------------------------------------
+def native_reach(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    expiries: np.ndarray,
+    frontier: np.ndarray,
+    visit: np.ndarray,
+    stamp: int,
+    eff: Optional[float],
+) -> np.ndarray:
+    """Reached ids (seeds included) for a validated, stamped frontier."""
+    assert _native is not None
+    out = np.empty(visit.shape[0], dtype=np.int64)
+    count = _native.reach_fixpoint(
+        indptr, indices, expiries, frontier, visit, np.int64(stamp),
+        0.0 if eff is None else float(eff), eff is not None, out,
+    )
+    return out[:count]
+
+
+def native_plane_masks(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    expiries: np.ndarray,
+    masks: np.ndarray,
+    frontier: np.ndarray,
+    eff: Optional[float],
+) -> None:
+    """Run the seeded bit-plane fixpoint in place over ``masks``."""
+    assert _native is not None
+    num_nodes = masks.shape[0]
+    scratch = np.empty(num_nodes, dtype=np.int64)
+    scratch[: frontier.shape[0]] = frontier
+    contrib = np.empty(num_nodes, dtype=np.uint64)
+    nxt = np.empty(num_nodes, dtype=np.int64)
+    in_next = np.zeros(num_nodes, dtype=np.bool_)
+    _native.plane_fixpoint(
+        indptr, indices, expiries, masks, scratch, frontier.shape[0],
+        0.0 if eff is None else float(eff), eff is not None,
+        contrib, nxt, in_next,
+    )
+
+
+def native_plane_level_flips(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    expiries: np.ndarray,
+    masks: np.ndarray,
+    frontier: np.ndarray,
+    eff: Optional[float],
+) -> np.ndarray:
+    """Per-round, per-plane first-reach flip counts (rows = rounds).
+
+    Rounds are exactly the python sweep's while-iterations that changed
+    at least one target; the caller rebuilds the level-histogram lists
+    (including the seed level and trailing-zero trim) from the rows.
+    """
+    assert _native is not None
+    num_nodes = masks.shape[0]
+    scratch = np.empty(num_nodes, dtype=np.int64)
+    scratch[: frontier.shape[0]] = frontier
+    contrib = np.empty(num_nodes, dtype=np.uint64)
+    nxt = np.empty(num_nodes, dtype=np.int64)
+    old = np.empty(num_nodes, dtype=np.uint64)
+    in_next = np.zeros(num_nodes, dtype=np.bool_)
+    # A bit propagates one hop per round, so rounds <= num_nodes.
+    flips = np.zeros((num_nodes + 1, 64), dtype=np.int64)
+    rounds = _native.plane_level_fixpoint(
+        indptr, indices, expiries, masks, scratch, frontier.shape[0],
+        0.0 if eff is None else float(eff), eff is not None,
+        contrib, nxt, old, in_next, flips,
+    )
+    return flips[:rounds]

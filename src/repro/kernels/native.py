@@ -1,0 +1,164 @@
+"""Numba-compiled twins of the traversal kernel's three hot fixpoints.
+
+Every function here is the *integer* half of a sweep the pure-python
+:class:`~repro.kernels.traversal.TraversalKernel` already runs: the
+epoch-stamped frontier BFS, the 64-wide uint64 bit-plane fixpoint, and
+the bit-plane fixpoint with per-round flip counting (the physics under
+hop-level histograms).  They produce only exact quantities — reached id
+arrays, uint64 masks, integer flip counts — and never touch float
+accumulation: the final float64 folds (weighted sums, hop discounts)
+stay on the *same numpy expressions* the python kernel uses, which is
+what makes the native backend bit-identical by construction (numba
+compiles ``ndarray.sum`` to sequential accumulation, numpy uses pairwise
+summation; handing floats to the jit would silently change results).
+
+Round structure is the python kernel's, exactly: each bit-plane round
+snapshots the start-of-round masks of the whole frontier before any
+target is or-updated (the python sweep gathers ``contrib =
+masks[sources]`` before ``np.bitwise_or.at``), so per-round frontier
+sets, flip rounds, and therefore level histograms cannot drift between
+backends.
+
+Contract (enforced by lint rule RPL106): every function is
+``@njit(nogil=True, cache=True)``, bodies stay on numpy scalars and
+arrays (no dict/set/str operations the jit would object-mode around),
+and the only caller is :mod:`repro.kernels.backend` — the dispatch layer
+owns seed validation, buffer allocation, warm-up and fallback, so this
+module never raises and never sees an invalid seed.  ``nogil=True`` is
+what lets the thread-mode executor shard sweeps across a
+``ThreadPoolExecutor`` with true parallelism.
+"""
+
+import numpy as np
+from numba import njit
+
+
+@njit(nogil=True, cache=True)
+def reach_fixpoint(indptr, indices, expiries, frontier, visit, stamp,
+                   eff, use_eff, out):
+    """Expand a stamped seed frontier to its reachable set.
+
+    ``frontier`` entries are already stamped in ``visit`` by the caller
+    (the python kernel's ``_seed_frontier`` owns validation and
+    stamping).  Fills ``out`` with every reached id — seeds included,
+    each exactly once — and returns the count.
+    """
+    base_nodes = indptr.shape[0] - 1
+    count = 0
+    for i in range(frontier.shape[0]):
+        out[count] = frontier[i]
+        count += 1
+    head = 0
+    while head < count:
+        node = out[head]
+        head += 1
+        if node >= base_nodes:
+            continue
+        for slot in range(indptr[node], indptr[node + 1]):
+            if use_eff and expiries[slot] < eff:
+                continue
+            successor = indices[slot]
+            if visit[successor] != stamp:
+                visit[successor] = stamp
+                out[count] = successor
+                count += 1
+    return count
+
+
+@njit(nogil=True, cache=True)
+def plane_fixpoint(indptr, indices, expiries, masks, frontier, fcount,
+                   eff, use_eff, contrib, nxt, in_next):
+    """Propagate up to 64 seed planes to fixpoint (masks updated in place).
+
+    ``frontier[:fcount]`` holds the seeded node ids; ``contrib``/``nxt``
+    (int64, one slot per node) and ``in_next`` (bool, all ``False``) are
+    caller-provided scratch.  Each round snapshots the frontier's masks
+    first, then or-propagates them, so a target changed mid-round never
+    leaks new bits to the rest of the round — the same synchronous-round
+    semantics the vectorized python sweep gets from gathering ``contrib``
+    before ``np.bitwise_or.at``.
+    """
+    base_nodes = indptr.shape[0] - 1
+    while fcount > 0:
+        for i in range(fcount):
+            contrib[i] = masks[frontier[i]]
+        nxt_count = 0
+        for i in range(fcount):
+            source = frontier[i]
+            if source >= base_nodes:
+                continue
+            bits = contrib[i]
+            for slot in range(indptr[source], indptr[source + 1]):
+                if use_eff and expiries[slot] < eff:
+                    continue
+                target = indices[slot]
+                before = masks[target]
+                after = before | bits
+                if after != before:
+                    masks[target] = after
+                    if not in_next[target]:
+                        in_next[target] = True
+                        nxt[nxt_count] = target
+                        nxt_count += 1
+        for i in range(nxt_count):
+            target = nxt[i]
+            frontier[i] = target
+            in_next[target] = False
+        fcount = nxt_count
+
+
+@njit(nogil=True, cache=True)
+def plane_level_fixpoint(indptr, indices, expiries, masks, frontier,
+                         fcount, eff, use_eff, contrib, nxt, old, in_next,
+                         flips):
+    """The bit-plane fixpoint, also counting per-round first-reach flips.
+
+    Identical propagation to :func:`plane_fixpoint`, plus: for every
+    round that changes at least one target, ``flips[round, plane]`` is
+    filled with the number of distinct targets whose plane bit first
+    flipped that round (``old`` records each changed target's
+    start-of-round mask at its first in-round change, which a monotone
+    or-fixpoint guarantees is the round baseline).  Returns the number
+    of recorded rounds; the caller turns rows into the python kernel's
+    level-histogram lists.
+    """
+    base_nodes = indptr.shape[0] - 1
+    num_rounds = 0
+    while fcount > 0:
+        for i in range(fcount):
+            contrib[i] = masks[frontier[i]]
+        nxt_count = 0
+        for i in range(fcount):
+            source = frontier[i]
+            if source >= base_nodes:
+                continue
+            bits = contrib[i]
+            for slot in range(indptr[source], indptr[source + 1]):
+                if use_eff and expiries[slot] < eff:
+                    continue
+                target = indices[slot]
+                before = masks[target]
+                after = before | bits
+                if after != before:
+                    masks[target] = after
+                    if not in_next[target]:
+                        in_next[target] = True
+                        old[nxt_count] = before
+                        nxt[nxt_count] = target
+                        nxt_count += 1
+        if nxt_count > 0:
+            for i in range(nxt_count):
+                gained = masks[nxt[i]] & ~old[i]
+                plane = 0
+                while gained != np.uint64(0):
+                    if gained & np.uint64(1) != np.uint64(0):
+                        flips[num_rounds, plane] += 1
+                    gained = gained >> np.uint64(1)
+                    plane += 1
+            num_rounds += 1
+        for i in range(nxt_count):
+            target = nxt[i]
+            frontier[i] = target
+            in_next[target] = False
+        fcount = nxt_count
+    return num_rounds

@@ -67,6 +67,13 @@ from typing import (
 
 import numpy as np
 
+from repro.kernels.backend import (
+    native_plane_level_flips,
+    native_plane_masks,
+    native_reach,
+    resolve_backend,
+)
+
 __all__ = [
     "PLANE_WIDTH",
     "DictOverlay",
@@ -203,6 +210,13 @@ class TraversalKernel:
             cutover in force *now* (re-checked per query so a class-knob
             monkeypatch takes effect immediately); ``None`` pins the
             kernel to the vectorized path.
+        backend: ``"python"`` | ``"native"`` | ``"auto"`` | ``None``
+            (= honor ``REPRO_KERNEL_BACKEND``, else auto-probe).  The
+            native (numba) fixpoints serve only overlay-free sweeps;
+            queries through a populated overlay, a duck-typed overlay,
+            or the scalar cutover stay on the interpreted reference
+            paths regardless of backend — results are bit-identical
+            either way.
     """
 
     __slots__ = (
@@ -213,6 +227,7 @@ class TraversalKernel:
         "num_nodes",
         "entry_count",
         "limit_resolver",
+        "backend",
         "_visit",
         "_stamp",
         "_scalar",
@@ -228,6 +243,7 @@ class TraversalKernel:
         overlay: Optional[DictOverlay] = None,
         entry_count: Optional[int] = None,
         limit_resolver: Optional[Callable[[], int]] = None,
+        backend: Optional[str] = None,
     ) -> None:
         self.indptr = indptr
         self.indices = indices
@@ -237,6 +253,9 @@ class TraversalKernel:
         self.num_nodes = base_nodes if num_nodes is None else num_nodes
         self.entry_count = int(indices.shape[0]) if entry_count is None else entry_count
         self.limit_resolver = limit_resolver
+        # Resolved once at construction: "python" or "native" (see
+        # repro.kernels.backend for the explicit > env > auto ladder).
+        self.backend = resolve_backend(backend)
         # Epoch-stamped visited buffer: visit[i] == _stamp means "seen in
         # the current traversal"; bumping the stamp is an O(1) clear.
         self._visit = np.zeros(self.num_nodes, dtype=np.int64)
@@ -260,6 +279,43 @@ class TraversalKernel:
         resolver = self.limit_resolver
         return resolver is not None and self.entry_count <= resolver()
 
+    def _native_ok(self) -> bool:
+        """Whether this query may run the compiled fixpoints.
+
+        Per-call, because the overlay fills and drains between queries:
+        the native sweeps know nothing of overlays, so any *populated*
+        overlay (or a duck-typed one whose emptiness we cannot see)
+        routes to the interpreted paths.  An empty :class:`DictOverlay`
+        — the delta engine right after a compaction — is equivalent to
+        no overlay at all.
+        """
+        if self.backend != "native":
+            return False
+        overlay = self.overlay
+        if overlay is None:
+            return True
+        entry_map = getattr(overlay, "entry_map", None)
+        return entry_map is not None and len(entry_map) == 0
+
+    def clone(self) -> "TraversalKernel":
+        """A same-arrays twin with a private visited workspace.
+
+        Shares the (read-only during queries) CSR triple, overlay,
+        cutover resolver and resolved backend, but owns a fresh
+        epoch-stamp buffer — exactly what a thread-mode executor worker
+        needs to sweep concurrently with its siblings.
+        """
+        return TraversalKernel(
+            self.indptr,
+            self.indices,
+            self.expiries,
+            num_nodes=self.num_nodes,
+            overlay=self.overlay,
+            entry_count=self.entry_count,
+            limit_resolver=self.limit_resolver,
+            backend=self.backend,
+        )
+
     def _scalar_view(self) -> Tuple[list, list, list]:
         if self._scalar is None:
             self._scalar = (
@@ -278,6 +334,8 @@ class TraversalKernel:
         """Distinct ids reachable from ``seed_ids`` (seeds included)."""
         if self._use_scalar():
             return self.reach_scalar(seed_ids, eff)
+        if self._native_ok():
+            return self.reach_native(seed_ids, eff)
         return self.reach_vector(seed_ids, eff)
 
     def reachable_count(
@@ -287,6 +345,20 @@ class TraversalKernel:
         on the vectorized path."""
         if self._use_scalar():
             return len(self.reach_scalar(seed_ids, eff))
+        if self._native_ok():
+            frontier = self._seed_frontier(seed_ids)
+            if frontier is None:
+                return 0
+            count = int(
+                native_reach(
+                    self.indptr, self.indices, self.expiries,
+                    frontier, self._visit, self._stamp, eff,
+                ).size
+            )
+            sampler = _SWEEP_SAMPLER
+            if sampler is not None:
+                sampler.record("reach", 1, count)
+            return count
         frontier = self._seed_frontier(seed_ids)
         if frontier is None:
             return 0
@@ -339,6 +411,24 @@ class TraversalKernel:
             sampler.record("reach_scalar", 1, len(visited))
         return visited
 
+    def reach_native(
+        self, seed_ids: Iterable[int], eff: Optional[float]
+    ) -> Set[int]:
+        """Compiled frontier traversal (same seed validation/stamping as
+        the vectorized path; overlay-free by :meth:`_native_ok`)."""
+        frontier = self._seed_frontier(seed_ids)
+        if frontier is None:
+            return set()
+        reached = native_reach(
+            self.indptr, self.indices, self.expiries,
+            frontier, self._visit, self._stamp, eff,
+        )
+        result = set(reached.tolist())
+        sampler = _SWEEP_SAMPLER
+        if sampler is not None:
+            sampler.record("reach", 1, len(result))
+        return result
+
     def reach_vector(
         self, seed_ids: Iterable[int], eff: Optional[float]
     ) -> Set[int]:
@@ -371,7 +461,7 @@ class TraversalKernel:
         results = [0] * len(id_sets)
         for start in range(0, len(id_sets), PLANE_WIDTH):
             chunk = id_sets[start : start + PLANE_WIDTH]
-            masks = self._plane_masks(chunk, eff)
+            masks = self._masks_for(chunk, eff)
             if masks is None:
                 continue
             reached = masks[masks != np.uint64(0)]
@@ -407,7 +497,7 @@ class TraversalKernel:
         results = [0.0] * len(id_sets)
         for start in range(0, len(id_sets), PLANE_WIDTH):
             chunk = id_sets[start : start + PLANE_WIDTH]
-            masks = self._plane_masks(chunk, eff)
+            masks = self._masks_for(chunk, eff)
             if masks is None:
                 continue
             reached_ids = np.flatnonzero(masks)
@@ -448,7 +538,7 @@ class TraversalKernel:
         results: List[List[int]] = [[] for _ in id_sets]
         for start in range(0, len(id_sets), PLANE_WIDTH):
             chunk = id_sets[start : start + PLANE_WIDTH]
-            per_plane = self._plane_level_counts(chunk, eff)
+            per_plane = self._level_counts_for(chunk, eff)
             sampler = _SWEEP_SAMPLER
             if sampler is not None:
                 sampler.record(
@@ -573,17 +663,15 @@ class TraversalKernel:
             visit[frontier] = stamp
             yield frontier
 
-    def _plane_masks(
-        self, chunk: Sequence[Sequence[int]], eff: Optional[float]
-    ) -> Optional[np.ndarray]:
-        """Run one shared fixpoint sweep for up to 64 seed sets.
-
-        Returns the final uint64 mask array (bit *i* of ``masks[v]`` =
-        "set *i* reaches *v*"), or ``None`` when every set was empty.
-        """
+    def _seed_planes(
+        self, chunk: Sequence[Sequence[int]]
+    ) -> Tuple[np.ndarray, List[np.ndarray]]:
+        """Validated plane-seeded mask array plus the per-plane seed
+        arrays (empty list = every set was empty) — shared by both
+        backends so seeding and rejection cannot drift."""
         num_nodes = self.num_nodes
         masks = np.zeros(num_nodes, dtype=np.uint64)
-        seed_parts = []
+        seed_parts: List[np.ndarray] = []
         for plane, ids in enumerate(chunk):
             seeds = np.asarray(list(ids), dtype=np.int64)
             if seeds.size == 0:
@@ -596,8 +684,81 @@ class TraversalKernel:
                 raise seed_range_error(high, num_nodes)
             masks[seeds] |= np.uint64(1 << plane)
             seed_parts.append(seeds)
+        return masks, seed_parts
+
+    def _masks_for(
+        self, chunk: Sequence[Sequence[int]], eff: Optional[float]
+    ) -> Optional[np.ndarray]:
+        """Backend dispatch for the bit-plane fixpoint: both paths
+        produce the identical uint64 mask array, so every downstream
+        float fold runs the same numpy expression either way."""
+        if self._native_ok():
+            masks, seed_parts = self._seed_planes(chunk)
+            if not seed_parts:
+                return None
+            frontier = np.unique(np.concatenate(seed_parts))
+            native_plane_masks(
+                self.indptr, self.indices, self.expiries,
+                masks, frontier, eff,
+            )
+            return masks
+        return self._plane_masks(chunk, eff)
+
+    def _level_counts_for(
+        self, chunk: Sequence[Sequence[int]], eff: Optional[float]
+    ) -> List[List[int]]:
+        """Backend dispatch for the level-counting fixpoint."""
+        if self._native_ok():
+            return self._plane_level_counts_native(chunk, eff)
+        return self._plane_level_counts(chunk, eff)
+
+    def _plane_level_counts_native(
+        self, chunk: Sequence[Sequence[int]], eff: Optional[float]
+    ) -> List[List[int]]:
+        """Native twin of :meth:`_plane_level_counts`.
+
+        The compiled fixpoint reports per-round, per-plane flip counts;
+        this rebuilds the histogram lists with the python sweep's exact
+        bookkeeping — seed level first, zeros appended only to planes
+        already live, trailing zeros trimmed — so both backends return
+        identical lists, element for element.
+        """
+        masks, seed_parts = self._seed_planes(chunk)
+        counts: List[List[int]] = [[] for _ in chunk]
+        for plane, ids in enumerate(chunk):
+            seeds = np.asarray(list(ids), dtype=np.int64)
+            if seeds.size:
+                counts[plane].append(int(np.unique(seeds).size))
+        if not seed_parts:
+            return counts
+        frontier = np.unique(np.concatenate(seed_parts))
+        flips = native_plane_level_flips(
+            self.indptr, self.indices, self.expiries, masks, frontier, eff
+        )
+        for round_index in range(flips.shape[0]):
+            for plane in range(len(chunk)):
+                flipped = int(flips[round_index, plane])
+                if flipped:
+                    counts[plane].append(flipped)
+                elif counts[plane]:
+                    counts[plane].append(0)
+        for plane_counts_list in counts:
+            while plane_counts_list and plane_counts_list[-1] == 0:
+                plane_counts_list.pop()
+        return counts
+
+    def _plane_masks(
+        self, chunk: Sequence[Sequence[int]], eff: Optional[float]
+    ) -> Optional[np.ndarray]:
+        """Run one shared fixpoint sweep for up to 64 seed sets.
+
+        Returns the final uint64 mask array (bit *i* of ``masks[v]`` =
+        "set *i* reaches *v*"), or ``None`` when every set was empty.
+        """
+        masks, seed_parts = self._seed_planes(chunk)
         if not seed_parts:
             return None
+        num_nodes = self.num_nodes
         indptr = self.indptr
         indices = self.indices
         expiries = self.expiries

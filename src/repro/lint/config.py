@@ -49,6 +49,18 @@ FACADE_ONLY_SCOPE = ("examples/", "tests/integration/")
 #: The one file allowed to contain array-level traversal loops.
 TRAVERSAL_OWNER = "repro/kernels/traversal.py"
 
+#: The jitted twin of the traversal owner: the only *other* file allowed
+#: to contain traversal-loop shapes, and the subject of RPL106 (every
+#: function ``@njit``-decorated, no Python-object operations).
+NATIVE_KERNEL_OWNER = "repro/kernels/native.py"
+
+#: The one file allowed to import :mod:`repro.kernels.native` — the
+#: dispatch layer that owns buffer allocation, probing and fallback.
+NATIVE_DISPATCH_OWNER = "repro/kernels/backend.py"
+
+#: Every file allowed to hold traversal loops (reference + jitted twin).
+TRAVERSAL_OWNERS = (TRAVERSAL_OWNER, NATIVE_KERNEL_OWNER)
+
 #: Names whose subscripted use inside one loop marks a traversal loop.
 TRAVERSAL_TRIPLE = ("indptr", "indices", "expiries")
 

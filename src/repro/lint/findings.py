@@ -31,6 +31,13 @@ CODES = {
         "(examples/, tests/integration/); import repro, repro.api or "
         "repro.errors instead"
     ),
+    "RPL106": (
+        "native kernel contract breach: a function in "
+        "repro/kernels/native.py without @njit, a Python-object "
+        "operation (dict/set/str/f-string/closure) inside it, or an "
+        "import of repro.kernels.native outside the "
+        "repro/kernels/backend.py dispatch layer"
+    ),
     # -- RPL2xx: shared-memory lifecycle -------------------------------
     "RPL201": (
         "SharedMemory(create=True) with no unlink() reachable through an "

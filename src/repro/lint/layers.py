@@ -15,9 +15,10 @@ Two rules:
 * **Traversal ownership** (RPL103): the single-kernel property.  Any
   loop whose body subscripts two or more members of the
   ``indptr``/``indices``/``expiries`` triple is a frontier-traversal
-  shape, and exactly one file may contain those
-  (``repro/kernels/traversal.py``).  Engines adapt the kernel; they do
-  not re-grow private sweeps.
+  shape, and only the declared owners may contain those: the reference
+  kernel (``repro/kernels/traversal.py``) and its jitted twin
+  (``repro/kernels/native.py``, itself policed by RPL106).  Engines
+  adapt the kernel; they do not re-grow private sweeps.
 
 * **Facade-only imports** (RPL105): files under the declared facade-only
   scopes (``examples/``, ``tests/integration/``) may import only the
@@ -38,7 +39,7 @@ from typing import List, Optional
 from repro.lint.config import (
     FACADE_MODULES,
     FACADE_ONLY_SCOPE,
-    TRAVERSAL_OWNER,
+    TRAVERSAL_OWNERS,
     TRAVERSAL_TRIPLE,
     is_under,
     layer_prefix,
@@ -181,7 +182,7 @@ def _subscripted_triple_names(loop: ast.AST) -> set:
 
 
 def _check_traversal_ownership(tree: ast.Module, path: str) -> List[Finding]:
-    if is_under(path, TRAVERSAL_OWNER):
+    if any(is_under(path, owner) for owner in TRAVERSAL_OWNERS):
         return []
     findings: List[Finding] = []
     claimed: set = set()  # inner loops of an already-flagged loop
@@ -200,7 +201,7 @@ def _check_traversal_ownership(tree: ast.Module, path: str) -> List[Finding]:
                     "RPL103",
                     "loop indexes the CSR triple "
                     f"({', '.join(sorted(members))}): traversal loops live "
-                    f"only in {TRAVERSAL_OWNER}",
+                    f"only in {' / '.join(TRAVERSAL_OWNERS)}",
                 )
             )
     return findings

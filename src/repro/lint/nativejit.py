@@ -1,0 +1,218 @@
+"""RPL106 — the jitted kernel module's object-freedom contract.
+
+:mod:`repro.kernels.native` exists for exactly one reason: the three
+integer fixpoints, compiled with ``@njit(nogil=True)`` so thread-mode
+shards overlap on real cores.  Everything that makes that promise true
+is checkable shape, and this pass checks it:
+
+* **Every function is jitted.**  An undecorated function in the native
+  module would run interpreted, hold the GIL, and silently erase the
+  thread-mode speedup the backend advertises.
+* **No Python-object operations.**  Dict/set/str constructions,
+  f-strings, lambdas, comprehensions over objects and nested closures
+  either fail to compile under ``nopython`` mode or — worse — drag the
+  function into object mode where the GIL comes back.  The jitted
+  bodies own integer/float/bool arrays only; anything richer belongs in
+  the :mod:`repro.kernels.backend` wrappers.
+* **Only numpy and numba are imported.**  The module's import surface
+  is its compile surface; a stray import is how object-mode code
+  sneaks in.
+* **Only the dispatch layer calls it.**  ``repro/kernels/backend.py``
+  owns probing, buffer allocation and the python fallback; any other
+  importer would bypass the degrade-never-error policy and crash the
+  moment numba is absent.
+
+Like every pass this one is pure AST shape — it runs (and must pass)
+on hosts where numba itself cannot even be imported.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional
+
+from repro.lint.config import (
+    NATIVE_DISPATCH_OWNER,
+    NATIVE_KERNEL_OWNER,
+    is_under,
+)
+from repro.lint.findings import Finding
+
+#: Imports the native module may carry (its entire compile surface).
+_ALLOWED_IMPORTS = ("numpy", "numba", "__future__")
+
+#: Builtin calls that materialize Python objects inside a jitted body.
+_OBJECT_BUILTINS = frozenset(
+    {"dict", "set", "frozenset", "str", "repr", "format", "print"}
+)
+
+#: AST shapes that construct Python objects or capture closures.
+_OBJECT_NODES = (
+    ast.Dict,
+    ast.Set,
+    ast.DictComp,
+    ast.SetComp,
+    ast.GeneratorExp,
+    ast.JoinedStr,
+    ast.Lambda,
+)
+
+
+def check(tree: ast.Module, path: str) -> List[Finding]:
+    if is_under(path, NATIVE_KERNEL_OWNER):
+        return _check_native_module(tree, path)
+    if is_under(path, NATIVE_DISPATCH_OWNER):
+        return []
+    return _check_import_ban(tree, path)
+
+
+# ----------------------------------------------------------------------
+# Inside the native module
+# ----------------------------------------------------------------------
+def _decorator_name(node: ast.expr) -> Optional[str]:
+    """Terminal name of a decorator: ``njit``, ``numba.njit(...)`` → njit."""
+    if isinstance(node, ast.Call):
+        node = node.func
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _is_jitted(node: ast.FunctionDef) -> bool:
+    return any(
+        _decorator_name(decorator) == "njit"
+        for decorator in node.decorator_list
+    )
+
+
+def _check_native_module(tree: ast.Module, path: str) -> List[Finding]:
+    findings: List[Finding] = []
+    for node in tree.body:
+        if isinstance(node, ast.AsyncFunctionDef):
+            findings.append(
+                Finding(
+                    path,
+                    node.lineno,
+                    "RPL106",
+                    f"async function {node.name!r} in the native kernel "
+                    "module: jitted fixpoints are plain @njit functions",
+                )
+            )
+        elif isinstance(node, ast.FunctionDef) and not _is_jitted(node):
+            findings.append(
+                Finding(
+                    path,
+                    node.lineno,
+                    "RPL106",
+                    f"function {node.name!r} in the native kernel module "
+                    "is not @njit-decorated; interpreted helpers belong "
+                    f"in {NATIVE_DISPATCH_OWNER}",
+                )
+            )
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.Import, ast.ImportFrom)):
+            findings.extend(_check_native_imports(node, path))
+        elif isinstance(node, _OBJECT_NODES):
+            findings.append(
+                Finding(
+                    path,
+                    node.lineno,
+                    "RPL106",
+                    f"{type(node).__name__} inside the native kernel "
+                    "module: Python-object construction breaks nopython "
+                    "compilation (or falls back to object mode, "
+                    "re-acquiring the GIL)",
+                )
+            )
+        elif (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in _OBJECT_BUILTINS
+        ):
+            findings.append(
+                Finding(
+                    path,
+                    node.lineno,
+                    "RPL106",
+                    f"call to {node.func.id}() inside the native kernel "
+                    "module: Python-object operations stay in "
+                    f"{NATIVE_DISPATCH_OWNER}",
+                )
+            )
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            for inner in ast.walk(node):
+                if inner is not node and isinstance(
+                    inner, (ast.FunctionDef, ast.AsyncFunctionDef)
+                ):
+                    findings.append(
+                        Finding(
+                            path,
+                            inner.lineno,
+                            "RPL106",
+                            f"nested function {inner.name!r} in the native "
+                            "kernel module: closures capture Python cells "
+                            "the jit cannot lower",
+                        )
+                    )
+    return findings
+
+
+def _check_native_imports(node: ast.AST, path: str) -> List[Finding]:
+    names: List[str] = []
+    if isinstance(node, ast.Import):
+        names = [alias.name for alias in node.names]
+    elif isinstance(node, ast.ImportFrom) and node.module:
+        names = [node.module]
+    findings: List[Finding] = []
+    for name in names:
+        root = name.split(".", 1)[0]
+        if root in _ALLOWED_IMPORTS:
+            continue
+        findings.append(
+            Finding(
+                path,
+                node.lineno,
+                "RPL106",
+                f"import of {name!r} in the native kernel module; only "
+                f"{' / '.join(_ALLOWED_IMPORTS[:2])} may be imported "
+                "(the import surface is the compile surface)",
+            )
+        )
+    return findings
+
+
+# ----------------------------------------------------------------------
+# Everywhere else: the import ban
+# ----------------------------------------------------------------------
+def _imports_native(node: ast.AST) -> bool:
+    if isinstance(node, ast.Import):
+        return any(
+            alias.name == "repro.kernels.native" for alias in node.names
+        )
+    if isinstance(node, ast.ImportFrom) and node.level == 0:
+        if node.module == "repro.kernels.native":
+            return True
+        if node.module == "repro.kernels":
+            return any(alias.name == "native" for alias in node.names)
+    return False
+
+
+def _check_import_ban(tree: ast.Module, path: str) -> List[Finding]:
+    findings: List[Finding] = []
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.Import, ast.ImportFrom)) and _imports_native(
+            node
+        ):
+            findings.append(
+                Finding(
+                    path,
+                    node.lineno,
+                    "RPL106",
+                    "import of repro.kernels.native outside "
+                    f"{NATIVE_DISPATCH_OWNER}: the dispatch layer owns "
+                    "probing, buffers and the degrade-to-python fallback",
+                )
+            )
+    return findings

@@ -15,7 +15,7 @@ import sys
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.lint import concurrency, determinism, layers, obs, shm
+from repro.lint import concurrency, determinism, layers, nativejit, obs, shm
 from repro.lint.baseline import load_baseline, partition, write_baseline
 from repro.lint.concurrency import Registry
 from repro.lint.findings import CODES, Finding
@@ -59,6 +59,7 @@ def lint_source(
         registry = concurrency.collect_registry(tree)
     findings: List[Finding] = []
     findings.extend(layers.check(tree, path))
+    findings.extend(nativejit.check(tree, path))
     findings.extend(shm.check(tree, path))
     findings.extend(concurrency.check(tree, path, registry))
     findings.extend(determinism.check(tree, path))

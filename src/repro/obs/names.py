@@ -24,6 +24,10 @@ KERNEL_SWEEP_SETS_TOTAL = "repro_kernel_sweep_sets_total"
 KERNEL_REACHED_NODES_TOTAL = "repro_kernel_reached_nodes_total"
 KERNEL_SWEEP_REACHED_NODES = "repro_kernel_sweep_reached_nodes"
 
+# -- kernel backend dispatch (set by repro.kernels.backend) -------------
+KERNEL_BACKEND = "repro_kernel_backend"
+KERNEL_NATIVE_COMPILE_SECONDS = "repro_kernel_native_compile_seconds"
+
 # -- oracle memo table --------------------------------------------------
 ORACLE_MEMO_HITS_TOTAL = "repro_oracle_memo_hits_total"
 ORACLE_MEMO_MISSES_TOTAL = "repro_oracle_memo_misses_total"
@@ -97,6 +101,15 @@ CATALOG: Tuple[MetricSpec, ...] = (
         "reached-node count per physical sweep (sampled observations, "
         "not scaled)",
         SIZE_BUCKETS_NODES,
+    ),
+    MetricSpec(
+        KERNEL_BACKEND, "gauge",
+        "most recently resolved traversal kernel backend "
+        "(0 = python, 1 = native/numba)",
+    ),
+    MetricSpec(
+        KERNEL_NATIVE_COMPILE_SECONDS, "gauge",
+        "one-time native kernel warm-up (JIT compile) wall time",
     ),
     MetricSpec(
         ORACLE_MEMO_HITS_TOTAL, "counter",

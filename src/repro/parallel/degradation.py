@@ -78,6 +78,8 @@ class DegradationReason(enum.Enum):
     RESTART_BUDGET_EXHAUSTED = "worker restart budget exhausted"
     #: The ingest service's writer thread died.
     WRITER_DEATH = "ingest writer thread died"
+    #: A thread-mode shard raised; it was recomputed serially.
+    THREAD_ERROR = "thread worker raised"
     #: Explicitly closed by the owner.
     CLOSED = "closed"
 
@@ -130,6 +132,10 @@ RECOVERY_HINTS: Dict[DegradationReason, str] = {
     DegradationReason.WRITER_DEATH: (
         "the writer is restarted and unapplied batches are replayed from "
         "the journal"
+    ),
+    DegradationReason.THREAD_ERROR: (
+        "the failing shard was recomputed serially; thread dispatch "
+        "continues for later requests"
     ),
 }
 

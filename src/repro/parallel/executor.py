@@ -58,6 +58,7 @@ import queue as queue_mod
 import time
 import warnings
 import weakref
+from concurrent.futures import ThreadPoolExecutor
 from typing import (
     TYPE_CHECKING,
     Any,
@@ -75,9 +76,10 @@ from typing import (
 if TYPE_CHECKING:
     import numpy as np
 
+    from repro.kernels import TraversalKernel
     from repro.tdn.graph import TDNGraph
 
-from repro.kernels import Fold, resolve_fold
+from repro.kernels import Fold, resolve_backend, resolve_fold
 from repro.obs import names as metric_names
 from repro.obs.registry import metrics_registry
 from repro.parallel import worker as worker_mod
@@ -91,7 +93,19 @@ from repro.parallel.plane import (
 )
 from repro.parallel.supervisor import QUARANTINE_STRIKES, WorkerSupervisor
 
-__all__ = ["ShardedOracleExecutor", "shard_slices", "merge_shard_counts"]
+__all__ = [
+    "EXECUTOR_MODES",
+    "ShardedOracleExecutor",
+    "merge_shard_counts",
+    "shard_slices",
+]
+
+#: Accepted worker dispatch modes.  ``"processes"`` is the shared-memory
+#: pool described above; ``"threads"`` shards over an in-process
+#: ``ThreadPoolExecutor`` (profitable only when the jitted native kernel
+#: releases the GIL); ``"auto"`` picks threads exactly when the resolved
+#: kernel backend is native, processes otherwise.
+EXECUTOR_MODES = ("processes", "threads", "auto")
 
 #: Default per-request floor below which dispatch is not worth the IPC.
 DEFAULT_MIN_BATCH = 8
@@ -174,9 +188,17 @@ class ShardedOracleExecutor:
     """Partition batched oracle sweeps across a supervised worker pool.
 
     Args:
-        workers: worker process count.  ``<= 1`` means serial (no pool,
-            no shared memory; the executor is then a thin pass-through to
-            the graph's own engine).
+        workers: worker count.  ``<= 1`` means serial (no pool, no shared
+            memory; the executor is then a thin pass-through to the
+            graph's own engine).
+        mode: ``"processes"`` | ``"threads"`` | ``"auto"`` (default).
+            Thread mode shards sweeps across a ``ThreadPoolExecutor``
+            over per-thread kernel clones of the *same* in-process
+            arrays — no spawn, no shared-memory plane, no pickling —
+            which only beats serial when the jitted native kernel
+            releases the GIL; ``"auto"`` therefore resolves to threads
+            exactly when :func:`repro.kernels.resolve_backend` lands on
+            ``"native"``, and to the process pool otherwise.
         min_batch: smallest batch dispatched to the pool; smaller requests
             are served serially (values are identical either way).
         ancestor_min_batch: separate, higher floor for reverse
@@ -202,6 +224,7 @@ class ShardedOracleExecutor:
         self,
         workers: int,
         *,
+        mode: str = "auto",
         min_batch: int = DEFAULT_MIN_BATCH,
         ancestor_min_batch: int = DEFAULT_ANCESTOR_MIN_BATCH,
         result_timeout: Optional[float] = None,
@@ -223,7 +246,19 @@ class ShardedOracleExecutor:
         self._finalizer = weakref.finalize(self, _noop)
         if workers < 0:
             raise ValueError(f"workers must be >= 0, got {workers}")
+        if mode not in EXECUTOR_MODES:
+            raise ValueError(
+                f"mode must be one of {EXECUTOR_MODES}, got {mode!r}"
+            )
         self.workers = workers
+        self.mode = mode
+        # Resolved lazily: "auto" consults the kernel backend, and that
+        # probe pays the one-time JIT warm-up — not a constructor cost.
+        self._mode_resolved: Optional[str] = None
+        self._thread_pool: Optional[ThreadPoolExecutor] = None
+        self._thread_clone_cache: Dict[
+            bool, Tuple[weakref.ref, int, List["TraversalKernel"]]
+        ] = {}
         self.min_batch = max(1, min_batch)
         self.ancestor_min_batch = max(1, ancestor_min_batch)
         if result_timeout is None:
@@ -293,12 +328,14 @@ class ShardedOracleExecutor:
 
         Keys: ``state`` / ``reason`` / ``detail`` / ``recoveries`` /
         ``incidents`` / ``transitions`` (from the ladder), ``workers``,
-        ``pool`` (supervisor liveness, restart budget, quarantine count;
-        None before first use), ``plane_generation`` and
-        ``weights_disabled``.
+        ``mode`` (the resolved dispatch mode, or the requested ``"auto"``
+        until the first query resolves it), ``pool`` (supervisor
+        liveness, restart budget, quarantine count; None before first
+        use), ``plane_generation`` and ``weights_disabled``.
         """
         report = self._ladder.report()
         report["workers"] = self.workers
+        report["mode"] = self._mode_resolved or self.mode
         report["pool"] = (
             self._supervisor.report() if self._supervisor is not None else None
         )
@@ -467,6 +504,10 @@ class ShardedOracleExecutor:
         """
         if not hasattr(self, "_ladder"):  # __init__ died before any state
             return
+        if getattr(self, "_thread_pool", None) is not None:
+            self._thread_pool.shutdown(wait=True)
+            self._thread_pool = None
+        self._thread_clone_cache = {}
         self._release_pool_resources()
         self._ladder.degrade(DegradationReason.CLOSED)
         self._started = True
@@ -725,6 +766,118 @@ class ShardedOracleExecutor:
         )
 
     # ------------------------------------------------------------------
+    # Thread-mode dispatch (the native backend's degradation-ladder rung)
+    # ------------------------------------------------------------------
+    def _resolve_mode(self) -> str:
+        """The dispatch mode actually in force (cached after first use)."""
+        if self._mode_resolved is None:
+            if self.mode == "auto":
+                self._mode_resolved = (
+                    "threads"
+                    if resolve_backend(None) == "native"
+                    else "processes"
+                )
+            else:
+                self._mode_resolved = self.mode
+        return self._mode_resolved
+
+    def _threads_ready(self, batch_size: int) -> bool:
+        """Whether this request should shard over the in-process pool."""
+        if self._resolve_mode() != "threads" or batch_size < self.min_batch:
+            return False
+        if self._ladder.halted:
+            return False
+        if self.workers <= 1:
+            if not self._started:
+                self._started = True
+                self._ladder.degrade(DegradationReason.SINGLE_WORKER)
+            return False
+        if self._thread_pool is None:
+            self._thread_pool = ThreadPoolExecutor(
+                max_workers=self.workers, thread_name_prefix="repro-shard"
+            )
+            self._started = True
+        return True
+
+    def _thread_kernels(
+        self, graph: "TDNGraph", reverse: bool
+    ) -> List["TraversalKernel"]:
+        """Per-thread kernel clones of ``graph``'s current engine epoch.
+
+        Clones share the engine's (query-immutable) CSR arrays, overlay
+        and resolved backend but own their visited buffers, so
+        concurrent sweeps cannot trample each other.  The cache is keyed
+        on graph identity (a weakref, same honesty argument as the
+        published-plane stamp) plus version: any mutation invalidates
+        it, and ``graph.csr()`` runs first so compaction has already
+        happened when the clones are cut.  For reverse sweeps the
+        transpose is built once, owner-side, and shared by every clone —
+        unlike process workers, which each rebuild it per generation.
+        """
+        engine = graph.csr()
+        cached = self._thread_clone_cache.get(reverse)
+        if cached is not None:
+            graph_ref, version, clones = cached
+            if (
+                graph_ref() is graph
+                and version == graph.version
+                and len(clones) >= self.workers
+            ):
+                return clones
+        clones = [engine.kernel_clone(reverse) for _ in range(self.workers)]
+        self._thread_clone_cache[reverse] = (
+            weakref.ref(graph),
+            graph.version,
+            clones,
+        )
+        return clones
+
+    @staticmethod
+    def _timed_shard(
+        run_shard: Callable[[int], Any], index: int
+    ) -> Tuple[Any, float]:
+        started = time.monotonic()
+        return run_shard(index), time.monotonic() - started
+
+    def _dispatch_threads(
+        self,
+        num_shards: int,
+        run_shard: Callable[[int], Any],
+        serial_shard: Callable[[int], Any],
+    ) -> List[Any]:
+        """Fan shards out over the in-process thread pool.
+
+        The jitted fixpoints run with the GIL released, so shards
+        genuinely overlap on separate cores; there is no pickling, no
+        plane publish and no liveness protocol — threads cannot die
+        without the whole process dying.  The one remaining failure
+        mode, a shard raising (or missing the whole-request deadline),
+        is recomputed serially through the same kernel physics and
+        counted as a THREAD_ERROR incident, so the caller always
+        receives exact, complete results.
+        """
+        assert self._thread_pool is not None
+        _DISPATCHES.inc()
+        futures = [
+            self._thread_pool.submit(self._timed_shard, run_shard, index)
+            for index in range(num_shards)
+        ]
+        results: List[Any] = []
+        for index, future in enumerate(futures):
+            try:
+                value, elapsed = future.result(timeout=self.result_timeout)
+                _SHARD_LATENCY.observe(elapsed)
+            except Exception as exc:
+                _SERIAL_FALLBACKS.inc()
+                self._ladder.note_incident(
+                    DegradationReason.THREAD_ERROR,
+                    f"{type(exc).__name__}: {exc}",
+                )
+                value = serial_shard(index)
+            results.append(value)
+        return results
+
+    # ------------------------------------------------------------------
     # Query API (mirrors the serial DeltaCSR surface)
     # ------------------------------------------------------------------
     def spread_counts(
@@ -736,6 +889,20 @@ class ShardedOracleExecutor:
         """Per-set reachable counts; sharded when profitable, exact always."""
         if not id_sets:
             return []
+        if self._threads_ready(len(id_sets)):
+            eff = self._effective_horizon(graph, min_expiry)
+            slices = shard_slices(len(id_sets), self.workers)
+            clones = self._thread_kernels(graph, reverse=False)
+            results = self._dispatch_threads(
+                len(slices),
+                lambda i: clones[i].spread_counts(
+                    list(id_sets[slices[i][0] : slices[i][1]]), eff
+                ),
+                lambda i: graph.csr().spread_counts(
+                    list(id_sets[slices[i][0] : slices[i][1]]), min_expiry
+                ),
+            )
+            return merge_shard_counts(slices, results, len(id_sets))
         if self._parallel_ready(graph, len(id_sets)):
             eff = self._effective_horizon(graph, min_expiry)
             slices = shard_slices(len(id_sets), self.workers)
@@ -759,6 +926,22 @@ class ShardedOracleExecutor:
         """Per-set reachable id sets (weighted oracle's batch evaluation)."""
         if not id_sets:
             return []
+        if self._threads_ready(len(id_sets)):
+            eff = self._effective_horizon(graph, min_expiry)
+            slices = shard_slices(len(id_sets), self.workers)
+            clones = self._thread_kernels(graph, reverse=False)
+            results = self._dispatch_threads(
+                len(slices),
+                lambda i: [
+                    clones[i].reachable_ids(ids, eff)
+                    for ids in id_sets[slices[i][0] : slices[i][1]]
+                ],
+                lambda i: [
+                    graph.csr().reachable_ids(ids, min_expiry)
+                    for ids in id_sets[slices[i][0] : slices[i][1]]
+                ],
+            )
+            return merge_shard_counts(slices, results, len(id_sets))
         if self._parallel_ready(graph, len(id_sets)):
             eff = self._effective_horizon(graph, min_expiry)
             slices = shard_slices(len(id_sets), self.workers)
@@ -852,6 +1035,24 @@ class ShardedOracleExecutor:
         """
         if not id_sets:
             return []
+        if self._threads_ready(len(id_sets)):
+            # Threads read the owner's dense array directly — no shared
+            # memory publish, so the weights-disabled latch never applies.
+            eff = self._effective_horizon(graph, min_expiry)
+            slices = shard_slices(len(id_sets), self.workers)
+            clones = self._thread_kernels(graph, reverse=False)
+            results = self._dispatch_threads(
+                len(slices),
+                lambda i: clones[i].weighted_spread_sums(
+                    list(id_sets[slices[i][0] : slices[i][1]]), eff, weights
+                ),
+                lambda i: graph.csr().weighted_spread_sums(
+                    list(id_sets[slices[i][0] : slices[i][1]]),
+                    min_expiry,
+                    weights,
+                ),
+            )
+            return merge_shard_counts(slices, results, len(id_sets))
         if self._parallel_ready(graph, len(id_sets)):
             record = self._ensure_weights(weights_key, weights)
             if record is not None:
@@ -905,6 +1106,33 @@ class ShardedOracleExecutor:
         fold = resolve_fold(fold)
         if not id_sets:
             return []
+        if self._threads_ready(len(id_sets)):
+            # Derived node values (time_decay) are computed once,
+            # owner-side, from the same engine every clone shares — the
+            # elementwise derivation process workers repeat per shard.
+            eff = self._effective_horizon(graph, min_expiry)
+            node_values = (
+                graph.csr().fold_node_values(fold, min_expiry)
+                if fold.derives_node_values
+                else None
+            )
+            slices = shard_slices(len(id_sets), self.workers)
+            clones = self._thread_kernels(graph, reverse=False)
+            results = self._dispatch_threads(
+                len(slices),
+                lambda i: fold.batch(
+                    clones[i],
+                    list(id_sets[slices[i][0] : slices[i][1]]),
+                    eff,
+                    node_values,
+                ),
+                lambda i: graph.csr().fold_spread_sums(
+                    list(id_sets[slices[i][0] : slices[i][1]]),
+                    min_expiry,
+                    fold,
+                ),
+            )
+            return merge_shard_counts(slices, results, len(id_sets))
         if self._parallel_ready(graph, len(id_sets)):
             eff = self._effective_horizon(graph, min_expiry)
             slices = shard_slices(len(id_sets), self.workers)
@@ -935,6 +1163,26 @@ class ShardedOracleExecutor:
         targets = sorted(set(target_ids))
         if not targets:
             return set()
+        # Thread mode uses the ordinary forward floor, not the steep
+        # ancestor one: the transpose the process floor prices in is
+        # built once owner-side and shared by every clone.
+        if self._threads_ready(len(targets)):
+            eff = self._effective_horizon(graph, min_expiry)
+            slices = shard_slices(len(targets), self.workers)
+            clones = self._thread_kernels(graph, reverse=True)
+            results = self._dispatch_threads(
+                len(slices),
+                lambda i: clones[i].reachable_ids(
+                    targets[slices[i][0] : slices[i][1]], eff
+                ),
+                lambda i: graph.csr().ancestor_ids(
+                    targets[slices[i][0] : slices[i][1]], min_expiry
+                ),
+            )
+            merged_ids: Set[int] = set()
+            for shard_ids in results:
+                merged_ids.update(shard_ids)
+            return merged_ids
         if len(targets) >= self.ancestor_min_batch and self._parallel_ready(
             graph, len(targets)
         ):

@@ -135,14 +135,18 @@ class PlaneEngine:
     PLANE_WIDTH = PLANE_WIDTH
 
     def __init__(
-        self, indptr: np.ndarray, indices: np.ndarray, expiries: np.ndarray
+        self,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        expiries: np.ndarray,
+        backend: Optional[str] = None,
     ) -> None:
         self.num_nodes = int(indptr.shape[0]) - 1
         self.num_pairs = int(indices.shape[0])
         self.indptr = indptr
         self.indices = indices
         self.expiries = expiries
-        self._fwd = TraversalKernel(indptr, indices, expiries)
+        self._fwd = TraversalKernel(indptr, indices, expiries, backend=backend)
         self._rev: Optional[TraversalKernel] = None
 
     def _reverse_kernel(self) -> TraversalKernel:
@@ -151,7 +155,9 @@ class PlaneEngine:
             tindptr, tindices, texpiries = build_transpose(
                 self.indptr, self.indices, self.expiries
             )
-            self._rev = TraversalKernel(tindptr, tindices, texpiries)
+            self._rev = TraversalKernel(
+                tindptr, tindices, texpiries, backend=self._fwd.backend
+            )
         return self._rev
 
     # ------------------------------------------------------------------

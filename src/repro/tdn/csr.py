@@ -71,6 +71,7 @@ from repro.kernels import (
     TraversalKernel,
     build_transpose,
     max_in_expiries,
+    resolve_backend,
     resolve_fold,
 )
 from repro.utils.rng import make_np_rng
@@ -156,7 +157,9 @@ def calibrate_scalar_pair_limit(force: bool = False) -> int:
     return _calibrated_limit
 
 
-def resolve_scalar_pair_limit(override: Optional[int] = None) -> int:
+def resolve_scalar_pair_limit(
+    override: Optional[int] = None, backend: str = "python"
+) -> int:
     """The active scalar/vector cutover, by descending precedence.
 
     1. ``CSRSnapshot.SCALAR_PAIR_LIMIT`` when not ``None`` — the legacy
@@ -164,8 +167,12 @@ def resolve_scalar_pair_limit(override: Optional[int] = None) -> int:
        every snapshot obey it immediately);
     2. a per-engine constructor ``override``;
     3. the ``REPRO_SCALAR_PAIR_LIMIT`` environment variable;
-    4. the measured per-process calibration
-       (:func:`calibrate_scalar_pair_limit`).
+    4. per resolved kernel ``backend``: under ``"native"`` the cutover is
+       pinned to 0 (always vectorized — the calibration probe measures
+       interpreted loops against numpy dispatch, a crossover the compiled
+       fixpoints don't have, and the scalar path would *leave* the jit);
+       under ``"python"`` the measured per-process calibration
+       (:func:`calibrate_scalar_pair_limit`) applies as before.
     """
     knob = CSRSnapshot.SCALAR_PAIR_LIMIT
     if knob is not None:
@@ -178,6 +185,8 @@ def resolve_scalar_pair_limit(override: Optional[int] = None) -> int:
             return max(0, int(env))
         except ValueError:
             pass
+    if backend == "native":
+        return 0
     return calibrate_scalar_pair_limit()
 
 
@@ -201,6 +210,7 @@ class CSRSnapshot:
         "expiries",
         "version",
         "scalar_pair_limit",
+        "backend",
         "_kernel",
     )
 
@@ -225,6 +235,7 @@ class CSRSnapshot:
         expiries: np.ndarray,
         version: int,
         scalar_pair_limit: Optional[int] = None,
+        backend: Optional[str] = None,
     ) -> None:
         self.num_nodes = num_nodes
         self.num_pairs = int(indices.shape[0])
@@ -233,6 +244,11 @@ class CSRSnapshot:
         self.expiries = expiries
         self.version = version
         self.scalar_pair_limit = scalar_pair_limit
+        # Resolved here (not just in the kernel) so the cutover resolver
+        # can re-resolve per backend: the calibrated scalar/vector
+        # crossover measured for the python loops is wrong for jitted
+        # loops, so "native" pins the kernel to the vectorized entry.
+        self.backend = resolve_backend(backend)
         self._kernel = TraversalKernel(
             indptr,
             indices,
@@ -240,15 +256,21 @@ class CSRSnapshot:
             num_nodes=num_nodes,
             entry_count=self.num_pairs,
             limit_resolver=self._scalar_limit,
+            backend=self.backend,
         )
 
     def _scalar_limit(self) -> int:
         """The cutover in force *now* (class knob re-checked per query)."""
-        return resolve_scalar_pair_limit(self.scalar_pair_limit)
+        return resolve_scalar_pair_limit(self.scalar_pair_limit, self.backend)
 
     # ------------------------------------------------------------------
     @classmethod
-    def build(cls, graph, scalar_pair_limit: Optional[int] = None) -> "CSRSnapshot":
+    def build(
+        cls,
+        graph,
+        scalar_pair_limit: Optional[int] = None,
+        backend: Optional[str] = None,
+    ) -> "CSRSnapshot":
         """Flatten ``graph``'s alive pair adjacency into CSR arrays.
 
         Cost is O(V + P log P) for P alive pairs (one stable sort groups
@@ -286,10 +308,12 @@ class CSRSnapshot:
             counts = np.zeros(num_nodes, dtype=np.int64)
         indptr = np.zeros(num_nodes + 1, dtype=np.int64)
         np.cumsum(counts, out=indptr[1:])
-        resolve_scalar_pair_limit(scalar_pair_limit)  # calibrate at build
+        resolved = resolve_backend(backend)
+        resolve_scalar_pair_limit(scalar_pair_limit, resolved)  # calibrate
         return cls(
             num_nodes, indptr, indices, exp, graph.version,
             scalar_pair_limit=scalar_pair_limit,
+            backend=resolved,
         )
 
     # ------------------------------------------------------------------
@@ -398,6 +422,7 @@ class DeltaCSR:
         "_graph",
         "mode",
         "scalar_pair_limit",
+        "backend",
         "_base",
         "_tindptr",
         "_tindices",
@@ -419,12 +444,14 @@ class DeltaCSR:
         graph,
         mode: str = "delta",
         scalar_pair_limit: Optional[int] = None,
+        backend: Optional[str] = None,
     ) -> None:
         if mode not in CSR_MODES:
             raise ValueError(f"mode must be one of {CSR_MODES}, got {mode!r}")
         self._graph = graph
         self.mode = mode
         self.scalar_pair_limit = scalar_pair_limit
+        self.backend = resolve_backend(backend)
         self.compactions = 0
         self._fwd: Optional[TraversalKernel] = None
         self._rev: Optional[TraversalKernel] = None
@@ -495,13 +522,15 @@ class DeltaCSR:
 
     def _scalar_limit(self) -> int:
         """The cutover in force *now* (class knob re-checked per query)."""
-        return resolve_scalar_pair_limit(self.scalar_pair_limit)
+        return resolve_scalar_pair_limit(self.scalar_pair_limit, self.backend)
 
     def _compact(self) -> None:
         """Fold overlay and tombstones into a fresh immutable base."""
         graph = self._graph
         self._base = CSRSnapshot.build(
-            graph, scalar_pair_limit=self.scalar_pair_limit
+            graph,
+            scalar_pair_limit=self.scalar_pair_limit,
+            backend=self.backend,
         )
         self._tindptr = None
         self._tindices = None
@@ -560,6 +589,7 @@ class DeltaCSR:
                     num_nodes=self.num_nodes,
                     overlay=DictOverlay(self._ov_in, self._ov_in_flag),
                     limit_resolver=self._scalar_limit,
+                    backend=self.backend,
                 )
                 self._rev = kernel
             else:
@@ -571,11 +601,22 @@ class DeltaCSR:
                     num_nodes=self.num_nodes,
                     overlay=DictOverlay(self._ov_out, self._ov_out_flag),
                     limit_resolver=self._scalar_limit,
+                    backend=self.backend,
                 )
                 self._fwd = kernel
         kernel.entry_count = self.num_entries
         kernel.ensure_capacity(self.num_nodes)
         return kernel
+
+    def kernel_clone(self, reverse: bool = False) -> TraversalKernel:
+        """A private-workspace clone of a direction's current kernel.
+
+        Built for the thread-mode executor: clones share this engine's
+        (query-immutable) arrays and overlay but own their visited
+        buffers, so concurrent sweeps cannot trample each other.  Callers
+        must treat a clone as stale once the graph version moves.
+        """
+        return self._kernel(reverse).clone()
 
     def _transpose_arrays(self):
         """Lazily build the transpose of the base (overlay stays separate)."""

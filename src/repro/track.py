@@ -151,8 +151,21 @@ def main(argv: Optional[list] = None) -> int:
         health = tracker.health_report()
         tracker.close()
 
+    # Imported from the kernels layer, not the api facade: track sits
+    # below api in the layer DAG (see repro.lint.config.LAYERS).
+    from repro.kernels import native_compile_seconds, resolve_backend
+
+    backend = resolve_backend(None)
+    compile_seconds = native_compile_seconds()
+    compile_note = (
+        f" (compiled in {compile_seconds:.2f}s)"
+        if backend == "native" and compile_seconds is not None
+        else ""
+    )
+
     print("\nsummary")
     print(f"  events processed:   {len(interactions)}")
+    print(f"  kernel backend:     {backend}{compile_note}")
     if args.workers > 1:
         print(f"  evaluation workers: {args.workers}")
         if health is not None:

@@ -163,6 +163,167 @@ def test_rpl103_exempt_in_owner_file():
     assert not _lint(source, "src/repro/kernels/traversal.py")
 
 
+def test_rpl103_exempt_in_native_twin():
+    # The jitted twin owns traversal shapes too — RPL106 polices it.
+    source = """
+    from numba import njit
+
+
+    @njit(nogil=True, cache=True)
+    def sweep(indptr, indices, visit, stamp, n):
+        count = 0
+        for u in range(n):
+            for j in range(indptr[u], indptr[u + 1]):
+                if visit[indices[j]] != stamp:
+                    count += 1
+        return count
+    """
+    assert not _lint(source, "src/repro/kernels/native.py")
+
+
+def test_rpl106_undecorated_function_in_native_module():
+    findings = assert_fires(
+        """
+        def helper(values):
+            return values[0]
+        """,
+        "src/repro/kernels/native.py",
+        "RPL106",
+    )
+    assert "not @njit-decorated" in findings[0].message
+
+
+def test_rpl106_dict_in_native_module():
+    assert_fires(
+        """
+        from numba import njit
+
+
+        @njit(nogil=True)
+        def bad(frontier):
+            seen = {}
+            return seen
+        """,
+        "src/repro/kernels/native.py",
+        "RPL106",
+    )
+
+
+def test_rpl106_fstring_in_native_module():
+    assert_fires(
+        """
+        from numba import njit
+
+
+        @njit(nogil=True)
+        def bad(count):
+            label = f"reached {count}"
+            return label
+        """,
+        "src/repro/kernels/native.py",
+        "RPL106",
+    )
+
+
+def test_rpl106_str_builtin_in_native_module():
+    assert_fires(
+        """
+        from numba import njit
+
+
+        @njit(nogil=True)
+        def bad(count):
+            return str(count)
+        """,
+        "src/repro/kernels/native.py",
+        "RPL106",
+    )
+
+
+def test_rpl106_closure_in_native_module():
+    assert_fires(
+        """
+        from numba import njit
+
+
+        @njit(nogil=True)
+        def outer(values):
+            def successor(i):
+                return values[i]
+
+            return successor(0)
+        """,
+        "src/repro/kernels/native.py",
+        "RPL106",
+    )
+
+
+def test_rpl106_foreign_import_in_native_module():
+    findings = assert_fires(
+        """
+        import os
+        """,
+        "src/repro/kernels/native.py",
+        "RPL106",
+    )
+    assert "import surface" in findings[0].message
+
+
+def test_rpl106_native_import_outside_dispatch():
+    findings = assert_fires(
+        """
+        from repro.kernels import native
+        """,
+        "src/repro/tdn/fixture.py",
+        "RPL106",
+    )
+    assert "dispatch layer" in findings[0].message
+
+
+def test_rpl106_direct_native_import_outside_dispatch():
+    assert_fires(
+        """
+        import repro.kernels.native
+        """,
+        "src/repro/tdn/fixture.py",
+        "RPL106",
+    )
+
+
+def test_rpl106_dispatch_layer_may_import_native():
+    assert not _lint(
+        """
+        from repro.kernels import native
+        """,
+        "src/repro/kernels/backend.py",
+    )
+
+
+def test_rpl106_clean_jitted_function_passes():
+    assert not _lint(
+        """
+        import numpy as np
+        from numba import njit
+
+
+        @njit(nogil=True, cache=True)
+        def fixpoint(indptr, indices, frontier, visit, stamp):
+            count = frontier.shape[0]
+            head = 0
+            while head < count:
+                node = frontier[head]
+                head += 1
+                for slot in range(indptr[node], indptr[node + 1]):
+                    succ = indices[slot]
+                    if visit[succ] != stamp:
+                        visit[succ] = np.int64(stamp)
+                        count += 1
+            return count
+        """,
+        "src/repro/kernels/native.py",
+    )
+
+
 # ----------------------------------------------------------------------
 # RPL2xx — shared-memory lifecycle
 # ----------------------------------------------------------------------

@@ -26,11 +26,29 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.influence.reachability import ancestors, reachable_set
-from repro.kernels import dense_weight_sum, seed_range_error
+from repro.kernels import (
+    FOLD_NAMES,
+    dense_weight_sum,
+    native_available,
+    resolve_fold,
+    seed_range_error,
+)
 from repro.parallel.plane import PlaneEngine
 from repro.tdn.csr import CSRSnapshot, DeltaCSR
 from repro.tdn.graph import TDNGraph
 from repro.tdn.interaction import Interaction
+
+#: Both kernel backends; the native leg self-skips where numba is absent,
+#: so this file passes identically with or without the [native] extra.
+BACKENDS = [
+    "python",
+    pytest.param(
+        "native",
+        marks=pytest.mark.skipif(
+            not native_available(), reason="numba unavailable"
+        ),
+    ),
+]
 
 
 def build_stream_graph(seed, num_nodes, num_events):
@@ -49,6 +67,7 @@ def build_stream_graph(seed, num_nodes, num_events):
     return graph
 
 
+@pytest.mark.parametrize("backend", BACKENDS)
 @settings(max_examples=35, deadline=None)
 @given(
     seed=st.integers(0, 10_000),
@@ -59,14 +78,20 @@ def build_stream_graph(seed, num_nodes, num_events):
     data=st.data(),
 )
 def test_all_engines_agree_on_every_sweep(
-    seed, num_nodes, num_events, scalar_limit, horizon_offset, data
+    backend, seed, num_nodes, num_events, scalar_limit, horizon_offset, data
 ):
     graph = build_stream_graph(seed, num_nodes, num_events)
     delta = graph.csr()
-    if scalar_limit is not None:
-        delta = DeltaCSR(graph, scalar_pair_limit=scalar_limit)
-    snapshot = CSRSnapshot.build(graph, scalar_pair_limit=scalar_limit)
-    plane = PlaneEngine(snapshot.indptr, snapshot.indices, snapshot.expiries)
+    if scalar_limit is not None or backend != "python":
+        delta = DeltaCSR(
+            graph, scalar_pair_limit=scalar_limit, backend=backend
+        )
+    snapshot = CSRSnapshot.build(
+        graph, scalar_pair_limit=scalar_limit, backend=backend
+    )
+    plane = PlaneEngine(
+        snapshot.indptr, snapshot.indices, snapshot.expiries, backend=backend
+    )
     ids = list(range(graph.num_interned))
     if not ids:
         return
@@ -119,6 +144,23 @@ def test_all_engines_agree_on_every_sweep(
     ]
     assert delta.weighted_spread_sums(id_sets, horizon, weights) == expected_sums
     assert plane.weighted_spread_sums(id_sets, eff, weights) == expected_sums
+
+    # All four fold semantics, bit-identical across engines: count and
+    # weighted_sum route through the mask sweep, hop_discount through the
+    # level histogram (the third jitted fixpoint), time_decay through
+    # derived node values — every backend path is covered.
+    for name in sorted(FOLD_NAMES):
+        fold = resolve_fold(name)
+        fold_weights = weights if fold.needs_weights else None
+        expected_fold = delta.fold_spread_sums(id_sets, horizon, fold, fold_weights)
+        assert (
+            snapshot.fold_spread_sums(id_sets, eff, fold, fold_weights)
+            == expected_fold
+        )
+        assert (
+            plane.fold_spread_sums(id_sets, eff, fold, fold_weights)
+            == expected_fold
+        )
 
 
 @pytest.mark.parametrize("bad_seed", [-3, 10_000])
